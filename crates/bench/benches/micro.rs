@@ -1,0 +1,141 @@
+//! Hot-path micro-benchmarks: the primitives every experiment is built from.
+
+use cia_core::{CiaConfig, FlCia, ItemSetEvaluator};
+use cia_data::presets::{Preset, Scale};
+use cia_data::{jaccard_index, GroundTruth, LeaveOneOut, UserId};
+use cia_defenses::{DpConfig, DpMechanism, UpdateTransform};
+use cia_federated::{FedAvg, FedAvgConfig, NullObserver};
+use cia_gossip::{GossipConfig, GossipSim, NullGossipObserver};
+use cia_models::params::{clip_l2, ema};
+use cia_models::{GmfHyper, GmfSpec, RelevanceScorer, SharingPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const ITEMS: u32 = 1682; // MovieLens catalog size
+const DIM: usize = 16;
+
+fn bench_scoring(c: &mut Criterion) {
+    let spec = GmfSpec::new(ITEMS, DIM, GmfHyper::default());
+    let mut rng = StdRng::seed_from_u64(1);
+    let agg = spec.init_agg(&mut rng);
+    let emb = vec![0.05f32; DIM];
+    let mut out = vec![0.0f32; ITEMS as usize];
+    c.bench_function("gmf_score_full_catalog_1682x16", |b| {
+        b.iter(|| spec.score_items(Some(&emb), &agg, std::hint::black_box(&mut out)));
+    });
+    let target: Vec<u32> = (0..100).collect();
+    c.bench_function("gmf_mean_relevance_100_items", |b| {
+        b.iter(|| std::hint::black_box(spec.mean_relevance(Some(&emb), &agg, &target)));
+    });
+}
+
+fn bench_momentum_and_dp(c: &mut Criterion) {
+    let spec = GmfSpec::new(ITEMS, DIM, GmfHyper::default());
+    let mut rng = StdRng::seed_from_u64(2);
+    let theta = spec.init_agg(&mut rng);
+    let mut v = theta.clone();
+    c.bench_function("momentum_ema_27k_params", |b| {
+        b.iter(|| ema(std::hint::black_box(&mut v), 0.99, &theta));
+    });
+
+    let dp = DpMechanism::new(DpConfig { clip: 2.0, noise_multiplier: 1.0 });
+    c.bench_function("dp_clip_noise_27k_params", |b| {
+        b.iter(|| {
+            let mut upd = theta.clone();
+            dp.transform(&mut upd, &mut rng);
+            std::hint::black_box(upd)
+        });
+    });
+    let mut upd = theta.clone();
+    c.bench_function("clip_l2_27k_params", |b| {
+        b.iter(|| clip_l2(std::hint::black_box(&mut upd), 2.0));
+    });
+}
+
+fn bench_protocol_rounds(c: &mut Criterion) {
+    let data = Preset::MovieLens.generate(Scale::Smoke, 3);
+    let split = LeaveOneOut::new(&data, 20, 3).unwrap();
+    let spec = GmfSpec::new(data.num_items(), 8, GmfHyper::default());
+    let clients = || -> Vec<_> {
+        split
+            .train_sets()
+            .iter()
+            .enumerate()
+            .map(|(u, items)| {
+                spec.build_client(UserId::new(u as u32), items.clone(), SharingPolicy::Full, u as u64)
+            })
+            .collect()
+    };
+    c.bench_function("fedavg_round_48_clients", |b| {
+        let mut sim = FedAvg::new(clients(), FedAvgConfig { rounds: u64::MAX, ..Default::default() });
+        b.iter(|| sim.step(&mut NullObserver));
+    });
+    c.bench_function("gossip_round_48_nodes", |b| {
+        let mut sim =
+            GossipSim::new(clients(), GossipConfig { rounds: u64::MAX, ..Default::default() });
+        b.iter(|| sim.step(&mut NullGossipObserver));
+    });
+}
+
+fn bench_attack_eval(c: &mut Criterion) {
+    let data = Preset::MovieLens.generate(Scale::Smoke, 5);
+    let split = LeaveOneOut::new(&data, 20, 5).unwrap();
+    let users = data.num_users();
+    let k = 5;
+    let gt = GroundTruth::from_train_sets(split.train_sets(), k);
+    let spec = GmfSpec::new(data.num_items(), 8, GmfHyper::default());
+    let clients: Vec<_> = split
+        .train_sets()
+        .iter()
+        .enumerate()
+        .map(|(u, items)| {
+            spec.build_client(UserId::new(u as u32), items.clone(), SharingPolicy::Full, u as u64)
+        })
+        .collect();
+    c.bench_function("cia_fl_round_with_eval_48_users", |b| {
+        let evaluator = ItemSetEvaluator::new(spec.clone(), split.train_sets().to_vec(), false);
+        let truths: Vec<_> =
+            (0..users as u32).map(|u| gt.community_of(UserId::new(u)).to_vec()).collect();
+        let owners: Vec<_> = (0..users as u32).map(|u| Some(UserId::new(u))).collect();
+        let mut attack = FlCia::new(
+            CiaConfig { k, beta: 0.99, eval_every: 1, seed: 0 },
+            evaluator,
+            users,
+            truths,
+            owners,
+        );
+        let mut sim =
+            FedAvg::new(clients.clone(), FedAvgConfig { rounds: u64::MAX, ..Default::default() });
+        b.iter(|| sim.step(&mut attack));
+    });
+}
+
+fn bench_ground_truth(c: &mut Criterion) {
+    let data = Preset::MovieLens.generate(Scale::Smoke, 7);
+    let split = LeaveOneOut::new(&data, 20, 7).unwrap();
+    c.bench_function("ground_truth_jaccard_topk_48_users", |b| {
+        b.iter(|| std::hint::black_box(GroundTruth::from_train_sets(split.train_sets(), 5)));
+    });
+    let a = &split.train_sets()[0];
+    let bset = &split.train_sets()[1];
+    c.bench_function("jaccard_index_pair", |b| {
+        b.iter(|| std::hint::black_box(jaccard_index(a, bset)));
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_scoring, bench_momentum_and_dp, bench_protocol_rounds,
+              bench_attack_eval, bench_ground_truth
+}
+criterion_main!(benches);

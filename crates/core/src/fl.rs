@@ -1,0 +1,280 @@
+//! CIA in the federated setting (Algorithm 1): the adversary controls the
+//! server and attacks with the models received from sampled users each round.
+
+use crate::evaluator::RelevanceEvaluator;
+use crate::metrics::{community_accuracy, AttackOutcome, AttackTracker};
+use crate::momentum::MomentumState;
+use cia_data::UserId;
+use cia_federated::{RoundObserver, RoundStats};
+use cia_models::parallel::par_map;
+use cia_models::SharedModel;
+use serde::{Deserialize, Serialize};
+
+/// CIA parameters (the paper defaults to `K = 50`, `β = 0.99`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CiaConfig {
+    /// Community size `K`.
+    pub k: usize,
+    /// Momentum coefficient `β` of Eq. 4 (0 disables smoothing).
+    pub beta: f32,
+    /// Evaluate (rank + score) every this many rounds; momentum is updated
+    /// every round regardless.
+    pub eval_every: u64,
+    /// Seed for the adversary's own randomness (fictive embedding training).
+    pub seed: u64,
+}
+
+impl Default for CiaConfig {
+    fn default() -> Self {
+        CiaConfig { k: 50, beta: 0.99, eval_every: 1, seed: 0 }
+    }
+}
+
+/// Algorithm 1: the server-side Community Inference Attack.
+///
+/// Plug an instance into [`cia_federated::FedAvg::run`] as the observer; the
+/// attack maintains one momentum model per user and at every evaluation round
+/// ranks users by the relevance their averaged model assigns to each target.
+pub struct FlCia<E: RelevanceEvaluator> {
+    cfg: CiaConfig,
+    evaluator: E,
+    /// Truth community per target, aligned with the evaluator's targets.
+    truths: Vec<Vec<UserId>>,
+    /// Per-target owner to exclude from candidates (the user whose train set
+    /// is the target), if any.
+    owners: Vec<Option<UserId>>,
+    momentum: Vec<Option<MomentumState>>,
+    tracker: AttackTracker,
+    last_global: Option<Vec<f32>>,
+    prepared: bool,
+}
+
+impl<E: RelevanceEvaluator> FlCia<E> {
+    /// Creates the attack for `num_users` participants.
+    ///
+    /// `truths[t]` is the ground-truth community of the evaluator's target
+    /// `t` (Eq. 5); `owners[t]` optionally excludes the target's donor user
+    /// from the candidate ranking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the truth/owner tables are not aligned with the evaluator's
+    /// targets or `k == 0`.
+    pub fn new(
+        cfg: CiaConfig,
+        evaluator: E,
+        num_users: usize,
+        truths: Vec<Vec<UserId>>,
+        owners: Vec<Option<UserId>>,
+    ) -> Self {
+        assert!(cfg.k > 0, "community size must be positive");
+        assert!((0.0..=1.0).contains(&cfg.beta), "beta must be in [0, 1]");
+        assert_eq!(truths.len(), evaluator.num_targets(), "one truth per target");
+        assert_eq!(owners.len(), evaluator.num_targets(), "one owner entry per target");
+        let candidates = num_users.saturating_sub(usize::from(owners.iter().any(Option::is_some)));
+        FlCia {
+            tracker: AttackTracker::new(cfg.k, candidates),
+            cfg,
+            evaluator,
+            truths,
+            owners,
+            momentum: (0..num_users).map(|_| None).collect(),
+            last_global: None,
+            prepared: false,
+        }
+    }
+
+    /// The attack summary.
+    pub fn outcome(&self) -> AttackOutcome {
+        self.tracker.outcome()
+    }
+
+    /// Predicted community for target `t` at the last evaluation (requires at
+    /// least one evaluation round). Exposed for the motivating example.
+    pub fn predict(&self, target: usize) -> Vec<UserId> {
+        self.rank_all()[target].clone()
+    }
+
+    /// Runs the ranking for every target against current momentum states.
+    fn rank_all(&self) -> Vec<Vec<UserId>> {
+        let num_targets = self.evaluator.num_targets();
+        // Relevance of every user's momentum model for every target.
+        let rel: Vec<Option<Vec<f32>>> = par_map(self.momentum.len(), |u| {
+            self.momentum[u].as_ref().map(|m| {
+                let mut out = vec![0.0f32; num_targets];
+                self.evaluator.relevance_all(m.emb(), m.agg(), &mut out);
+                out
+            })
+        });
+        par_map(num_targets, |t| {
+            let mut scored: Vec<(f32, u32)> = rel
+                .iter()
+                .enumerate()
+                .filter_map(|(u, r)| {
+                    if self.owners[t] == Some(UserId::new(u as u32)) {
+                        return None;
+                    }
+                    r.as_ref().map(|r| (r[t], u as u32))
+                })
+                .collect();
+            scored.sort_by(crate::metrics::rank_desc);
+            scored.into_iter().take(self.cfg.k).map(|(_, u)| UserId::new(u)).collect()
+        })
+    }
+
+    fn evaluate(&mut self, round: u64) {
+        if let Some(global) = &self.last_global {
+            if !self.prepared || round % (self.cfg.eval_every * 4).max(1) == 0 {
+                self.evaluator.prepare(global, self.cfg.seed ^ round);
+                self.prepared = true;
+            }
+        }
+        let predictions = self.rank_all();
+        let mut accs = Vec::with_capacity(predictions.len());
+        let mut uppers = Vec::with_capacity(predictions.len());
+        for (t, pred) in predictions.iter().enumerate() {
+            let truth = &self.truths[t];
+            accs.push(community_accuracy(pred, truth, self.cfg.k));
+            let seen = truth
+                .iter()
+                .filter(|u| self.momentum[u.index()].is_some())
+                .count();
+            uppers.push(seen as f64 / self.cfg.k as f64);
+        }
+        self.tracker.record(round, &accs, &uppers);
+    }
+}
+
+impl<E: RelevanceEvaluator> RoundObserver for FlCia<E> {
+    fn on_global(&mut self, _round: u64, global_agg: &[f32]) {
+        self.last_global = Some(global_agg.to_vec());
+    }
+
+    fn on_client_model(&mut self, model: &SharedModel) {
+        let u = model.owner.index();
+        match &mut self.momentum[u] {
+            Some(state) => state.update(self.cfg.beta, model),
+            slot @ None => *slot = Some(MomentumState::from_snapshot(model)),
+        }
+    }
+
+    fn on_round_end(&mut self, stats: &RoundStats) {
+        if (stats.round + 1) % self.cfg.eval_every == 0 {
+            self.evaluate(stats.round);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::ItemSetEvaluator;
+    use cia_data::{GroundTruth, LeaveOneOut, SyntheticConfig};
+    use cia_federated::{FedAvg, FedAvgConfig};
+    use cia_models::{GmfHyper, GmfSpec, SharingPolicy};
+
+    /// End-to-end: FL + GMF on a planted-community dataset; CIA must beat the
+    /// random bound by a wide margin.
+    #[test]
+    fn recovers_planted_communities_in_fl() {
+        let users = 36;
+        let data = SyntheticConfig::builder()
+            .users(users)
+            .items(120)
+            .communities(6)
+            .interactions_per_user(14)
+            .seed(7)
+            .build()
+            .generate();
+        let split = LeaveOneOut::new(&data, 10, 3).unwrap();
+        let k = 5;
+        let gt = GroundTruth::from_train_sets(split.train_sets(), k);
+        let spec = GmfSpec::new(120, 8, GmfHyper { lr: 0.1, ..GmfHyper::default() });
+        let clients: Vec<_> = split
+            .train_sets()
+            .iter()
+            .enumerate()
+            .map(|(u, items)| {
+                spec.build_client(UserId::new(u as u32), items.clone(), SharingPolicy::Full, u as u64)
+            })
+            .collect();
+
+        let evaluator =
+            ItemSetEvaluator::new(spec.clone(), split.train_sets().to_vec(), false);
+        let truths: Vec<Vec<UserId>> =
+            (0..users).map(|u| gt.community_of(UserId::new(u as u32)).to_vec()).collect();
+        let owners: Vec<Option<UserId>> =
+            (0..users).map(|u| Some(UserId::new(u as u32))).collect();
+        let mut attack = FlCia::new(
+            CiaConfig { k, beta: 0.9, eval_every: 2, seed: 0 },
+            evaluator,
+            users,
+            truths,
+            owners,
+        );
+
+        let mut sim = FedAvg::new(
+            clients,
+            FedAvgConfig { rounds: 20, local_epochs: 2, seed: 2, ..Default::default() },
+        );
+        sim.run(&mut attack);
+
+        let out = attack.outcome();
+        let random = out.random_bound;
+        assert!(
+            out.max_aac > 3.0 * random,
+            "CIA did not beat random: {} vs bound {random}",
+            out.max_aac
+        );
+        assert!(out.best10_aac >= out.max_aac * 0.8 || out.best10_aac > out.random_bound);
+        // FL adversary sees everyone: upper bound 1.
+        assert!((out.upper_bound - 1.0).abs() < 1e-9);
+        assert_eq!(out.history.len(), 10);
+    }
+
+    #[test]
+    fn momentum_states_cover_all_sampled_users() {
+        let data = SyntheticConfig::builder()
+            .users(10)
+            .items(60)
+            .communities(2)
+            .interactions_per_user(8)
+            .seed(1)
+            .build()
+            .generate();
+        let split = LeaveOneOut::new(&data, 5, 0).unwrap();
+        let spec = GmfSpec::new(60, 4, GmfHyper::default());
+        let clients: Vec<_> = split
+            .train_sets()
+            .iter()
+            .enumerate()
+            .map(|(u, items)| {
+                spec.build_client(UserId::new(u as u32), items.clone(), SharingPolicy::Full, u as u64)
+            })
+            .collect();
+        let gt = GroundTruth::from_train_sets(split.train_sets(), 2);
+        let truths: Vec<Vec<UserId>> =
+            (0..10).map(|u| gt.community_of(UserId::new(u)).to_vec()).collect();
+        let owners = (0..10).map(|u| Some(UserId::new(u))).collect();
+        let evaluator = ItemSetEvaluator::new(spec, split.train_sets().to_vec(), false);
+        let mut attack = FlCia::new(
+            CiaConfig { k: 2, beta: 0.99, eval_every: 1, seed: 0 },
+            evaluator,
+            10,
+            truths,
+            owners,
+        );
+        let mut sim = FedAvg::new(clients, FedAvgConfig { rounds: 3, seed: 5, ..Default::default() });
+        sim.run(&mut attack);
+        assert!(attack.momentum.iter().all(Option::is_some));
+        assert!(attack.momentum.iter().flatten().all(|m| m.updates() == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "one truth per target")]
+    fn rejects_misaligned_truths() {
+        let spec = GmfSpec::new(10, 4, GmfHyper::default());
+        let evaluator = ItemSetEvaluator::new(spec, vec![vec![1]], false);
+        let _ = FlCia::new(CiaConfig::default(), evaluator, 5, vec![], vec![None]);
+    }
+}

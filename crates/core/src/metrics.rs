@@ -1,0 +1,229 @@
+//! Attack metrics (§V-C): per-round attack accuracy, average attack accuracy
+//! (AAC), Max AAC over rounds, Best-10% AAC, the hyper-geometric random bound
+//! and the observation-coverage upper bound.
+
+use serde::{Deserialize, Serialize};
+
+/// Accuracy of one predicted community (Eq. 6): `|Ĉ ∩ C| / K`.
+pub fn community_accuracy<T: PartialEq>(predicted: &[T], truth: &[T], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = predicted.iter().filter(|p| truth.contains(p)).count();
+    hits as f64 / k as f64
+}
+
+/// The random-guess expectation: drawing `K` of `N` candidates without
+/// replacement hits `K·(K/N)` community members, i.e. accuracy `K/N`.
+pub fn random_bound(k: usize, candidates: usize) -> f64 {
+    if candidates == 0 {
+        0.0
+    } else {
+        (k as f64 / candidates as f64).min(1.0)
+    }
+}
+
+/// The minimum accuracy among the best `frac` (e.g. 0.1) of attackers —
+/// the paper's "Best 10% AAC".
+pub fn best_fraction_floor(accuracies: &[f64], frac: f64) -> f64 {
+    if accuracies.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = accuracies.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite accuracies"));
+    let take = ((sorted.len() as f64 * frac).ceil() as usize).clamp(1, sorted.len());
+    sorted[take - 1]
+}
+
+/// Descending, NaN-safe comparison of `(score, id)` pairs for attack
+/// rankings: NaN scores (a destroyed DP-noised model) sink to the bottom and
+/// ties break on ascending id for determinism.
+pub fn rank_desc(a: &(f32, u32), b: &(f32, u32)) -> std::cmp::Ordering {
+    let ax = if a.0.is_nan() { f32::NEG_INFINITY } else { a.0 };
+    let bx = if b.0.is_nan() { f32::NEG_INFINITY } else { b.0 };
+    bx.partial_cmp(&ax).expect("mapped NaN away").then_with(|| a.1.cmp(&b.1))
+}
+
+/// One evaluated round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundPoint {
+    /// Round index.
+    pub round: u64,
+    /// Average attack accuracy over all attackers/targets this round.
+    pub aac: f64,
+    /// Minimum accuracy among the best 10% of attackers this round.
+    pub best10: f64,
+    /// Mean accuracy upper bound (fraction of each true community whose
+    /// models the adversary has observed).
+    pub upper_bound: f64,
+}
+
+/// Accumulates per-round accuracies and reports the paper's summary metrics.
+///
+/// ```
+/// use cia_core::AttackTracker;
+/// let mut t = AttackTracker::new(10, 100);
+/// t.record(0, &[0.1, 0.2], &[1.0, 1.0]);
+/// t.record(1, &[0.5, 0.7], &[1.0, 1.0]);
+/// let out = t.outcome();
+/// assert_eq!(out.max_aac, 0.6);
+/// assert_eq!(out.max_round, 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttackTracker {
+    k: usize,
+    candidates: usize,
+    history: Vec<RoundPoint>,
+}
+
+impl AttackTracker {
+    /// Creates a tracker for community size `k` over `candidates` possible
+    /// community members (used for the random bound).
+    pub fn new(k: usize, candidates: usize) -> Self {
+        AttackTracker { k, candidates, history: Vec::new() }
+    }
+
+    /// Records one evaluated round: per-attacker accuracies and per-attacker
+    /// observation-coverage upper bounds.
+    pub fn record(&mut self, round: u64, accuracies: &[f64], upper_bounds: &[f64]) {
+        let aac = mean(accuracies);
+        let best10 = best_fraction_floor(accuracies, 0.1);
+        let upper = mean(upper_bounds);
+        self.history.push(RoundPoint { round, aac, best10, upper_bound: upper });
+    }
+
+    /// Number of evaluated rounds so far.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// The evaluated history.
+    pub fn history(&self) -> &[RoundPoint] {
+        &self.history
+    }
+
+    /// Summarizes into the paper's reporting format.
+    pub fn outcome(&self) -> AttackOutcome {
+        let best = self
+            .history
+            .iter()
+            .max_by(|a, b| a.aac.partial_cmp(&b.aac).expect("finite AAC"));
+        match best {
+            Some(p) => AttackOutcome {
+                k: self.k,
+                max_aac: p.aac,
+                best10_aac: p.best10,
+                max_round: p.round,
+                random_bound: random_bound(self.k, self.candidates),
+                upper_bound: p.upper_bound,
+                history: self.history.clone(),
+            },
+            None => AttackOutcome {
+                k: self.k,
+                max_aac: 0.0,
+                best10_aac: 0.0,
+                max_round: 0,
+                random_bound: random_bound(self.k, self.candidates),
+                upper_bound: 0.0,
+                history: Vec::new(),
+            },
+        }
+    }
+}
+
+/// Final attack report, matching the columns of the paper's tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Community size `K`.
+    pub k: usize,
+    /// Maximum average attack accuracy over all evaluated rounds.
+    pub max_aac: f64,
+    /// Best-10% AAC at the round where Max AAC was achieved.
+    pub best10_aac: f64,
+    /// The round achieving Max AAC.
+    pub max_round: u64,
+    /// The random-guess expectation `K/N`.
+    pub random_bound: f64,
+    /// Mean observation-coverage upper bound at the Max AAC round.
+    pub upper_bound: f64,
+    /// Full per-round history.
+    pub history: Vec<RoundPoint>,
+}
+
+impl AttackOutcome {
+    /// Max AAC as a multiple of the random bound ("up to 10× random
+    /// guessing" in the paper's abstract).
+    pub fn advantage_over_random(&self) -> f64 {
+        if self.random_bound == 0.0 {
+            0.0
+        } else {
+            self.max_aac / self.random_bound
+        }
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_hits() {
+        assert_eq!(community_accuracy(&[1, 2, 3], &[2, 3, 4], 3), 2.0 / 3.0);
+        assert_eq!(community_accuracy::<u32>(&[], &[1], 5), 0.0);
+        assert_eq!(community_accuracy(&[1], &[1], 0), 0.0);
+    }
+
+    #[test]
+    fn random_bound_is_k_over_n() {
+        assert_eq!(random_bound(50, 943), 50.0 / 943.0);
+        assert_eq!(random_bound(10, 0), 0.0);
+        assert_eq!(random_bound(10, 5), 1.0);
+    }
+
+    #[test]
+    fn best_fraction_takes_floor_of_top_decile() {
+        let accs: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+        // Top 10% = {0.91..1.00}; floor = 0.91.
+        assert!((best_fraction_floor(&accs, 0.1) - 0.91).abs() < 1e-12);
+        // Tiny populations: at least one attacker.
+        assert_eq!(best_fraction_floor(&[0.3, 0.7], 0.1), 0.7);
+        assert_eq!(best_fraction_floor(&[], 0.1), 0.0);
+    }
+
+    #[test]
+    fn tracker_tracks_max_round() {
+        let mut t = AttackTracker::new(5, 50);
+        t.record(0, &[0.2, 0.4], &[0.5, 0.5]);
+        t.record(2, &[0.6, 0.8], &[1.0, 1.0]);
+        t.record(4, &[0.1, 0.1], &[1.0, 1.0]);
+        let out = t.outcome();
+        assert_eq!(out.max_round, 2);
+        assert!((out.max_aac - 0.7).abs() < 1e-12);
+        assert!((out.best10_aac - 0.8).abs() < 1e-12);
+        assert!((out.upper_bound - 1.0).abs() < 1e-12);
+        assert!((out.random_bound - 0.1).abs() < 1e-12);
+        assert!((out.advantage_over_random() - 7.0).abs() < 1e-9);
+        assert_eq!(out.history.len(), 3);
+    }
+
+    #[test]
+    fn empty_tracker_outcome_is_zeroed() {
+        let t = AttackTracker::new(5, 50);
+        let out = t.outcome();
+        assert_eq!(out.max_aac, 0.0);
+        assert!(t.is_empty());
+    }
+}

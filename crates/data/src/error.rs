@@ -1,0 +1,73 @@
+//! Error type for dataset construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// A configuration value was outside its valid range.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// An item id referenced an item outside the catalog.
+    ItemOutOfRange {
+        /// The offending item index.
+        item: u32,
+        /// Number of items in the catalog.
+        num_items: u32,
+    },
+    /// A user had too few interactions for the requested operation
+    /// (e.g., leave-one-out splitting needs at least two interactions).
+    NotEnoughInteractions {
+        /// The offending user index.
+        user: u32,
+        /// Number of interactions the user has.
+        have: usize,
+        /// Number of interactions required.
+        need: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration for `{field}`: {reason}")
+            }
+            DataError::ItemOutOfRange { item, num_items } => {
+                write!(f, "item {item} out of range for catalog of {num_items} items")
+            }
+            DataError::NotEnoughInteractions { user, have, need } => {
+                write!(f, "user {user} has {have} interactions, needs at least {need}")
+            }
+        }
+    }
+}
+
+impl Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DataError::InvalidConfig { field: "users", reason: "must be > 0".into() };
+        assert!(e.to_string().contains("users"));
+        let e = DataError::ItemOutOfRange { item: 9, num_items: 5 };
+        assert!(e.to_string().contains('9'));
+        let e = DataError::NotEnoughInteractions { user: 1, have: 1, need: 2 };
+        assert!(e.to_string().contains("needs at least 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<DataError>();
+    }
+}

@@ -1,0 +1,186 @@
+//! Jaccard similarity and the paper's community ground truth (Eq. 5).
+//!
+//! For a target item set `V_target`, the *true community* `C` is the set of
+//! `K` users whose training item sets have the highest Jaccard index with
+//! `V_target`. The owner of the target set (when the target is a user's own
+//! train set) is excluded — its Jaccard with itself is trivially 1.
+
+use crate::UserId;
+use serde::{Deserialize, Serialize};
+
+/// Jaccard index `|a ∩ b| / |a ∪ b|` of two **sorted, deduplicated** slices.
+///
+/// Returns 0 when both sets are empty.
+///
+/// ```
+/// use cia_data::jaccard_index;
+/// assert_eq!(jaccard_index(&[1, 2, 3], &[2, 3, 4]), 0.5);
+/// assert_eq!(jaccard_index(&[], &[]), 0.0);
+/// ```
+pub fn jaccard_index(a: &[u32], b: &[u32], ) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "input must be sorted unique");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "input must be sorted unique");
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Returns the `k` users (among `candidates`) whose item sets are most similar
+/// to `target`, ties broken by smaller user id (deterministic).
+///
+/// `candidates` provides `(user, sorted item set)` pairs.
+pub fn top_k_similar<'a>(
+    target: &[u32],
+    candidates: impl Iterator<Item = (UserId, &'a [u32])>,
+    k: usize,
+) -> Vec<UserId> {
+    let mut scored: Vec<(f64, UserId)> =
+        candidates.map(|(u, items)| (jaccard_index(target, items), u)).collect();
+    // Descending similarity; ascending id on ties.
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0).expect("jaccard is finite").then_with(|| a.1.cmp(&b.1))
+    });
+    scored.into_iter().take(k).map(|(_, u)| u).collect()
+}
+
+/// Ground-truth communities for every possible adversary target
+/// (the paper runs one experiment per user, using that user's train set as
+/// `V_target`; see §V-C).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroundTruth {
+    k: usize,
+    /// `communities[u]` = the true community when user `u`'s train set is the
+    /// target (owner excluded), sorted by descending similarity.
+    communities: Vec<Vec<UserId>>,
+}
+
+impl GroundTruth {
+    /// Computes ground truth for all per-user targets from the **training**
+    /// item sets.
+    ///
+    /// `train_sets[u]` must be sorted and deduplicated. The owner `u` is
+    /// excluded from its own community.
+    pub fn from_train_sets(train_sets: &[Vec<u32>], k: usize) -> Self {
+        let communities = (0..train_sets.len())
+            .map(|owner| {
+                top_k_similar(
+                    &train_sets[owner],
+                    train_sets.iter().enumerate().filter(|&(u, _)| u != owner).map(
+                        |(u, items)| (UserId::new(u as u32), items.as_slice()),
+                    ),
+                    k,
+                )
+            })
+            .collect();
+        GroundTruth { k, communities }
+    }
+
+    /// Computes ground truth for a single, attacker-crafted target set.
+    ///
+    /// No owner exclusion applies — every user is a candidate.
+    pub fn for_target(target: &[u32], train_sets: &[Vec<u32>], k: usize) -> Vec<UserId> {
+        top_k_similar(
+            target,
+            train_sets
+                .iter()
+                .enumerate()
+                .map(|(u, items)| (UserId::new(u as u32), items.as_slice())),
+            k,
+        )
+    }
+
+    /// Community size `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of per-user targets.
+    pub fn num_targets(&self) -> usize {
+        self.communities.len()
+    }
+
+    /// The true community when `owner`'s train set is the target.
+    pub fn community_of(&self, owner: UserId) -> &[UserId] {
+        &self.communities[owner.index()]
+    }
+
+    /// Accuracy of a predicted community `predicted` against the truth for
+    /// `owner` (Eq. 6): `|Ĉ ∩ C| / K`.
+    pub fn accuracy(&self, owner: UserId, predicted: &[UserId]) -> f64 {
+        let truth = self.community_of(owner);
+        let hits = predicted.iter().filter(|u| truth.contains(u)).count();
+        hits as f64 / self.k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard_index(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(jaccard_index(&[1, 2], &[3, 4]), 0.0);
+        assert!((jaccard_index(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard_index(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn top_k_orders_by_similarity_then_id() {
+        let sets: Vec<Vec<u32>> = vec![
+            vec![1, 2, 3], // identical to target
+            vec![1, 2],    // 2/3
+            vec![1, 2],    // 2/3 (tie with user 1 -> id order)
+            vec![9],       // 0
+        ];
+        let got = top_k_similar(
+            &[1, 2, 3],
+            sets.iter().enumerate().map(|(u, s)| (UserId::new(u as u32), s.as_slice())),
+            3,
+        );
+        assert_eq!(got, vec![UserId::new(0), UserId::new(1), UserId::new(2)]);
+    }
+
+    #[test]
+    fn ground_truth_excludes_owner() {
+        let sets = vec![vec![1, 2, 3], vec![1, 2, 3], vec![7, 8]];
+        let gt = GroundTruth::from_train_sets(&sets, 1);
+        assert_eq!(gt.community_of(UserId::new(0)), &[UserId::new(1)]);
+        assert_eq!(gt.community_of(UserId::new(1)), &[UserId::new(0)]);
+    }
+
+    #[test]
+    fn accuracy_counts_overlap() {
+        let sets = vec![vec![1, 2], vec![1, 2], vec![1, 3], vec![9]];
+        let gt = GroundTruth::from_train_sets(&sets, 2);
+        // Truth for user 0 is {1, 2}.
+        let acc = gt.accuracy(UserId::new(0), &[UserId::new(1), UserId::new(3)]);
+        assert!((acc - 0.5).abs() < 1e-12);
+        let acc = gt.accuracy(UserId::new(0), &[UserId::new(1), UserId::new(2)]);
+        assert!((acc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn for_target_includes_everyone() {
+        let sets = vec![vec![1, 2], vec![5, 6]];
+        let got = GroundTruth::for_target(&[1, 2], &sets, 1);
+        assert_eq!(got, vec![UserId::new(0)]);
+    }
+}

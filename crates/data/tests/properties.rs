@@ -1,0 +1,87 @@
+//! Property-based tests for the data substrate.
+
+use cia_data::{jaccard_index, sample_negatives, top_k_similar, SyntheticConfig, UserId, Zipf};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn sorted_unique(max: u32, len: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::btree_set(0..max, 0..len).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn jaccard_is_symmetric(a in sorted_unique(200, 40), b in sorted_unique(200, 40)) {
+        prop_assert!((jaccard_index(&a, &b) - jaccard_index(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_in_unit_interval(a in sorted_unique(200, 40), b in sorted_unique(200, 40)) {
+        let j = jaccard_index(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+    }
+
+    #[test]
+    fn jaccard_self_is_one(a in sorted_unique(200, 40)) {
+        prop_assume!(!a.is_empty());
+        prop_assert_eq!(jaccard_index(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn jaccard_matches_naive(a in sorted_unique(100, 30), b in sorted_unique(100, 30)) {
+        use std::collections::BTreeSet;
+        let sa: BTreeSet<u32> = a.iter().copied().collect();
+        let sb: BTreeSet<u32> = b.iter().copied().collect();
+        let inter = sa.intersection(&sb).count();
+        let union = sa.union(&sb).count();
+        let expected = if union == 0 { 0.0 } else { inter as f64 / union as f64 };
+        prop_assert!((jaccard_index(&a, &b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_never_exceeds_k(target in sorted_unique(100, 30), k in 0usize..10) {
+        let sets: Vec<Vec<u32>> = vec![vec![1, 2], vec![3], vec![1, 2, 3, 4]];
+        let got = top_k_similar(
+            &target,
+            sets.iter().enumerate().map(|(u, s)| (UserId::new(u as u32), s.as_slice())),
+            k,
+        );
+        prop_assert!(got.len() <= k);
+        // Results are distinct users.
+        let mut ids: Vec<u32> = got.iter().map(|u| u.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), got.len());
+    }
+
+    #[test]
+    fn zipf_sample_in_range(n in 1usize..400, s in 0.0f64..3.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, s).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn negatives_avoid_observed(observed in sorted_unique(80, 20), seed in any::<u64>()) {
+        let num_items = 100u32;
+        let count = 10usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let negs = sample_negatives(&observed, num_items, count, &mut rng);
+        prop_assert_eq!(negs.len(), count);
+        for &n in &negs {
+            prop_assert!(n < num_items);
+            prop_assert!(observed.binary_search(&n).is_err());
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic(seed in any::<u64>()) {
+        let gen = || SyntheticConfig::builder()
+            .users(12).items(60).communities(3).interactions_per_user(6)
+            .seed(seed).build().generate();
+        let a = gen();
+        let b = gen();
+        prop_assert_eq!(a.records(), b.records());
+    }
+}

@@ -1,0 +1,22 @@
+//! Defense mechanisms evaluated in the paper (§III-D, §III-E):
+//!
+//! * **DP-SGD** ([`DpMechanism`]) — local differential privacy: each
+//!   participant clips its per-round model update to an L2 threshold `C` and
+//!   adds Gaussian noise `N(0, (ι·C)² I)` before sharing. Privacy budgets ε
+//!   are computed with a Rényi-DP accountant ([`RdpAccountant`]) over the
+//!   composed Gaussian mechanisms, and noise multipliers can be calibrated to
+//!   a target ε by binary search.
+//! * **Share-less** — keeping user embeddings on-device and regularizing item
+//!   embedding updates. The mechanics live in the models
+//!   ([`cia_models::SharingPolicy::ShareLess`]); this crate documents and
+//!   re-exports the policy for discoverability.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accountant;
+mod dp;
+
+pub use accountant::RdpAccountant;
+pub use cia_models::SharingPolicy;
+pub use dp::{DpConfig, DpMechanism, UpdateTransform};

@@ -1,0 +1,100 @@
+//! Table VIII — the entropy-based MIA as a community-inference proxy
+//! (FL, GMF, MovieLens), compared against CIA.
+
+use crate::runner::{build_setup, run_recsys, ModelKind, ProtocolKind, RunSpec, ScaleParams};
+use crate::tables::{pct, Table};
+use cia_core::{CiaConfig, MiaCommunityAttack, MiaConfig};
+use cia_data::presets::{Preset, Scale};
+use cia_data::UserId;
+use cia_federated::{FedAvg, FedAvgConfig};
+use cia_models::{GmfHyper, GmfSpec, SharingPolicy};
+
+/// The entropy thresholds of Table VIII.
+pub const RHOS: [f32; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Regenerates Table VIII.
+pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
+    let setup = build_setup(Preset::MovieLens, scale, None, seed);
+    let params = ScaleParams::of(scale);
+    let users = setup.data.num_users();
+    let spec = GmfSpec::new(setup.data.num_items(), params.dim, GmfHyper { lr: 0.1, ..GmfHyper::default() });
+
+    let mut t = Table::new(
+        format!("Table VIII — MIA as a community-inference proxy (FL, GMF, MovieLens, {scale} scale)"),
+        &["Attack", "rho", "MIA precision %", "Max AAC %"],
+    );
+
+    for rho in RHOS {
+        let clients: Vec<_> = setup
+            .split
+            .train_sets()
+            .iter()
+            .enumerate()
+            .map(|(u, items)| {
+                spec.build_client(
+                    UserId::new(u as u32),
+                    items.clone(),
+                    SharingPolicy::Full,
+                    seed ^ (u as u64).wrapping_mul(0xD6E8_FEB8),
+                )
+            })
+            .collect();
+        let mut attack = MiaCommunityAttack::new(
+            MiaConfig {
+                cia: CiaConfig {
+                    k: setup.k,
+                    beta: 0.99,
+                    eval_every: params.fl_eval_every,
+                    seed,
+                },
+                rho,
+            },
+            spec.clone(),
+            setup.split.train_sets().to_vec(),
+            users,
+            setup.truth_table(),
+            setup.owner_table(),
+            setup.split.train_sets().to_vec(),
+        );
+        let mut sim = FedAvg::new(
+            clients,
+            FedAvgConfig {
+                rounds: params.fl_rounds,
+                local_epochs: params.local_epochs,
+                seed,
+                ..Default::default()
+            },
+        );
+        sim.run(&mut attack);
+        let out = attack.outcome();
+        t.row(vec![
+            "MIA proxy".into(),
+            format!("{rho}"),
+            pct(attack.precision_at_max()),
+            pct(out.max_aac),
+        ]);
+    }
+
+    // CIA reference row on the identical setting.
+    let mut cia_spec = RunSpec::new(Preset::MovieLens, ModelKind::Gmf, ProtocolKind::Fl, scale);
+    cia_spec.seed = seed;
+    let cia = run_recsys(&cia_spec);
+    t.row(vec!["CIA".into(), "-".into(), "-".into(), pct(cia.attack.max_aac)]);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mia_table_has_six_rows_and_cia_wins() {
+        let tables = run(Scale::Smoke, 13);
+        let rows = &tables[0].rows;
+        assert_eq!(rows.len(), 6);
+        let best_mia: f64 =
+            rows[..5].iter().map(|r| r[3].parse::<f64>().unwrap()).fold(0.0, f64::max);
+        let cia: f64 = rows[5][3].parse().unwrap();
+        assert!(cia >= best_mia, "CIA {cia} should not lose to MIA proxy {best_mia}");
+    }
+}

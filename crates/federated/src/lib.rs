@@ -1,0 +1,500 @@
+//! Federated learning (FedAvg) simulation with adversary observer hooks.
+//!
+//! Reproduces the paper's federated recommender setting (§III-B): at each
+//! round the server broadcasts the global model, (a subset of) clients train
+//! locally and send back their models, and the server aggregates them into
+//! the next global model. The [`RoundObserver`] hook exposes exactly what the
+//! server receives — the vantage point of the paper's FL adversary, who *is*
+//! the server (§IV-A).
+//!
+//! # Example
+//!
+//! ```
+//! use cia_data::{LeaveOneOut, SyntheticConfig, UserId};
+//! use cia_federated::{FedAvg, FedAvgConfig, RoundObserver};
+//! use cia_models::{GmfHyper, GmfSpec, SharedModel, SharingPolicy};
+//!
+//! let data = SyntheticConfig::builder()
+//!     .users(12).items(60).communities(3).interactions_per_user(8)
+//!     .seed(1).build().generate();
+//! let split = LeaveOneOut::new(&data, 10, 0).unwrap();
+//! let spec = GmfSpec::new(60, 8, GmfHyper::default());
+//! let clients: Vec<_> = split
+//!     .train_sets()
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(u, items)| {
+//!         spec.build_client(UserId::new(u as u32), items.clone(), SharingPolicy::Full, u as u64)
+//!     })
+//!     .collect();
+//!
+//! struct Counter(usize);
+//! impl RoundObserver for Counter {
+//!     fn on_client_model(&mut self, _m: &SharedModel) { self.0 += 1; }
+//! }
+//!
+//! let mut sim = FedAvg::new(clients, FedAvgConfig { rounds: 2, ..Default::default() });
+//! let mut counter = Counter(0);
+//! sim.run(&mut counter);
+//! assert_eq!(counter.0, 2 * 12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cia_models::parallel::par_zip_mut;
+use cia_models::params::weighted_mean;
+use cia_models::{Participant, SharedModel, UpdateTransform};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How client updates are weighted during aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Weighting {
+    /// Every participating client weighs the same.
+    Uniform,
+    /// FedAvg's default: weigh by local example count.
+    #[default]
+    ByExamples,
+}
+
+/// FedAvg configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FedAvgConfig {
+    /// Number of communication rounds `T`.
+    pub rounds: u64,
+    /// Fraction of clients sampled each round (1.0 = full participation, the
+    /// paper's FL adversary "may contact all or part of the users").
+    pub participation: f64,
+    /// Local training epochs per round.
+    pub local_epochs: usize,
+    /// Aggregation weighting.
+    pub weighting: Weighting,
+    /// Simulation seed (client sampling, training order, DP noise).
+    pub seed: u64,
+}
+
+impl Default for FedAvgConfig {
+    fn default() -> Self {
+        FedAvgConfig {
+            rounds: 20,
+            participation: 1.0,
+            local_epochs: 1,
+            weighting: Weighting::ByExamples,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-round statistics handed to observers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// The completed round index.
+    pub round: u64,
+    /// Number of clients that participated.
+    pub participants: usize,
+    /// Mean local training loss across participants.
+    pub mean_loss: f32,
+}
+
+/// Observes what the FL server sees — the adversary's vantage point.
+///
+/// All methods have empty default bodies so observers implement only what
+/// they need.
+pub trait RoundObserver {
+    /// Called when a round begins.
+    fn on_round_start(&mut self, round: u64) {
+        let _ = round;
+    }
+
+    /// Called at the start of every round with the broadcast global model —
+    /// public knowledge for a server-side adversary (reference for update
+    /// reconstruction and for training fictive embeddings).
+    fn on_global(&mut self, round: u64, global_agg: &[f32]) {
+        let _ = (round, global_agg);
+    }
+
+    /// Called once per received client model, in user-id order.
+    fn on_client_model(&mut self, model: &SharedModel) {
+        let _ = model;
+    }
+
+    /// Called when a round's aggregation completes.
+    fn on_round_end(&mut self, stats: &RoundStats) {
+        let _ = stats;
+    }
+}
+
+/// A no-op observer for runs without an adversary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl RoundObserver for NullObserver {}
+
+/// The FedAvg simulation.
+pub struct FedAvg<P: Participant> {
+    clients: Vec<P>,
+    global_agg: Vec<f32>,
+    cfg: FedAvgConfig,
+    transform: Option<Box<dyn UpdateTransform>>,
+    round: u64,
+}
+
+impl<P: Participant> FedAvg<P> {
+    /// Creates a simulation over `clients`. The initial global model is the
+    /// first client's public parameters (all clients sync to it in round 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty or clients disagree on parameter sizes.
+    pub fn new(clients: Vec<P>, cfg: FedAvgConfig) -> Self {
+        assert!(!clients.is_empty(), "need at least one client");
+        let len = clients[0].agg_len();
+        assert!(
+            clients.iter().all(|c| c.agg_len() == len),
+            "clients must share a parameter layout"
+        );
+        assert!(
+            cfg.participation > 0.0 && cfg.participation <= 1.0,
+            "participation must be in (0, 1]"
+        );
+        let global_agg = clients[0].agg().to_vec();
+        FedAvg { clients, global_agg, cfg, transform: None, round: 0 }
+    }
+
+    /// Installs a local update transform (DP-SGD) applied to every outgoing
+    /// client update.
+    pub fn set_update_transform(&mut self, transform: Box<dyn UpdateTransform>) {
+        self.transform = Some(transform);
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FedAvgConfig {
+        &self.cfg
+    }
+
+    /// The clients (evaluation access).
+    pub fn clients(&self) -> &[P] {
+        &self.clients
+    }
+
+    /// The current global public parameters.
+    pub fn global_agg(&self) -> &[f32] {
+        &self.global_agg
+    }
+
+    /// Rounds completed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Loads the current global model into every client (used before utility
+    /// evaluation, mirroring the broadcast deployment of the final model).
+    pub fn sync_clients_to_global(&mut self) {
+        let global = self.global_agg.clone();
+        for c in &mut self.clients {
+            c.absorb_agg(&global);
+        }
+    }
+
+    /// Runs one round: sample, broadcast, local training, transform,
+    /// observe, aggregate.
+    pub fn step(&mut self, observer: &mut dyn RoundObserver) -> RoundStats {
+        let t = self.round;
+        let n = self.clients.len();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+        // Sample participants.
+        let sampled: Vec<bool> = if self.cfg.participation >= 1.0 {
+            vec![true; n]
+        } else {
+            let k = ((n as f64 * self.cfg.participation).round() as usize).clamp(1, n);
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.shuffle(&mut rng);
+            let mut mask = vec![false; n];
+            for &i in idx.iter().take(k) {
+                mask[i] = true;
+            }
+            mask
+        };
+
+        observer.on_round_start(t);
+        observer.on_global(t, &self.global_agg);
+
+        // Parallel per-client work; results deposited into aligned slots.
+        struct Slot {
+            snapshot: Option<SharedModel>,
+            loss: f32,
+            sampled: bool,
+        }
+        let mut slots: Vec<Slot> = sampled
+            .iter()
+            .map(|&s| Slot { snapshot: None, loss: 0.0, sampled: s })
+            .collect();
+        let global = &self.global_agg;
+        let cfg = self.cfg;
+        let transform = self.transform.as_deref();
+        par_zip_mut(&mut self.clients, &mut slots, |i, client, slot| {
+            if !slot.sampled {
+                return;
+            }
+            let mut crng =
+                StdRng::seed_from_u64(cfg.seed ^ (t << 20) ^ (i as u64).wrapping_mul(0x5851_F42D));
+            client.absorb_agg(global);
+            let emb_before: Option<Vec<f32>> = client.owner_emb().map(<[f32]>::to_vec);
+            let mut loss = 0.0;
+            for _ in 0..cfg.local_epochs.max(1) {
+                loss = client.train_local(&mut crng);
+            }
+            let mut snap = client.snapshot(t);
+            if let Some(tr) = transform {
+                apply_update_transform(tr, &mut snap, global, emb_before.as_deref(), &mut crng);
+            }
+            slot.loss = loss;
+            slot.snapshot = Some(snap);
+        });
+
+        // Observe in deterministic (user-id) order, then aggregate.
+        let mut rows: Vec<&[f32]> = Vec::new();
+        let mut weights: Vec<f32> = Vec::new();
+        let mut loss_sum = 0.0f32;
+        let mut participants = 0usize;
+        for (client, slot) in self.clients.iter().zip(&slots) {
+            if let Some(snap) = &slot.snapshot {
+                observer.on_client_model(snap);
+                rows.push(&snap.agg);
+                weights.push(match self.cfg.weighting {
+                    Weighting::Uniform => 1.0,
+                    Weighting::ByExamples => client.num_examples().max(1) as f32,
+                });
+                loss_sum += slot.loss;
+                participants += 1;
+            }
+        }
+        let mut new_global = vec![0.0f32; self.global_agg.len()];
+        weighted_mean(&mut new_global, &rows, &weights);
+        self.global_agg = new_global;
+
+        let stats = RoundStats {
+            round: t,
+            participants,
+            mean_loss: if participants == 0 { 0.0 } else { loss_sum / participants as f32 },
+        };
+        observer.on_round_end(&stats);
+        self.round += 1;
+        stats
+    }
+
+    /// Runs all configured rounds.
+    pub fn run(&mut self, observer: &mut dyn RoundObserver) {
+        for _ in 0..self.cfg.rounds {
+            self.step(observer);
+        }
+    }
+}
+
+/// Applies a DP-style transform to the *update* encoded by `snap` relative to
+/// the round-start reference, then rewrites `snap` as `reference + update`.
+fn apply_update_transform(
+    transform: &dyn UpdateTransform,
+    snap: &mut SharedModel,
+    global_before: &[f32],
+    emb_before: Option<&[f32]>,
+    rng: &mut StdRng,
+) {
+    // Concatenate [emb_update | agg_update] so the clipping bound covers the
+    // whole shared vector, as user-level LDP requires.
+    let emb_len = snap.owner_emb.as_ref().map_or(0, Vec::len);
+    let mut update = vec![0.0f32; emb_len + snap.agg.len()];
+    if let (Some(emb), Some(before)) = (&snap.owner_emb, emb_before) {
+        for k in 0..emb_len {
+            update[k] = emb[k] - before[k];
+        }
+    }
+    for (k, u) in update[emb_len..].iter_mut().enumerate() {
+        *u = snap.agg[k] - global_before[k];
+    }
+
+    transform.transform(&mut update, rng);
+
+    if let (Some(emb), Some(before)) = (&mut snap.owner_emb, emb_before) {
+        for k in 0..emb_len {
+            emb[k] = before[k] + update[k];
+        }
+    }
+    for (k, a) in snap.agg.iter_mut().enumerate() {
+        *a = global_before[k] + update[emb_len + k];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cia_data::{LeaveOneOut, SyntheticConfig, UserId};
+    use cia_models::{GmfHyper, GmfSpec, SharingPolicy};
+
+    fn make_sim(users: usize, rounds: u64, policy: SharingPolicy) -> FedAvg<cia_models::GmfClient> {
+        let data = SyntheticConfig::builder()
+            .users(users)
+            .items(80)
+            .communities(4)
+            .interactions_per_user(10)
+            .seed(3)
+            .build()
+            .generate();
+        let split = LeaveOneOut::new(&data, 10, 1).unwrap();
+        let spec = GmfSpec::new(80, 8, GmfHyper::default());
+        let clients: Vec<_> = split
+            .train_sets()
+            .iter()
+            .enumerate()
+            .map(|(u, items)| spec.build_client(UserId::new(u as u32), items.clone(), policy, u as u64))
+            .collect();
+        FedAvg::new(clients, FedAvgConfig { rounds, seed: 9, ..Default::default() })
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        started: Vec<u64>,
+        models: Vec<(u64, u32, bool)>,
+        stats: Vec<RoundStats>,
+    }
+
+    impl RoundObserver for Recorder {
+        fn on_round_start(&mut self, round: u64) {
+            self.started.push(round);
+        }
+        fn on_client_model(&mut self, model: &SharedModel) {
+            self.models.push((model.round, model.owner.raw(), model.owner_emb.is_some()));
+        }
+        fn on_round_end(&mut self, stats: &RoundStats) {
+            self.stats.push(stats.clone());
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_model_every_round() {
+        let mut sim = make_sim(10, 3, SharingPolicy::Full);
+        let mut rec = Recorder::default();
+        sim.run(&mut rec);
+        assert_eq!(rec.started, vec![0, 1, 2]);
+        assert_eq!(rec.models.len(), 30);
+        assert!(rec.models.iter().all(|&(_, _, has_emb)| has_emb));
+        // User-id order within each round.
+        for r in 0..3 {
+            let round_models: Vec<u32> = rec
+                .models
+                .iter()
+                .filter(|&&(t, _, _)| t == r)
+                .map(|&(_, u, _)| u)
+                .collect();
+            assert_eq!(round_models, (0..10).collect::<Vec<u32>>());
+        }
+        assert_eq!(sim.round(), 3);
+    }
+
+    #[test]
+    fn share_less_hides_embeddings_from_server() {
+        let mut sim = make_sim(6, 2, SharingPolicy::ShareLess { tau: 0.5 });
+        let mut rec = Recorder::default();
+        sim.run(&mut rec);
+        assert!(rec.models.iter().all(|&(_, _, has_emb)| !has_emb));
+    }
+
+    #[test]
+    fn training_loss_decreases_over_rounds() {
+        let mut sim = make_sim(12, 15, SharingPolicy::Full);
+        let mut rec = Recorder::default();
+        sim.run(&mut rec);
+        let first = rec.stats.first().unwrap().mean_loss;
+        let last = rec.stats.last().unwrap().mean_loss;
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn partial_participation_samples_subset() {
+        let data = SyntheticConfig::builder()
+            .users(20)
+            .items(80)
+            .communities(4)
+            .interactions_per_user(8)
+            .seed(5)
+            .build()
+            .generate();
+        let split = LeaveOneOut::new(&data, 10, 1).unwrap();
+        let spec = GmfSpec::new(80, 8, GmfHyper::default());
+        let clients: Vec<_> = split
+            .train_sets()
+            .iter()
+            .enumerate()
+            .map(|(u, items)| {
+                spec.build_client(UserId::new(u as u32), items.clone(), SharingPolicy::Full, u as u64)
+            })
+            .collect();
+        let mut sim = FedAvg::new(
+            clients,
+            FedAvgConfig { rounds: 4, participation: 0.5, seed: 2, ..Default::default() },
+        );
+        let mut rec = Recorder::default();
+        sim.run(&mut rec);
+        for s in &rec.stats {
+            assert_eq!(s.participants, 10);
+        }
+        // Different rounds sample different subsets (overwhelmingly likely).
+        let r0: Vec<u32> = rec.models.iter().filter(|m| m.0 == 0).map(|m| m.1).collect();
+        let r1: Vec<u32> = rec.models.iter().filter(|m| m.0 == 1).map(|m| m.1).collect();
+        assert_ne!(r0, r1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut sim = make_sim(8, 3, SharingPolicy::Full);
+            let mut rec = Recorder::default();
+            sim.run(&mut rec);
+            (sim.global_agg().to_vec(), rec.stats.last().unwrap().mean_loss)
+        };
+        let (g1, l1) = run();
+        let (g2, l2) = run();
+        assert_eq!(g1, g2);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn dp_transform_perturbs_observed_models() {
+        use cia_defenses::{DpConfig, DpMechanism};
+        // Two runs from identical state: with strong noise the observed agg
+        // differs from the noiseless run; global stays finite.
+        let mut clean = make_sim(6, 1, SharingPolicy::Full);
+        let mut noisy = make_sim(6, 1, SharingPolicy::Full);
+        noisy.set_update_transform(Box::new(DpMechanism::new(DpConfig {
+            clip: 1.0,
+            noise_multiplier: 1.0,
+        })));
+        let mut rec_clean = Recorder::default();
+        let mut rec_noisy = Recorder::default();
+        clean.run(&mut rec_clean);
+        noisy.run(&mut rec_noisy);
+        assert_ne!(clean.global_agg(), noisy.global_agg());
+        assert!(noisy.global_agg().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sync_clients_loads_global() {
+        let mut sim = make_sim(5, 2, SharingPolicy::Full);
+        sim.run(&mut NullObserver);
+        sim.sync_clients_to_global();
+        let g = sim.global_agg().to_vec();
+        for c in sim.clients() {
+            assert_eq!(c.agg(), g.as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one client")]
+    fn rejects_empty_clients() {
+        let _: FedAvg<cia_models::GmfClient> = FedAvg::new(vec![], FedAvgConfig::default());
+    }
+}

@@ -1,0 +1,25 @@
+//! Gossip learning simulation: Rand-Gossip and Pers-Gossip over dynamic
+//! P-out-regular communication graphs.
+//!
+//! Reproduces the paper's decentralized setting (§III-C): each user keeps a
+//! local model; at every round awake nodes *cast* their model to one randomly
+//! sampled out-neighbor, aggregate whatever arrived in their inbox since the
+//! last wake, and take local training steps. Views are refreshed by a random
+//! peer-sampling service at intervals drawn from Exp(0.1) [19]; Pers-Gossip
+//! [5] additionally retains neighbors whose models performed well locally,
+//! exploring randomly with a configurable ratio (0.4 in the paper, §V-B).
+//!
+//! The [`GossipObserver`] hook exposes every model delivery — the vantage
+//! point of a gossip adversary, who sees exactly the models delivered to the
+//! node(s) she controls (§IV-A).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod sim;
+
+pub use graph::{sample_exp_interval, ViewTable};
+pub use sim::{
+    GossipConfig, GossipObserver, GossipProtocol, GossipRoundStats, GossipSim, NullGossipObserver,
+};

@@ -1,0 +1,562 @@
+//! The round-synchronous gossip learning engine.
+
+use crate::graph::{sample_exp_interval, ViewTable};
+use cia_models::parallel::par_zip_mut;
+use cia_models::params::weighted_mean;
+use cia_models::{Participant, SharedModel, UpdateTransform};
+use cia_data::UserId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which gossip protocol to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GossipProtocol {
+    /// Rand-Gossip [12]: uniform random peer sampling.
+    Rand,
+    /// Pers-Gossip [5]: performance-aware peer retention with uniform
+    /// exploration.
+    Pers {
+        /// Fraction of the view refilled uniformly at random on refresh
+        /// (the paper uses 0.4).
+        exploration: f64,
+    },
+}
+
+/// Gossip simulation configuration (paper defaults: `P = 3`, view refresh
+/// `~ Exp(0.1)`, exploration 0.4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GossipConfig {
+    /// Number of rounds.
+    pub rounds: u64,
+    /// Out-degree `P` of the communication graph.
+    pub out_degree: usize,
+    /// Rate of the exponential view-refresh interval distribution.
+    pub view_refresh_rate: f64,
+    /// The protocol variant.
+    pub protocol: GossipProtocol,
+    /// Probability that a node wakes (sends + aggregates + trains) in a
+    /// round.
+    pub wake_fraction: f64,
+    /// Local training epochs per wake.
+    pub local_epochs: usize,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            rounds: 50,
+            out_degree: 3,
+            view_refresh_rate: 0.1,
+            protocol: GossipProtocol::Rand,
+            wake_fraction: 1.0,
+            local_epochs: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-round statistics handed to observers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GossipRoundStats {
+    /// The completed round index.
+    pub round: u64,
+    /// Number of nodes that woke up.
+    pub awake: usize,
+    /// Number of model deliveries routed this round.
+    pub deliveries: usize,
+    /// Mean local training loss across awake nodes.
+    pub mean_loss: f32,
+}
+
+/// Observes gossip model deliveries — the vantage point of a gossip
+/// adversary, who sees the models delivered to nodes she controls.
+pub trait GossipObserver {
+    /// Called when a round begins.
+    fn on_round_start(&mut self, round: u64) {
+        let _ = round;
+    }
+
+    /// Called for every routed model delivery.
+    fn on_delivery(&mut self, round: u64, receiver: UserId, model: &SharedModel) {
+        let _ = (round, receiver, model);
+    }
+
+    /// Called when a round completes.
+    fn on_round_end(&mut self, stats: &GossipRoundStats) {
+        let _ = stats;
+    }
+}
+
+/// A no-op observer for runs without an adversary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullGossipObserver;
+
+impl GossipObserver for NullGossipObserver {}
+
+/// Per-node bookkeeping.
+struct NodeCtl {
+    inbox: Vec<SharedModel>,
+    /// `(sender, personalization score)` heard since the last view refresh
+    /// (Pers-Gossip candidates).
+    heard: Vec<(u32, f32)>,
+    /// Reference shared vector for DP updates (last sent `[emb | agg]`).
+    prev_sent: Option<Vec<f32>>,
+    awake: bool,
+    loss: f32,
+}
+
+/// The gossip learning simulation.
+pub struct GossipSim<P: Participant> {
+    nodes: Vec<P>,
+    ctl: Vec<NodeCtl>,
+    views: ViewTable,
+    refresh_at: Vec<u64>,
+    cfg: GossipConfig,
+    transform: Option<Box<dyn UpdateTransform>>,
+    round: u64,
+}
+
+impl<P: Participant> GossipSim<P> {
+    /// Creates a simulation over `nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `out_degree + 1` nodes are given, configuration
+    /// values are out of range, or nodes disagree on parameter sizes.
+    pub fn new(nodes: Vec<P>, cfg: GossipConfig) -> Self {
+        assert!(nodes.len() > cfg.out_degree, "need more nodes than the out-degree");
+        let len = nodes[0].agg_len();
+        assert!(nodes.iter().all(|n| n.agg_len() == len), "nodes must share a parameter layout");
+        assert!(
+            cfg.wake_fraction > 0.0 && cfg.wake_fraction <= 1.0,
+            "wake fraction must be in (0, 1]"
+        );
+        if let GossipProtocol::Pers { exploration } = cfg.protocol {
+            assert!((0.0..=1.0).contains(&exploration), "exploration must be in [0, 1]");
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let views = ViewTable::new(nodes.len(), cfg.out_degree, &mut rng);
+        let refresh_at = (0..nodes.len())
+            .map(|_| sample_exp_interval(cfg.view_refresh_rate, &mut rng))
+            .collect();
+        let ctl = (0..nodes.len())
+            .map(|_| NodeCtl {
+                inbox: Vec::new(),
+                heard: Vec::new(),
+                prev_sent: None,
+                awake: false,
+                loss: 0.0,
+            })
+            .collect();
+        GossipSim { nodes, ctl, views, refresh_at, cfg, transform: None, round: 0 }
+    }
+
+    /// Installs a local update transform (DP-SGD) applied to every outgoing
+    /// model.
+    pub fn set_update_transform(&mut self, transform: Box<dyn UpdateTransform>) {
+        self.transform = Some(transform);
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GossipConfig {
+        &self.cfg
+    }
+
+    /// The nodes (evaluation access).
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Rounds completed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The current out-view of node `u` (testing/diagnostics).
+    pub fn view_of(&self, u: u32) -> &[u32] {
+        self.views.view_of(u)
+    }
+
+    /// Runs one gossip round: refresh views, send, route, aggregate, train.
+    pub fn step(&mut self, observer: &mut dyn GossipObserver) -> GossipRoundStats {
+        let t = self.round;
+        let n = self.nodes.len();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ t.wrapping_mul(0xA076_1D64_78BD_642F));
+        observer.on_round_start(t);
+
+        // 1. View refreshes due this round.
+        let keep = match self.cfg.protocol {
+            GossipProtocol::Rand => 0,
+            GossipProtocol::Pers { exploration } => {
+                ((1.0 - exploration) * self.cfg.out_degree as f64).ceil() as usize
+            }
+        };
+        for u in 0..n as u32 {
+            if self.refresh_at[u as usize] <= t {
+                match self.cfg.protocol {
+                    GossipProtocol::Rand => self.views.refresh_random(u, &mut rng),
+                    GossipProtocol::Pers { .. } => {
+                        let mut scored = std::mem::take(&mut self.ctl[u as usize].heard);
+                        self.views.refresh_personalized(u, &mut scored, keep, &mut rng);
+                    }
+                }
+                self.refresh_at[u as usize] =
+                    t + sample_exp_interval(self.cfg.view_refresh_rate, &mut rng);
+            }
+        }
+
+        // 2. Wake set.
+        for c in &mut self.ctl {
+            c.awake = self.cfg.wake_fraction >= 1.0 || rng.gen::<f64>() < self.cfg.wake_fraction;
+        }
+
+        // 3. Send phase: snapshot (+ DP transform) in parallel.
+        let cfg = self.cfg;
+        let transform = self.transform.as_deref();
+        let awake: Vec<bool> = self.ctl.iter().map(|c| c.awake).collect();
+        let destinations: Vec<u32> = (0..n)
+            .map(|u| self.views.random_neighbor(u as u32, &mut rng))
+            .collect();
+        let mut outgoing: Vec<Option<SharedModel>> = {
+            let nodes = &self.nodes;
+            let ctl = &mut self.ctl;
+            let mut out: Vec<Option<SharedModel>> = (0..n).map(|_| None).collect();
+            // Parallel over (ctl, out) pairs; nodes are read-only here.
+            par_zip_mut(ctl, &mut out, |i, c, slot| {
+                if !c.awake {
+                    return;
+                }
+                let mut snap = nodes[i].snapshot(t);
+                if let Some(tr) = transform {
+                    let mut crng = StdRng::seed_from_u64(
+                        cfg.seed ^ (t << 22) ^ (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+                    );
+                    apply_gossip_transform(tr, &mut snap, &mut c.prev_sent, &mut crng);
+                }
+                *slot = Some(snap);
+            });
+            out
+        };
+
+        // 4. Routing (serial: observer callbacks + inbox pushes).
+        let mut deliveries = 0usize;
+        for (u, slot) in outgoing.iter_mut().enumerate() {
+            if let Some(snap) = slot.take() {
+                let dest = destinations[u];
+                observer.on_delivery(t, UserId::new(dest), &snap);
+                self.ctl[dest as usize].inbox.push(snap);
+                deliveries += 1;
+            }
+        }
+
+        // 5. Aggregate + local training on awake nodes, in parallel.
+        let is_pers = matches!(self.cfg.protocol, GossipProtocol::Pers { .. });
+        par_zip_mut(&mut self.nodes, &mut self.ctl, |i, node, c| {
+            if !c.awake {
+                return;
+            }
+            if !c.inbox.is_empty() {
+                if is_pers {
+                    for m in &c.inbox {
+                        c.heard.push((m.owner.raw(), node.evaluate_model(m)));
+                    }
+                }
+                let mut rows: Vec<&[f32]> = Vec::with_capacity(c.inbox.len() + 1);
+                rows.push(node.agg());
+                for m in &c.inbox {
+                    rows.push(&m.agg);
+                }
+                let weights = vec![1.0f32; rows.len()];
+                let mut mixed = vec![0.0f32; node.agg_len()];
+                weighted_mean(&mut mixed, &rows, &weights);
+                node.absorb_agg(&mixed);
+                c.inbox.clear();
+            }
+            let mut crng = StdRng::seed_from_u64(
+                cfg.seed ^ (t << 24) ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let mut loss = 0.0;
+            for _ in 0..cfg.local_epochs.max(1) {
+                loss = node.train_local(&mut crng);
+            }
+            c.loss = loss;
+        });
+
+        let awake_count = awake.iter().filter(|&&a| a).count();
+        let loss_sum: f32 =
+            self.ctl.iter().filter(|c| c.awake).map(|c| c.loss).sum();
+        let stats = GossipRoundStats {
+            round: t,
+            awake: awake_count,
+            deliveries,
+            mean_loss: if awake_count == 0 { 0.0 } else { loss_sum / awake_count as f32 },
+        };
+        observer.on_round_end(&stats);
+        self.round += 1;
+        stats
+    }
+
+    /// Runs all configured rounds.
+    pub fn run(&mut self, observer: &mut dyn GossipObserver) {
+        for _ in 0..self.cfg.rounds {
+            self.step(observer);
+        }
+    }
+}
+
+/// DP in gossip: the outgoing `[emb | agg]` vector is treated as an update
+/// relative to the previously sent vector (zero for the first send), clipped
+/// and noised, then rewritten. `prev_sent` is updated to the new clean value.
+fn apply_gossip_transform(
+    transform: &dyn UpdateTransform,
+    snap: &mut SharedModel,
+    prev_sent: &mut Option<Vec<f32>>,
+    rng: &mut StdRng,
+) {
+    let emb_len = snap.owner_emb.as_ref().map_or(0, Vec::len);
+    let mut current = vec![0.0f32; emb_len + snap.agg.len()];
+    if let Some(emb) = &snap.owner_emb {
+        current[..emb_len].copy_from_slice(emb);
+    }
+    current[emb_len..].copy_from_slice(&snap.agg);
+
+    let reference = prev_sent.get_or_insert_with(|| current.clone());
+    let mut update: Vec<f32> =
+        current.iter().zip(reference.iter()).map(|(c, r)| c - r).collect();
+    transform.transform(&mut update, rng);
+
+    if let Some(emb) = &mut snap.owner_emb {
+        for k in 0..emb_len {
+            emb[k] = reference[k] + update[k];
+        }
+    }
+    for (k, a) in snap.agg.iter_mut().enumerate() {
+        *a = reference[emb_len + k] + update[emb_len + k];
+    }
+    *prev_sent = Some(current);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic toy participant: params drift towards a per-community
+    /// fixed point during "training", and `evaluate_model` prefers models
+    /// close to the node's own fixed point — enough to exercise the protocol
+    /// without real ML.
+    struct TestNode {
+        user: UserId,
+        params: Vec<f32>,
+        target: Vec<f32>,
+    }
+
+    impl TestNode {
+        fn new(user: u32, community: usize) -> Self {
+            let mut target = vec![0.0f32; 8];
+            target[community % 8] = 1.0;
+            TestNode { user: UserId::new(user), params: vec![0.0; 8], target }
+        }
+    }
+
+    impl Participant for TestNode {
+        fn user(&self) -> UserId {
+            self.user
+        }
+        fn agg_len(&self) -> usize {
+            8
+        }
+        fn agg(&self) -> &[f32] {
+            &self.params
+        }
+        fn absorb_agg(&mut self, agg: &[f32]) {
+            self.params.copy_from_slice(agg);
+        }
+        fn train_local(&mut self, _rng: &mut StdRng) -> f32 {
+            let mut dist = 0.0f32;
+            for (p, t) in self.params.iter_mut().zip(&self.target) {
+                *p += 0.5 * (t - *p);
+                dist += (t - *p) * (t - *p);
+            }
+            dist
+        }
+        fn snapshot(&self, round: u64) -> SharedModel {
+            SharedModel {
+                owner: self.user,
+                round,
+                owner_emb: None,
+                agg: self.params.clone(),
+            }
+        }
+        fn num_examples(&self) -> usize {
+            1
+        }
+        fn evaluate_model(&self, model: &SharedModel) -> f32 {
+            -model
+                .agg
+                .iter()
+                .zip(&self.target)
+                .map(|(a, t)| (a - t) * (a - t))
+                .sum::<f32>()
+        }
+    }
+
+    fn sim(n: usize, cfg: GossipConfig) -> GossipSim<TestNode> {
+        let nodes = (0..n).map(|u| TestNode::new(u as u32, u % 4)).collect();
+        GossipSim::new(nodes, cfg)
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        deliveries: Vec<(u64, u32, u32)>,
+        stats: Vec<GossipRoundStats>,
+    }
+
+    impl GossipObserver for Recorder {
+        fn on_delivery(&mut self, round: u64, receiver: UserId, model: &SharedModel) {
+            self.deliveries.push((round, receiver.raw(), model.owner.raw()));
+        }
+        fn on_round_end(&mut self, stats: &GossipRoundStats) {
+            self.stats.push(stats.clone());
+        }
+    }
+
+    #[test]
+    fn every_awake_node_sends_exactly_one_model() {
+        let mut s = sim(20, GossipConfig { rounds: 5, seed: 3, ..Default::default() });
+        let mut rec = Recorder::default();
+        s.run(&mut rec);
+        for st in &rec.stats {
+            assert_eq!(st.awake, 20);
+            assert_eq!(st.deliveries, 20);
+        }
+        // Nobody delivers to itself.
+        assert!(rec.deliveries.iter().all(|&(_, recv, sender)| recv != sender));
+    }
+
+    #[test]
+    fn deliveries_follow_views() {
+        let mut s = sim(15, GossipConfig { rounds: 1, seed: 7, ..Default::default() });
+        // Record views before the round; deliveries of round 0 must respect
+        // them (views refresh only at their scheduled time > 0).
+        let views: Vec<Vec<u32>> = (0..15).map(|u| s.view_of(u).to_vec()).collect();
+        let mut rec = Recorder::default();
+        s.run(&mut rec);
+        for &(_, recv, sender) in &rec.deliveries {
+            assert!(
+                views[sender as usize].contains(&recv),
+                "delivery {sender}->{recv} not in view {:?}",
+                views[sender as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn partial_wake_fraction_accumulates_inboxes() {
+        let mut s = sim(
+            30,
+            GossipConfig { rounds: 10, wake_fraction: 0.5, seed: 1, ..Default::default() },
+        );
+        let mut rec = Recorder::default();
+        s.run(&mut rec);
+        for st in &rec.stats {
+            assert!(st.awake < 30, "round {}: awake {}", st.round, st.awake);
+            assert_eq!(st.deliveries, st.awake);
+        }
+    }
+
+    #[test]
+    fn training_converges_towards_targets() {
+        let mut s = sim(16, GossipConfig { rounds: 30, seed: 5, ..Default::default() });
+        let mut rec = Recorder::default();
+        s.run(&mut rec);
+        let first = rec.stats.first().unwrap().mean_loss;
+        let last = rec.stats.last().unwrap().mean_loss;
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut s = sim(12, GossipConfig { rounds: 6, seed: 11, ..Default::default() });
+            let mut rec = Recorder::default();
+            s.run(&mut rec);
+            (rec.deliveries, s.nodes()[3].params.clone())
+        };
+        let (d1, p1) = run();
+        let (d2, p2) = run();
+        assert_eq!(d1, d2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn pers_gossip_biases_views_towards_own_community() {
+        // 4 communities of 10; after plenty of rounds, Pers-Gossip views
+        // should contain more same-community peers than the ~23% a uniform
+        // view would give.
+        let cfg = GossipConfig {
+            rounds: 120,
+            protocol: GossipProtocol::Pers { exploration: 0.4 },
+            seed: 2,
+            ..Default::default()
+        };
+        let mut s = sim(40, cfg);
+        s.run(&mut NullGossipObserver);
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for u in 0..40u32 {
+            for &v in s.view_of(u) {
+                total += 1;
+                if v % 4 == u % 4 {
+                    same += 1;
+                }
+            }
+        }
+        let frac = same as f64 / total as f64;
+        assert!(frac > 0.35, "same-community view fraction only {frac}");
+    }
+
+    #[test]
+    fn rand_gossip_views_stay_uniform() {
+        let mut s = sim(40, GossipConfig { rounds: 120, seed: 2, ..Default::default() });
+        s.run(&mut NullGossipObserver);
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for u in 0..40u32 {
+            for &v in s.view_of(u) {
+                total += 1;
+                if v % 4 == u % 4 {
+                    same += 1;
+                }
+            }
+        }
+        let frac = same as f64 / total as f64;
+        assert!(frac < 0.4, "rand-gossip views unexpectedly clustered: {frac}");
+    }
+
+    #[test]
+    fn dp_transform_perturbs_deliveries() {
+        use cia_defenses::{DpConfig, DpMechanism};
+        let run = |noisy: bool| {
+            let mut s = sim(10, GossipConfig { rounds: 2, seed: 4, ..Default::default() });
+            if noisy {
+                s.set_update_transform(Box::new(DpMechanism::new(DpConfig {
+                    clip: 0.5,
+                    noise_multiplier: 1.0,
+                })));
+            }
+            let mut rec = Recorder::default();
+            s.run(&mut rec);
+            s.nodes()[0].params.clone()
+        };
+        assert_ne!(run(false), run(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "need more nodes")]
+    fn rejects_too_few_nodes() {
+        let _ = sim(3, GossipConfig::default());
+    }
+}

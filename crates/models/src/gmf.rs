@@ -1,0 +1,582 @@
+//! Generalized Matrix Factorization (GMF), from the Neural Collaborative
+//! Filtering family [13].
+//!
+//! GMF scores a user/item pair as `ŷ_ui = σ(h · (p_u ⊙ q_i))` and is trained
+//! on binarized implicit feedback with binary cross-entropy and negative
+//! sampling, as in the paper (§V-A, §V-B).
+//!
+//! Flat parameter layout: `[ p_u (d) | Q (|V|·d) | h (d) ]`; the aggregatable
+//! slice is everything after the user embedding.
+
+use crate::params::{init_uniform, sigmoid};
+use crate::participant::{Participant, RelevanceScorer, SharedModel, SharingPolicy};
+use cia_data::UserId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// GMF hyper-parameters (defaults follow the original work where stated).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GmfHyper {
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Negative samples per positive interaction.
+    pub negatives: usize,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Uniform initialization half-range.
+    pub init_scale: f32,
+    /// Epochs used when fitting the adversary's fictive embedding (§IV-C).
+    pub adversary_epochs: usize,
+}
+
+impl Default for GmfHyper {
+    fn default() -> Self {
+        GmfHyper {
+            lr: 0.05,
+            negatives: 4,
+            weight_decay: 1e-5,
+            init_scale: 0.1,
+            adversary_epochs: 5,
+        }
+    }
+}
+
+/// Immutable description of a GMF model family: catalog size, embedding
+/// dimension and hyper-parameters.
+///
+/// ```
+/// use cia_models::{GmfSpec, GmfHyper, SharingPolicy};
+/// let spec = GmfSpec::new(100, 8, GmfHyper::default());
+/// assert_eq!(spec.agg_len(), 100 * 8 + 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GmfSpec {
+    num_items: u32,
+    dim: usize,
+    hyper: GmfHyper,
+}
+
+impl GmfSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_items == 0` or `dim == 0`.
+    pub fn new(num_items: u32, dim: usize, hyper: GmfHyper) -> Self {
+        assert!(num_items > 0, "catalog must be non-empty");
+        assert!(dim > 0, "embedding dimension must be positive");
+        GmfSpec { num_items, dim, hyper }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Hyper-parameters.
+    pub fn hyper(&self) -> &GmfHyper {
+        &self.hyper
+    }
+
+    /// Length of the aggregatable slice: `|V|·d + d`.
+    pub fn agg_len(&self) -> usize {
+        self.num_items as usize * self.dim + self.dim
+    }
+
+    /// Initializes a fresh aggregatable parameter vector (item embeddings
+    /// plus output layer `h`).
+    pub fn init_agg(&self, rng: &mut StdRng) -> Vec<f32> {
+        let mut agg = vec![0.0f32; self.agg_len()];
+        init_uniform(&mut agg, self.hyper.init_scale, rng);
+        // Start h at 1 so GMF degenerates to plain MF at initialization; the
+        // triple product u·h·q otherwise starves plain SGD of gradient.
+        let d = self.dim;
+        let items = self.num_items as usize * d;
+        for v in &mut agg[items..] {
+            *v = 1.0;
+        }
+        agg
+    }
+
+    /// Builds a client for `user` with local training items `train_items`
+    /// (sorted, deduplicated).
+    pub fn build_client(
+        &self,
+        user: UserId,
+        train_items: Vec<u32>,
+        policy: SharingPolicy,
+        seed: u64,
+    ) -> GmfClient {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut user_emb = vec![0.0f32; self.dim];
+        init_uniform(&mut user_emb, self.hyper.init_scale, &mut rng);
+        let agg = self.init_agg(&mut rng);
+        GmfClient {
+            spec: self.clone(),
+            user,
+            user_emb,
+            agg,
+            train_items,
+            policy,
+            ref_items: None,
+        }
+    }
+
+    #[inline]
+    fn item_slice<'a>(&self, agg: &'a [f32], j: u32) -> &'a [f32] {
+        let d = self.dim;
+        &agg[j as usize * d..(j as usize + 1) * d]
+    }
+
+    #[inline]
+    fn h_slice<'a>(&self, agg: &'a [f32]) -> &'a [f32] {
+        &agg[self.num_items as usize * self.dim..]
+    }
+}
+
+impl RelevanceScorer for GmfSpec {
+    fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    fn agg_len(&self) -> usize {
+        GmfSpec::agg_len(self)
+    }
+
+    fn user_emb_len(&self) -> usize {
+        self.dim
+    }
+
+    fn score_items(&self, user_emb: Option<&[f32]>, agg: &[f32], out: &mut [f32]) {
+        let user = user_emb.expect("GMF scoring needs a user embedding");
+        assert_eq!(out.len(), self.num_items as usize, "output buffer size");
+        assert_eq!(agg.len(), GmfSpec::agg_len(self), "agg size");
+        let d = self.dim;
+        let h = self.h_slice(agg);
+        // w = p_u ⊙ h, then ŷ_j = σ(w · q_j).
+        let w: Vec<f32> = user.iter().zip(h).map(|(u, h)| u * h).collect();
+        for (j, o) in out.iter_mut().enumerate() {
+            let q = &agg[j * d..(j + 1) * d];
+            let mut z = 0.0f32;
+            for k in 0..d {
+                z += w[k] * q[k];
+            }
+            *o = sigmoid(z);
+        }
+    }
+
+    fn mean_relevance(&self, user_emb: Option<&[f32]>, agg: &[f32], items: &[u32]) -> f32 {
+        let user = user_emb.expect("GMF scoring needs a user embedding");
+        if items.is_empty() {
+            return 0.0;
+        }
+        let d = self.dim;
+        let h = self.h_slice(agg);
+        let w: Vec<f32> = user.iter().zip(h).map(|(u, h)| u * h).collect();
+        let mut acc = 0.0f32;
+        for &j in items {
+            let q = self.item_slice(agg, j);
+            let mut z = 0.0f32;
+            for k in 0..d {
+                z += w[k] * q[k];
+            }
+            acc += sigmoid(z);
+        }
+        acc / items.len() as f32
+    }
+
+    fn train_adversary_embedding(
+        &self,
+        agg: &[f32],
+        target_items: &[u32],
+        rng: &mut StdRng,
+    ) -> Option<Vec<f32>> {
+        let d = self.dim;
+        let h = self.h_slice(agg);
+        let mut emb = vec![0.0f32; d];
+        init_uniform(&mut emb, self.hyper.init_scale, rng);
+        let lr = self.hyper.lr;
+        for _ in 0..self.hyper.adversary_epochs {
+            for &pos in target_items {
+                // One positive step and `negatives` negative steps, updating
+                // only the fictive embedding (item embeddings stay fixed).
+                self.adversary_step(&mut emb, agg, h, pos, 1.0, lr);
+                for _ in 0..self.hyper.negatives {
+                    let neg = rng.gen_range(0..self.num_items);
+                    if target_items.binary_search(&neg).is_err() {
+                        self.adversary_step(&mut emb, agg, h, neg, 0.0, lr);
+                    }
+                }
+            }
+        }
+        Some(emb)
+    }
+}
+
+impl GmfSpec {
+    fn adversary_step(&self, emb: &mut [f32], agg: &[f32], h: &[f32], j: u32, y: f32, lr: f32) {
+        let q = self.item_slice(agg, j);
+        let mut z = 0.0f32;
+        for k in 0..self.dim {
+            z += emb[k] * h[k] * q[k];
+        }
+        let g = sigmoid(z) - y;
+        for k in 0..self.dim {
+            emb[k] -= lr * g * h[k] * q[k];
+        }
+    }
+}
+
+/// A GMF participant: one user's local model and training data.
+#[derive(Debug, Clone)]
+pub struct GmfClient {
+    spec: GmfSpec,
+    user: UserId,
+    user_emb: Vec<f32>,
+    agg: Vec<f32>,
+    train_items: Vec<u32>,
+    policy: SharingPolicy,
+    /// Share-less reference item embeddings (the values received at the start
+    /// of the round; Eq. 2's `e_j^t`, or `e_ju^{t-1}` in GL).
+    ref_items: Option<Vec<f32>>,
+}
+
+impl GmfClient {
+    /// The model spec this client was built from.
+    pub fn spec(&self) -> &GmfSpec {
+        &self.spec
+    }
+
+    /// The client's own (private) user embedding.
+    pub fn user_emb(&self) -> &[f32] {
+        &self.user_emb
+    }
+
+    /// Scores candidate items with the client's own model (utility
+    /// evaluation).
+    pub fn score_candidates(&self, items: &[u32]) -> Vec<f32> {
+        let d = self.spec.dim;
+        let h = self.spec.h_slice(&self.agg);
+        let w: Vec<f32> = self.user_emb.iter().zip(h).map(|(u, h)| u * h).collect();
+        items
+            .iter()
+            .map(|&j| {
+                let q = self.spec.item_slice(&self.agg, j);
+                let mut z = 0.0f32;
+                for k in 0..d {
+                    z += w[k] * q[k];
+                }
+                sigmoid(z)
+            })
+            .collect()
+    }
+
+    /// One SGD step on `(item, label)`.
+    fn step(&mut self, j: u32, y: f32, lr: f32) -> f32 {
+        let d = self.spec.dim;
+        let items_len = self.spec.num_items as usize * d;
+        let (items, h) = self.agg.split_at_mut(items_len);
+        let q = &mut items[j as usize * d..(j as usize + 1) * d];
+        let u = &mut self.user_emb;
+
+        let mut z = 0.0f32;
+        for k in 0..d {
+            z += u[k] * h[k] * q[k];
+        }
+        let p = sigmoid(z);
+        let g = p - y;
+        let wd = self.spec.hyper.weight_decay;
+        let tau = self.policy.tau();
+        // Under heavy DP noise the absorbed model can carry large
+        // coordinates; clamping keeps local SGD finite (the model is
+        // destroyed either way, which is what the DP experiments measure).
+        const CLAMP: f32 = 20.0;
+        for k in 0..d {
+            let (uk, qk, hk) = (u[k], q[k], h[k]);
+            let mut dq = g * hk * uk + wd * qk;
+            if tau > 0.0 {
+                if let Some(r) = &self.ref_items {
+                    dq += 2.0 * tau * (qk - r[j as usize * d + k]);
+                }
+            }
+            u[k] = (uk - lr * (g * hk * qk + wd * uk)).clamp(-CLAMP, CLAMP);
+            q[k] = (qk - lr * dq).clamp(-CLAMP, CLAMP);
+            h[k] = (hk - lr * (g * uk * qk + wd * hk)).clamp(-CLAMP, CLAMP);
+        }
+        // Binary cross-entropy of this step.
+        let eps = 1e-7f32;
+        -(y * (p + eps).ln() + (1.0 - y) * (1.0 - p + eps).ln())
+    }
+}
+
+impl Participant for GmfClient {
+    fn user(&self) -> UserId {
+        self.user
+    }
+
+    fn agg_len(&self) -> usize {
+        self.spec.agg_len()
+    }
+
+    fn agg(&self) -> &[f32] {
+        &self.agg
+    }
+
+    fn owner_emb(&self) -> Option<&[f32]> {
+        self.policy.shares_user_embedding().then_some(self.user_emb.as_slice())
+    }
+
+    fn absorb_agg(&mut self, agg: &[f32]) {
+        assert_eq!(agg.len(), self.agg.len(), "agg size mismatch");
+        self.agg.copy_from_slice(agg);
+        if self.policy.tau() > 0.0 {
+            let items_len = self.spec.num_items as usize * self.spec.dim;
+            self.ref_items = Some(agg[..items_len].to_vec());
+        }
+    }
+
+    fn train_local(&mut self, rng: &mut StdRng) -> f32 {
+        if self.policy.tau() > 0.0 && self.ref_items.is_none() {
+            // First round in GL: regularize towards the pre-training values.
+            let items_len = self.spec.num_items as usize * self.spec.dim;
+            self.ref_items = Some(self.agg[..items_len].to_vec());
+        }
+        let lr = self.spec.hyper.lr;
+        let negatives = self.spec.hyper.negatives;
+        let num_items = self.spec.num_items;
+        let mut order: Vec<u32> = self.train_items.clone();
+        order.shuffle(rng);
+        let mut loss = 0.0f32;
+        let mut steps = 0usize;
+        for pos in order {
+            loss += self.step(pos, 1.0, lr);
+            steps += 1;
+            for _ in 0..negatives {
+                let neg = rng.gen_range(0..num_items);
+                if self.train_items.binary_search(&neg).is_err() {
+                    loss += self.step(neg, 0.0, lr);
+                    steps += 1;
+                }
+            }
+        }
+        if steps == 0 {
+            0.0
+        } else {
+            loss / steps as f32
+        }
+    }
+
+    fn snapshot(&self, round: u64) -> SharedModel {
+        SharedModel {
+            owner: self.user,
+            round,
+            owner_emb: self.policy.shares_user_embedding().then(|| self.user_emb.clone()),
+            agg: self.agg.clone(),
+        }
+    }
+
+    fn num_examples(&self) -> usize {
+        self.train_items.len()
+    }
+
+    fn evaluate_model(&self, model: &SharedModel) -> f32 {
+        // Contrast the received public parameters against this node's taste:
+        // mean relevance of own train items minus a deterministic probe of
+        // the catalog, both scored with the node's own embedding.
+        let spec = &self.spec;
+        let on = RelevanceScorer::mean_relevance(
+            spec,
+            Some(&self.user_emb),
+            &model.agg,
+            &self.train_items,
+        );
+        let stride = (spec.num_items() / 64).max(1);
+        let probe: Vec<u32> = (0..spec.num_items()).step_by(stride as usize).collect();
+        let off =
+            RelevanceScorer::mean_relevance(spec, Some(&self.user_emb), &model.agg, &probe);
+        on - off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> GmfSpec {
+        GmfSpec::new(30, 4, GmfHyper { lr: 0.1, ..GmfHyper::default() })
+    }
+
+    #[test]
+    fn training_reduces_loss_and_separates_items() {
+        let s = spec();
+        let mut c = s.build_client(UserId::new(0), vec![1, 2, 3, 4, 5], SharingPolicy::Full, 7);
+        let mut rng = StdRng::seed_from_u64(1);
+        let first = c.train_local(&mut rng);
+        let mut last = first;
+        for _ in 0..30 {
+            last = c.train_local(&mut rng);
+        }
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+        // Own positives now outscore never-seen items on average.
+        let pos = c.score_candidates(&[1, 2, 3, 4, 5]);
+        let neg = c.score_candidates(&[20, 21, 22, 23, 24]);
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(mean(&pos) > mean(&neg) + 0.2, "pos {} neg {}", mean(&pos), mean(&neg));
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        // Finite-difference check of one SGD step's implicit gradient on the
+        // BCE loss, for each parameter family.
+        let s = GmfSpec::new(5, 3, GmfHyper { lr: 0.0, weight_decay: 0.0, ..GmfHyper::default() });
+        let c = s.build_client(UserId::new(0), vec![0], SharingPolicy::Full, 3);
+        let j = 2u32;
+        let y = 1.0f32;
+        let d = 3usize;
+
+        let loss_of = |user: &[f32], agg: &[f32]| -> f64 {
+            let q = &agg[j as usize * d..(j as usize + 1) * d];
+            let h = &agg[5 * d..];
+            let mut z = 0.0f32;
+            for k in 0..d {
+                z += user[k] * h[k] * q[k];
+            }
+            let p = sigmoid(z) as f64;
+            -(y as f64) * p.ln() - (1.0 - y as f64) * (1.0 - p).ln()
+        };
+
+        // Analytic gradient (as used in `step`).
+        let q: Vec<f32> = c.spec.item_slice(&c.agg, j).to_vec();
+        let h: Vec<f32> = c.spec.h_slice(&c.agg).to_vec();
+        let u: Vec<f32> = c.user_emb.clone();
+        let mut z = 0.0f32;
+        for k in 0..d {
+            z += u[k] * h[k] * q[k];
+        }
+        let g = sigmoid(z) - y;
+
+        let eps = 1e-3f32;
+        for k in 0..d {
+            // du
+            let mut up = u.clone();
+            up[k] += eps;
+            let mut um = u.clone();
+            um[k] -= eps;
+            let num = (loss_of(&up, &c.agg) - loss_of(&um, &c.agg)) / (2.0 * eps as f64);
+            let ana = (g * h[k] * q[k]) as f64;
+            assert!((num - ana).abs() < 1e-3, "du[{k}]: numeric {num} vs analytic {ana}");
+
+            // dq
+            let mut aggp = c.agg.clone();
+            aggp[j as usize * d + k] += eps;
+            let mut aggm = c.agg.clone();
+            aggm[j as usize * d + k] -= eps;
+            let num = (loss_of(&u, &aggp) - loss_of(&u, &aggm)) / (2.0 * eps as f64);
+            let ana = (g * h[k] * u[k]) as f64;
+            assert!((num - ana).abs() < 1e-3, "dq[{k}]: numeric {num} vs analytic {ana}");
+
+            // dh
+            let hoff = 5 * d + k;
+            let mut aggp = c.agg.clone();
+            aggp[hoff] += eps;
+            let mut aggm = c.agg.clone();
+            aggm[hoff] -= eps;
+            let num = (loss_of(&u, &aggp) - loss_of(&u, &aggm)) / (2.0 * eps as f64);
+            let ana = (g * u[k] * q[k]) as f64;
+            assert!((num - ana).abs() < 1e-3, "dh[{k}]: numeric {num} vs analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn score_items_matches_mean_relevance() {
+        let s = spec();
+        let c = s.build_client(UserId::new(1), vec![0, 1], SharingPolicy::Full, 9);
+        let snap = c.snapshot(0);
+        let mut all = vec![0.0f32; 30];
+        s.score_items(snap.owner_emb.as_deref(), &snap.agg, &mut all);
+        let items = [3u32, 7, 9];
+        let mean: f32 = items.iter().map(|&i| all[i as usize]).sum::<f32>() / 3.0;
+        let got = s.mean_relevance(snap.owner_emb.as_deref(), &snap.agg, &items);
+        assert!((mean - got).abs() < 1e-6);
+    }
+
+    #[test]
+    fn share_less_snapshot_hides_user_embedding() {
+        let s = spec();
+        let c = s.build_client(
+            UserId::new(2),
+            vec![0, 1],
+            SharingPolicy::ShareLess { tau: 0.5 },
+            11,
+        );
+        let snap = c.snapshot(3);
+        assert!(snap.owner_emb.is_none());
+        assert_eq!(snap.round, 3);
+        let full = s.build_client(UserId::new(2), vec![0, 1], SharingPolicy::Full, 11);
+        assert!(full.snapshot(0).owner_emb.is_some());
+    }
+
+    #[test]
+    fn share_less_regularizer_pulls_items_towards_reference() {
+        let s = GmfSpec::new(10, 4, GmfHyper { lr: 0.05, ..GmfHyper::default() });
+        let mk = |tau: f32, seed: u64| {
+            let policy = if tau > 0.0 { SharingPolicy::ShareLess { tau } } else { SharingPolicy::Full };
+            let mut c = s.build_client(UserId::new(0), vec![0, 1, 2], policy, seed);
+            let reference = c.agg.clone();
+            c.absorb_agg(&reference);
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..10 {
+                c.train_local(&mut rng);
+            }
+            let items_len = 10 * 4;
+            let drift: f32 = c.agg[..items_len]
+                .iter()
+                .zip(&reference[..items_len])
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            drift
+        };
+        let drift_full = mk(0.0, 2);
+        let drift_reg = mk(2.0, 2);
+        assert!(
+            drift_reg < drift_full,
+            "regularized drift {drift_reg} !< unregularized {drift_full}"
+        );
+    }
+
+    #[test]
+    fn adversary_embedding_prefers_target_items() {
+        let s = spec();
+        // Train a few users so item embeddings carry signal.
+        let mut c = s.build_client(UserId::new(0), vec![1, 2, 3], SharingPolicy::Full, 4);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..40 {
+            c.train_local(&mut rng);
+        }
+        let agg = c.agg().to_vec();
+        let target = vec![1u32, 2, 3];
+        let emb = s.train_adversary_embedding(&agg, &target, &mut rng).unwrap();
+        let on_target = s.mean_relevance(Some(&emb), &agg, &target);
+        let off_target = s.mean_relevance(Some(&emb), &agg, &[20, 21, 22]);
+        assert!(on_target > off_target, "on {on_target} !> off {off_target}");
+    }
+
+    #[test]
+    fn absorb_agg_roundtrip() {
+        let s = spec();
+        let mut a = s.build_client(UserId::new(0), vec![1], SharingPolicy::Full, 1);
+        let b = s.build_client(UserId::new(1), vec![2], SharingPolicy::Full, 2);
+        a.absorb_agg(b.agg());
+        assert_eq!(a.agg(), b.agg());
+    }
+
+    #[test]
+    #[should_panic(expected = "agg size mismatch")]
+    fn absorb_agg_rejects_wrong_size() {
+        let s = spec();
+        let mut a = s.build_client(UserId::new(0), vec![1], SharingPolicy::Full, 1);
+        a.absorb_agg(&[0.0; 3]);
+    }
+}

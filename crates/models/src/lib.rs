@@ -1,0 +1,37 @@
+//! Recommendation models and the participant abstraction shared by the
+//! collaborative-learning protocols.
+//!
+//! The paper evaluates two classical recommenders (§V-B):
+//!
+//! * **GMF** — generalized matrix factorization ([`GmfSpec`]), scoring
+//!   `ŷ_ui = σ(h · (p_u ⊙ q_i))`, trained with binary cross-entropy and
+//!   negative sampling;
+//! * **PRME** — personalized ranking metric embedding ([`PrmeSpec`]), scoring
+//!   by (negative) distance in two metric embedding spaces, trained with a
+//!   pairwise ranking loss over check-in successor pairs.
+//!
+//! A small [`MlpSpec`] multi-layer perceptron supports the MNIST universality
+//! experiment (§VIII-E) and the AIA gradient classifier (§VIII-C2).
+//!
+//! All models expose their state as a *flat `f32` parameter vector*, split
+//! into an aggregatable public part (item embeddings, output layers) and the
+//! owner's private user embedding. Aggregation, momentum (the attack's
+//! Eq. 4), DP clipping/noising and the Share-less policy are all linear
+//! algebra over these vectors — see [`params`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gmf;
+mod metrics;
+mod mlp;
+pub mod parallel;
+pub mod params;
+mod participant;
+mod prme;
+
+pub use gmf::{GmfClient, GmfHyper, GmfSpec};
+pub use metrics::{f1_at_k, hit_ratio, ndcg, rank_of_primary, RankedEval};
+pub use mlp::{Mlp, MlpClient, MlpHyper, MlpSpec};
+pub use participant::{Participant, RelevanceScorer, SharedModel, SharingPolicy, UpdateTransform};
+pub use prme::{PrmeClient, PrmeHyper, PrmeSpec};

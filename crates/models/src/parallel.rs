@@ -1,0 +1,134 @@
+//! Minimal data-parallel helpers built on scoped threads.
+//!
+//! The simulations are round-synchronous, so all parallelism is simple
+//! fork-join over per-user work; no async runtime is warranted.
+
+/// Number of worker threads to use (available parallelism, capped at 16).
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+}
+
+/// Applies `f` to every element of `items` in parallel, mutating in place.
+///
+/// Chunks are distributed contiguously across [`num_threads`] workers; `f`
+/// receives the element's index and a mutable reference.
+pub fn par_for_each_mut<T: Send, F>(items: &mut [T], f: F)
+where
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = num_threads();
+    if items.len() <= 1 || threads <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for (c, slice) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (i, item) in slice.iter_mut().enumerate() {
+                    f(c * chunk + i, item);
+                }
+            });
+        }
+    });
+}
+
+/// Applies `f` to paired elements of two equal-length slices in parallel.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn par_zip_mut<A: Send, B: Send, F>(a: &mut [A], b: &mut [B], f: F)
+where
+    F: Fn(usize, &mut A, &mut B) + Sync,
+{
+    assert_eq!(a.len(), b.len(), "par_zip_mut length mismatch");
+    let threads = num_threads();
+    if a.len() <= 1 || threads <= 1 {
+        for (i, (x, y)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+            f(i, x, y);
+        }
+        return;
+    }
+    let chunk = a.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for (c, (sa, sb)) in a.chunks_mut(chunk).zip(b.chunks_mut(chunk)).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (i, (x, y)) in sa.iter_mut().zip(sb.iter_mut()).enumerate() {
+                    f(c * chunk + i, x, y);
+                }
+            });
+        }
+    });
+}
+
+/// Computes `f(i)` for `i in 0..n` in parallel and returns the results in
+/// index order.
+pub fn par_map<R: Send, F>(n: usize, f: F) -> Vec<R>
+where
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = num_threads();
+    if n <= 1 || threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (c, slice) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (i, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f(c * chunk + i));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_for_each_mut_touches_every_element_once() {
+        let mut v: Vec<u64> = vec![0; 1000];
+        par_for_each_mut(&mut v, |i, x| *x = i as u64 * 2);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map(257, |i| i * i);
+        for (i, x) in out.iter().enumerate() {
+            assert_eq!(*x, i * i);
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        assert!(par_map(0, |i| i).is_empty());
+        assert_eq!(par_map(1, |i| i + 5), vec![5]);
+    }
+
+    #[test]
+    fn par_zip_mut_pairs_correctly() {
+        let mut a: Vec<usize> = (0..500).collect();
+        let mut b: Vec<usize> = vec![0; 500];
+        par_zip_mut(&mut a, &mut b, |i, x, y| {
+            *x += 1;
+            *y = i * 10;
+        });
+        for i in 0..500 {
+            assert_eq!(a[i], i + 1);
+            assert_eq!(b[i], i * 10);
+        }
+    }
+}

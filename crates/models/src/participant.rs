@@ -1,0 +1,194 @@
+//! The participant abstraction shared by FL and gossip protocols, and the
+//! model snapshot exchanged between participants.
+
+use cia_data::UserId;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// What a participant shares with the server (FL) or a neighbor (GL).
+///
+/// The *aggregatable* part `agg` (item embeddings, output layers) is what
+/// protocols average. Under full sharing the snapshot also carries the
+/// owner's user embedding — the paper's default, and the leak the Share-less
+/// policy closes by setting `owner_emb` to `None` (§III-D).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharedModel {
+    /// Which participant produced the snapshot.
+    pub owner: UserId,
+    /// Round at which the snapshot was produced (set by the protocol).
+    pub round: u64,
+    /// The owner's user embedding; `None` under the Share-less policy or for
+    /// models without per-user factors (MLP).
+    pub owner_emb: Option<Vec<f32>>,
+    /// Aggregatable public parameters.
+    pub agg: Vec<f32>,
+}
+
+impl SharedModel {
+    /// Total number of shared `f32` parameters.
+    pub fn len(&self) -> usize {
+        self.agg.len() + self.owner_emb.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Whether the snapshot carries no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Which parameters leave the device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SharingPolicy {
+    /// Full model sharing — the paper's default setting.
+    Full,
+    /// The Share-less strategy (§III-D): the user embedding stays on-device
+    /// and item-embedding updates are regularized toward their reference
+    /// value with factor `tau` (Eq. 2).
+    ShareLess {
+        /// Regularization factor τ of Eq. 2.
+        tau: f32,
+    },
+}
+
+impl SharingPolicy {
+    /// Whether the user embedding is shared.
+    pub fn shares_user_embedding(self) -> bool {
+        matches!(self, SharingPolicy::Full)
+    }
+
+    /// The Share-less regularization factor (0 under full sharing).
+    pub fn tau(self) -> f32 {
+        match self {
+            SharingPolicy::Full => 0.0,
+            SharingPolicy::ShareLess { tau } => tau,
+        }
+    }
+}
+
+/// A participant in a collaborative learning protocol: owns local data and a
+/// model whose public part can be exchanged.
+///
+/// The protocols drive participants through a strict round structure:
+/// `absorb_agg` (load the aggregate), `train_local` (one local epoch, possibly
+/// repeated), `snapshot` (produce the outgoing model).
+pub trait Participant: Send + Sync {
+    /// The participant's user id.
+    fn user(&self) -> UserId;
+
+    /// Length of the aggregatable parameter vector.
+    fn agg_len(&self) -> usize;
+
+    /// Read access to the current aggregatable parameters.
+    fn agg(&self) -> &[f32];
+
+    /// The owner's user embedding as it would be shared, or `None` under
+    /// Share-less / for models without user factors. Used by protocols to
+    /// compute the embedding part of an outgoing update (DP noising).
+    fn owner_emb(&self) -> Option<&[f32]> {
+        None
+    }
+
+    /// Replaces the aggregatable parameters (server broadcast in FL, mixed
+    /// neighborhood average in GL). Also records the incoming values as the
+    /// Share-less reference embeddings where applicable.
+    fn absorb_agg(&mut self, agg: &[f32]);
+
+    /// Runs one local training epoch; returns the mean training loss.
+    fn train_local(&mut self, rng: &mut StdRng) -> f32;
+
+    /// Produces the outgoing snapshot under the participant's sharing policy.
+    fn snapshot(&self, round: u64) -> SharedModel;
+
+    /// Number of local training examples (FedAvg weighting).
+    fn num_examples(&self) -> usize;
+
+    /// Personalization score of a received model *for this node* (higher is
+    /// better). Pers-Gossip uses it to retain well-performing neighbors
+    /// during peer sampling; the default makes all peers equivalent.
+    fn evaluate_model(&self, model: &SharedModel) -> f32 {
+        let _ = model;
+        0.0
+    }
+}
+
+/// A transform applied to a participant's outgoing model update before it is
+/// shared (clipping + noising for DP-SGD; see `cia-defenses`).
+pub trait UpdateTransform: Send + Sync {
+    /// Mutates the outgoing update (`shared_after − shared_before`) in place.
+    fn transform(&self, update: &mut [f32], rng: &mut rand::rngs::StdRng);
+}
+
+/// Computes relevance scores from a shared (or momentum-averaged) model —
+/// the quantity the attack ranks participants by, and the basis of utility
+/// evaluation.
+///
+/// `user_emb` is the embedding the score is computed *with*: the sender's own
+/// under full sharing, the adversary's fictive embedding under Share-less
+/// (§IV-C), or `None` for models without user factors.
+pub trait RelevanceScorer: Send + Sync {
+    /// Catalog size.
+    fn num_items(&self) -> u32;
+
+    /// Length of the aggregatable parameter vector this scorer expects.
+    fn agg_len(&self) -> usize;
+
+    /// Dimensionality of the user embedding (0 if the model has none).
+    fn user_emb_len(&self) -> usize;
+
+    /// Scores every item in the catalog into `out` (higher = more relevant).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `out.len() != num_items()` or the
+    /// parameter slices have unexpected lengths.
+    fn score_items(&self, user_emb: Option<&[f32]>, agg: &[f32], out: &mut [f32]);
+
+    /// Mean relevance over an item set — `Ŷ(Θ, V_target)` in the paper.
+    fn mean_relevance(&self, user_emb: Option<&[f32]>, agg: &[f32], items: &[u32]) -> f32 {
+        if items.is_empty() {
+            return 0.0;
+        }
+        let mut all = vec![0.0f32; self.num_items() as usize];
+        self.score_items(user_emb, agg, &mut all);
+        items.iter().map(|&i| all[i as usize]).sum::<f32>() / items.len() as f32
+    }
+
+    /// Trains a fictive adversary user embedding that "likes" `target_items`,
+    /// given public parameters `agg` (the Share-less adaptation of §IV-C).
+    ///
+    /// Returns `None` for models without user factors.
+    fn train_adversary_embedding(
+        &self,
+        agg: &[f32],
+        target_items: &[u32],
+        rng: &mut StdRng,
+    ) -> Option<Vec<f32>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_model_len_counts_both_parts() {
+        let m = SharedModel {
+            owner: UserId::new(0),
+            round: 1,
+            owner_emb: Some(vec![0.0; 4]),
+            agg: vec![0.0; 10],
+        };
+        assert_eq!(m.len(), 14);
+        assert!(!m.is_empty());
+        let m2 = SharedModel { owner_emb: None, ..m };
+        assert_eq!(m2.len(), 10);
+    }
+
+    #[test]
+    fn sharing_policy_accessors() {
+        assert!(SharingPolicy::Full.shares_user_embedding());
+        assert_eq!(SharingPolicy::Full.tau(), 0.0);
+        let sl = SharingPolicy::ShareLess { tau: 0.3 };
+        assert!(!sl.shares_user_embedding());
+        assert!((sl.tau() - 0.3).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the flat parameter algebra — the code path every
+//! aggregation, momentum, clipping and noising operation flows through.
+
+use cia_models::params::{axpy, clip_l2, ema, l2_norm, scale, weighted_mean};
+use proptest::prelude::*;
+
+fn vec32(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, len..=len)
+}
+
+proptest! {
+    #[test]
+    fn axpy_zero_is_identity(mut y in vec32(16), x in vec32(16)) {
+        let before = y.clone();
+        axpy(&mut y, 0.0, &x);
+        prop_assert_eq!(y, before);
+    }
+
+    #[test]
+    fn scale_one_is_identity(mut y in vec32(16)) {
+        let before = y.clone();
+        scale(&mut y, 1.0);
+        prop_assert_eq!(y, before);
+    }
+
+    #[test]
+    fn ema_beta_zero_replaces(mut v in vec32(16), theta in vec32(16)) {
+        ema(&mut v, 0.0, &theta);
+        prop_assert_eq!(v, theta);
+    }
+
+    #[test]
+    fn ema_beta_one_keeps(mut v in vec32(16), theta in vec32(16)) {
+        let before = v.clone();
+        ema(&mut v, 1.0, &theta);
+        for (a, b) in v.iter().zip(&before) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn ema_stays_within_bounds(mut v in vec32(8), theta in vec32(8), beta in 0.0f32..1.0) {
+        // Each coordinate of the EMA lies between the two inputs.
+        let before = v.clone();
+        ema(&mut v, beta, &theta);
+        for ((a, b), r) in before.iter().zip(&theta).zip(&v) {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(*r >= lo - 1e-3 && *r <= hi + 1e-3);
+        }
+    }
+
+    #[test]
+    fn clip_never_increases_norm(mut x in vec32(16), c in 0.01f32..50.0) {
+        let before = l2_norm(&x);
+        clip_l2(&mut x, c);
+        let after = l2_norm(&x);
+        prop_assert!(after <= before + 1e-3);
+        prop_assert!(after <= c + c * 1e-4);
+    }
+
+    #[test]
+    fn clip_below_threshold_is_identity(mut x in vec32(8)) {
+        let c = l2_norm(&x) + 1.0;
+        let before = x.clone();
+        let f = clip_l2(&mut x, c);
+        prop_assert_eq!(f, 1.0);
+        prop_assert_eq!(x, before);
+    }
+
+    #[test]
+    fn weighted_mean_of_identical_rows_is_the_row(row in vec32(12), w1 in 0.1f32..10.0, w2 in 0.1f32..10.0) {
+        let mut out = vec![0.0f32; 12];
+        weighted_mean(&mut out, &[&row, &row], &[w1, w2]);
+        for (o, r) in out.iter().zip(&row) {
+            prop_assert!((o - r).abs() < 1e-3, "o={o} r={r}");
+        }
+    }
+
+    #[test]
+    fn weighted_mean_is_convex_combination(a in vec32(8), b in vec32(8), w in 0.01f32..0.99) {
+        let mut out = vec![0.0f32; 8];
+        weighted_mean(&mut out, &[&a, &b], &[w, 1.0 - w]);
+        for ((x, y), o) in a.iter().zip(&b).zip(&out) {
+            let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+            prop_assert!(*o >= lo - 1e-3 && *o <= hi + 1e-3);
+        }
+    }
+}

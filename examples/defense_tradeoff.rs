@@ -1,0 +1,43 @@
+//! Privacy/utility trade-off of the two defenses the paper evaluates:
+//! the Share-less policy vs DP-SGD, on a federated GMF recommender.
+//!
+//! ```text
+//! cargo run --release --example defense_tradeoff
+//! ```
+
+use community_inference::experiments::{
+    run_recsys, DefenseKind, ModelKind, Preset, ProtocolKind, RunSpec, Scale,
+};
+
+fn main() {
+    println!("MovieLens-like, FL + GMF ({} scale).\n", Scale::Small);
+    println!(
+        "{:<28} {:>9} {:>9} {:>12}",
+        "defense", "Max AAC", "HR@20", "vs random"
+    );
+    let cases: Vec<(String, DefenseKind)> = vec![
+        ("no defense".into(), DefenseKind::None),
+        ("Share-less (tau=0.3)".into(), DefenseKind::ShareLess { tau: 0.3 }),
+        ("DP-SGD eps=inf (clip only)".into(), DefenseKind::Dp { epsilon: None }),
+        ("DP-SGD eps=1000".into(), DefenseKind::Dp { epsilon: Some(1000.0) }),
+        ("DP-SGD eps=100".into(), DefenseKind::Dp { epsilon: Some(100.0) }),
+        ("DP-SGD eps=10".into(), DefenseKind::Dp { epsilon: Some(10.0) }),
+        ("DP-SGD eps=1".into(), DefenseKind::Dp { epsilon: Some(1.0) }),
+    ];
+    for (label, defense) in cases {
+        let mut spec =
+            RunSpec::new(Preset::MovieLens, ModelKind::Gmf, ProtocolKind::Fl, Scale::Small);
+        spec.defense = defense;
+        let r = run_recsys(&spec);
+        println!(
+            "{:<28} {:>8.1}% {:>9.3} {:>11.1}x",
+            label,
+            r.attack.max_aac * 100.0,
+            r.utility,
+            r.attack.advantage_over_random()
+        );
+    }
+    println!("\nThe paper's conclusion (RQ6/RQ7): Share-less removes much of the");
+    println!("leakage at almost no utility cost, while DP-SGD needs so much noise");
+    println!("to blunt CIA that the recommender becomes useless first.");
+}

@@ -1,0 +1,30 @@
+//! The paper's motivating example (Figure 1): an honest-but-curious federated
+//! server identifies "health vulnerable" users purely from the models they
+//! send, using the public semantic categorization of points of interest.
+//!
+//! ```text
+//! cargo run --release --example health_community
+//! ```
+
+use community_inference::data::presets::Scale;
+use community_inference::data::{CATEGORY_NAMES, HEALTH_CATEGORY};
+use community_inference::experiments::experiments::fig1;
+
+fn main() {
+    println!("Semantic taxonomy: {}", CATEGORY_NAMES.join(", "));
+    println!(
+        "The adversary targets category #{HEALTH_CATEGORY}: \"{}\"\n",
+        CATEGORY_NAMES[HEALTH_CATEGORY as usize]
+    );
+    println!("Planting a 3-user health-vulnerable community (~68% health visits)");
+    println!("against a 6.7% base rate, then training a federated GMF recommender");
+    println!("and running CIA on the server with V_target = all health items...\n");
+
+    for table in fig1::run(Scale::Small, 42) {
+        println!("{}", table.to_text());
+    }
+
+    println!("Interpretation: the adversary recovered the community using only");
+    println!("(1) received models and (2) the public item categorization —");
+    println!("exactly the privacy risk the paper's Figure 1 illustrates.");
+}

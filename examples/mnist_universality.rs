@@ -1,0 +1,23 @@
+//! CIA beyond recommenders (§VIII-E): communities of one-class clients in a
+//! federated MNIST-style image classifier are recovered perfectly.
+//!
+//! ```text
+//! cargo run --release --example mnist_universality
+//! ```
+
+use community_inference::data::presets::Scale;
+use community_inference::experiments::experiments::mnist;
+
+fn main() {
+    println!("100 clients, each holding images of exactly one digit class;");
+    println!("a community = the clients sharing a class. The FL server runs CIA");
+    println!("with held-out probe images of each class as V_target.\n");
+
+    for table in mnist::run(Scale::Paper, 42) {
+        println!("{}", table.to_text());
+    }
+
+    println!("The only requirements are non-iid client data and shared");
+    println!("distributions inside groups — nothing recommender-specific,");
+    println!("which is the paper's universality claim.");
+}
