@@ -1,4 +1,9 @@
 //! Hot-path micro-benchmarks: the primitives every experiment is built from.
+//!
+//! Several benchmarks come in pairs: the live (kernel-backed) path under its
+//! original name, and a `_scalar_ref`/`_naive` twin that re-implements the
+//! pre-kernel scalar code. The pairs let `bench_report` compute speedups into
+//! `BENCH_kernels.json` — see `scripts/bench_kernels.sh`.
 
 use cia_core::{CiaConfig, FlCia, ItemSetEvaluator};
 use cia_data::presets::{Preset, Scale};
@@ -6,15 +11,41 @@ use cia_data::{jaccard_index, GroundTruth, LeaveOneOut, UserId};
 use cia_defenses::{DpConfig, DpMechanism, UpdateTransform};
 use cia_federated::{FedAvg, FedAvgConfig, NullObserver};
 use cia_gossip::{GossipConfig, GossipSim, NullGossipObserver};
-use cia_models::params::{clip_l2, ema};
-use cia_models::{GmfHyper, GmfSpec, RelevanceScorer, SharingPolicy};
+use cia_models::params::{clip_l2, ema, sigmoid};
+use cia_models::{kernel, GmfHyper, GmfSpec, Mlp, MlpHyper, MlpSpec, RelevanceScorer, SharingPolicy};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::time::Duration;
 
 const ITEMS: u32 = 1682; // MovieLens catalog size
 const DIM: usize = 16;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let a: Vec<f32> = (0..1024).map(|_| rng.gen::<f32>() - 0.5).collect();
+    let b: Vec<f32> = (0..1024).map(|_| rng.gen::<f32>() - 0.5).collect();
+    c.bench_function("kernel_dot_1024", |bch| {
+        bch.iter(|| std::hint::black_box(kernel::dot(&a, &b)));
+    });
+    c.bench_function("kernel_dot_1024_scalar_ref", |bch| {
+        bch.iter(|| {
+            let mut z = 0.0f32;
+            for i in 0..a.len() {
+                z += a[i] * b[i];
+            }
+            std::hint::black_box(z)
+        });
+    });
+
+    let w: Vec<f32> = (0..256 * 256).map(|_| rng.gen::<f32>() - 0.5).collect();
+    let x: Vec<f32> = (0..256).map(|_| rng.gen::<f32>() - 0.5).collect();
+    let bias: Vec<f32> = (0..256).map(|_| rng.gen::<f32>() - 0.5).collect();
+    let mut out = vec![0.0f32; 256];
+    c.bench_function("kernel_gemv_relu_256x256", |bch| {
+        bch.iter(|| kernel::gemv(std::hint::black_box(&mut out), &w, &x, Some(&bias), true));
+    });
+}
 
 fn bench_scoring(c: &mut Criterion) {
     let spec = GmfSpec::new(ITEMS, DIM, GmfHyper::default());
@@ -24,6 +55,26 @@ fn bench_scoring(c: &mut Criterion) {
     let mut out = vec![0.0f32; ITEMS as usize];
     c.bench_function("gmf_score_full_catalog_1682x16", |b| {
         b.iter(|| spec.score_items(Some(&emb), &agg, std::hint::black_box(&mut out)));
+    });
+    // The pre-kernel scalar path: heap-allocate w = p_u ⊙ h, then a serial
+    // dependency-chained dot per item. The dimension is opaque to the
+    // optimizer (black_box), as it was in the old library code where `d` was
+    // a runtime field.
+    c.bench_function("gmf_score_full_catalog_1682x16_scalar_ref", |b| {
+        b.iter(|| {
+            let d = std::hint::black_box(DIM);
+            let h = &agg[ITEMS as usize * d..];
+            let w: Vec<f32> = emb.iter().zip(h).map(|(u, h)| u * h).collect();
+            for (j, o) in out.iter_mut().enumerate() {
+                let q = &agg[j * d..(j + 1) * d];
+                let mut z = 0.0f32;
+                for k in 0..d {
+                    z += w[k] * q[k];
+                }
+                *o = sigmoid(z);
+            }
+            std::hint::black_box(&mut out);
+        });
     });
     let target: Vec<u32> = (0..100).collect();
     c.bench_function("gmf_mean_relevance_100_items", |b| {
@@ -39,6 +90,15 @@ fn bench_momentum_and_dp(c: &mut Criterion) {
     c.bench_function("momentum_ema_27k_params", |b| {
         b.iter(|| ema(std::hint::black_box(&mut v), 0.99, &theta));
     });
+    let mut v2 = theta.clone();
+    c.bench_function("momentum_ema_27k_params_scalar_ref", |b| {
+        b.iter(|| {
+            let v = std::hint::black_box(&mut v2);
+            for (vi, ti) in v.iter_mut().zip(&theta) {
+                *vi = 0.99 * *vi + (1.0 - 0.99) * ti;
+            }
+        });
+    });
 
     let dp = DpMechanism::new(DpConfig { clip: 2.0, noise_multiplier: 1.0 });
     c.bench_function("dp_clip_noise_27k_params", |b| {
@@ -52,6 +112,126 @@ fn bench_momentum_and_dp(c: &mut Criterion) {
     c.bench_function("clip_l2_27k_params", |b| {
         b.iter(|| clip_l2(std::hint::black_box(&mut upd), 2.0));
     });
+}
+
+fn bench_mlp_train(c: &mut Criterion) {
+    // The MNIST-shaped classifier of §VIII-E: 784-100-10, one batch of 16.
+    let spec = MlpSpec::new(vec![784, 100, 10]);
+    let hyper = MlpHyper { lr: 0.05, weight_decay: 1e-5, batch_size: 16 };
+    let mut rng = StdRng::seed_from_u64(4);
+    let batch: Vec<Vec<f32>> =
+        (0..16).map(|_| (0..784).map(|_| rng.gen::<f32>()).collect()).collect();
+    let xs: Vec<&[f32]> = batch.iter().map(|v| v.as_slice()).collect();
+    let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
+
+    let mut mlp = Mlp::new(spec.clone(), hyper, 7);
+    c.bench_function("mlp_train_batch_784x100x10_b16", |b| {
+        b.iter(|| std::hint::black_box(mlp.train_classification(&xs, &labels)));
+    });
+
+    // The pre-kernel scalar path: per-sample Vec allocations and serial
+    // dependency-chained loops, as `train_batch` was written before the
+    // kernel layer.
+    let mut params = Mlp::new(spec.clone(), hyper, 7).params().to_vec();
+    c.bench_function("mlp_train_batch_784x100x10_b16_scalar_ref", |b| {
+        b.iter(|| {
+            std::hint::black_box(scalar_ref_train_batch(
+                &spec, &mut params, hyper.lr, hyper.weight_decay, &xs, &labels,
+            ))
+        });
+    });
+
+    let mut scratch = cia_models::MlpScratch::default();
+    let mlp_fwd = Mlp::new(spec.clone(), hyper, 7);
+    c.bench_function("mlp_forward_784x100x10", |b| {
+        b.iter(|| {
+            std::hint::black_box(spec.forward_into(mlp_fwd.params(), &batch[0], &mut scratch));
+        });
+    });
+}
+
+/// The seed's scalar `train_batch` (softmax head), kept verbatim as the
+/// benchmark baseline for the kernel rewrite.
+fn scalar_ref_train_batch(
+    spec: &MlpSpec,
+    params: &mut [f32],
+    lr: f32,
+    weight_decay: f32,
+    xs: &[&[f32]],
+    labels: &[usize],
+) -> f32 {
+    let layers = spec.layers();
+    let n_layers = layers.len() - 1;
+    let mut grads = vec![0.0f32; spec.param_len()];
+    let mut total_loss = 0.0f32;
+    for (bi, x) in xs.iter().enumerate() {
+        let mut acts: Vec<Vec<f32>> = Vec::with_capacity(n_layers + 1);
+        acts.push(x.to_vec());
+        let mut off = 0;
+        for (li, w) in layers.windows(2).enumerate() {
+            let (n_in, n_out) = (w[0], w[1]);
+            let weights = &params[off..off + n_in * n_out];
+            let biases = &params[off + n_in * n_out..off + n_in * n_out + n_out];
+            let prev = &acts[li];
+            let mut next = vec![0.0f32; n_out];
+            for o in 0..n_out {
+                let row = &weights[o * n_in..(o + 1) * n_in];
+                let mut z = biases[o];
+                for i in 0..n_in {
+                    z += row[i] * prev[i];
+                }
+                next[o] = if li + 1 < n_layers { z.max(0.0) } else { z };
+            }
+            acts.push(next);
+            off += n_in * n_out + n_out;
+        }
+        let logp = MlpSpec::log_softmax(acts.last().expect("output layer"));
+        total_loss += -logp[labels[bi]];
+        let mut delta: Vec<f32> = logp.iter().map(|&lp| lp.exp()).collect();
+        delta[labels[bi]] -= 1.0;
+
+        let mut offs: Vec<usize> = Vec::with_capacity(n_layers);
+        let mut o = 0;
+        for w in layers.windows(2) {
+            offs.push(o);
+            o += w[0] * w[1] + w[1];
+        }
+        for li in (0..n_layers).rev() {
+            let (n_in, n_out) = (layers[li], layers[li + 1]);
+            let off = offs[li];
+            let prev = &acts[li];
+            for o in 0..n_out {
+                let g = delta[o];
+                let wrow = &mut grads[off + o * n_in..off + (o + 1) * n_in];
+                for i in 0..n_in {
+                    wrow[i] += g * prev[i];
+                }
+                grads[off + n_in * n_out + o] += g;
+            }
+            if li > 0 {
+                let weights = &params[off..off + n_in * n_out];
+                let mut prev_delta = vec![0.0f32; n_in];
+                for o in 0..n_out {
+                    let g = delta[o];
+                    let row = &weights[o * n_in..(o + 1) * n_in];
+                    for i in 0..n_in {
+                        prev_delta[i] += row[i] * g;
+                    }
+                }
+                for i in 0..n_in {
+                    if acts[li][i] <= 0.0 {
+                        prev_delta[i] = 0.0;
+                    }
+                }
+                delta = prev_delta;
+            }
+        }
+    }
+    let scale = lr / xs.len() as f32;
+    for (p, g) in params.iter_mut().zip(&grads) {
+        *p -= scale * g + lr * weight_decay * *p;
+    }
+    total_loss / xs.len() as f32
 }
 
 fn bench_protocol_rounds(c: &mut Criterion) {
@@ -118,6 +298,9 @@ fn bench_ground_truth(c: &mut Criterion) {
     c.bench_function("ground_truth_jaccard_topk_48_users", |b| {
         b.iter(|| std::hint::black_box(GroundTruth::from_train_sets(split.train_sets(), 5)));
     });
+    c.bench_function("ground_truth_jaccard_topk_48_users_naive", |b| {
+        b.iter(|| std::hint::black_box(GroundTruth::from_train_sets_naive(split.train_sets(), 5)));
+    });
     let a = &split.train_sets()[0];
     let bset = &split.train_sets()[1];
     c.bench_function("jaccard_index_pair", |b| {
@@ -135,7 +318,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_scoring, bench_momentum_and_dp, bench_protocol_rounds,
-              bench_attack_eval, bench_ground_truth
+    targets = bench_kernels, bench_scoring, bench_momentum_and_dp, bench_mlp_train,
+              bench_protocol_rounds, bench_attack_eval, bench_ground_truth
 }
 criterion_main!(benches);

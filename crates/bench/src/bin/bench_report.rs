@@ -1,0 +1,39 @@
+//! `bench_report` — fold the criterion JSON-lines stream into
+//! `BENCH_kernels.json`.
+//!
+//! ```text
+//! bench_report <criterion.jsonl> [out.json]
+//! ```
+//!
+//! Normally invoked through `scripts/bench_kernels.sh`, which runs the micro
+//! benches with `CRITERION_JSON` pointed at a scratch file first.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(input_path) = args.first() else {
+        eprintln!("usage: bench_report <criterion.jsonl> [out.json]");
+        return ExitCode::FAILURE;
+    };
+    let out_path = args.get(1).map_or("BENCH_kernels.json", String::as_str);
+    let input = match std::fs::read_to_string(input_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_report: cannot read {input_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let measurements = cia_bench::report::parse_jsonl(&input);
+    if measurements.is_empty() {
+        eprintln!("bench_report: no measurements found in {input_path}");
+        return ExitCode::FAILURE;
+    }
+    let rendered = cia_bench::report::render_report(&measurements);
+    if let Err(e) = std::fs::write(out_path, &rendered) {
+        eprintln!("bench_report: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path} ({} benchmarks)", measurements.len());
+    ExitCode::SUCCESS
+}

@@ -87,6 +87,7 @@ impl AiaCommunityAttack {
     ) -> Self {
         assert!(!target.is_empty(), "target set must be non-empty");
         assert!(cfg.cia.k > 0, "community size must be positive");
+        assert!(cfg.cia.eval_every > 0, "eval_every must be positive");
         let candidates = num_users - usize::from(owner.is_some());
         AiaCommunityAttack {
             tracker: AttackTracker::new(cfg.cia.k, candidates),
@@ -235,7 +236,7 @@ impl RoundObserver for AiaCommunityAttack {
     }
 
     fn on_round_end(&mut self, stats: &RoundStats) {
-        if (stats.round + 1) % self.cfg.cia.eval_every == 0 {
+        if (stats.round + 1).is_multiple_of(self.cfg.cia.eval_every) {
             self.evaluate(stats.round);
         }
     }

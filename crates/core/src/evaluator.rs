@@ -216,9 +216,9 @@ mod tests {
         let ev = ItemSetEvaluator::new(spec, vec![vec![1, 2], vec![10, 11, 12], vec![]], false);
         let mut out = vec![0.0f32; 3];
         ev.relevance_all(snap.owner_emb.as_deref(), &snap.agg, &mut out);
-        for t in 0..3 {
+        for (t, &batched) in out.iter().enumerate() {
             let one = ev.relevance_one(snap.owner_emb.as_deref(), &snap.agg, t);
-            assert!((out[t] - one).abs() < 1e-6, "target {t}: {} vs {one}", out[t]);
+            assert!((batched - one).abs() < 1e-6, "target {t}: {batched} vs {one}");
         }
         assert_eq!(out[2], 0.0);
     }
@@ -307,9 +307,9 @@ mod tests {
         );
         let mut all = vec![0.0f32; 2];
         rank_ev.relevance_all(snap.owner_emb.as_deref(), &snap.agg, &mut all);
-        for t in 0..2 {
+        for (t, &batched) in all.iter().enumerate() {
             let one = rank_ev.relevance_one(snap.owner_emb.as_deref(), &snap.agg, t);
-            assert!((one - all[t]).abs() < 1e-6);
+            assert!((one - batched).abs() < 1e-6);
         }
     }
 

@@ -6,7 +6,7 @@ use crate::metrics::{community_accuracy, AttackOutcome, AttackTracker};
 use crate::momentum::MomentumState;
 use cia_data::UserId;
 use cia_federated::{RoundObserver, RoundStats};
-use cia_models::parallel::par_map;
+use cia_models::parallel::{par_chunks_mut, par_map};
 use cia_models::SharedModel;
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +44,10 @@ pub struct FlCia<E: RelevanceEvaluator> {
     /// is the target), if any.
     owners: Vec<Option<UserId>>,
     momentum: Vec<Option<MomentumState>>,
+    /// Flat `num_users × num_targets` relevance matrix, reused across
+    /// evaluation rounds (rows of never-seen users stay untouched and are
+    /// skipped at ranking time).
+    rel: Vec<f32>,
     tracker: AttackTracker,
     last_global: Option<Vec<f32>>,
     prepared: bool,
@@ -68,12 +72,14 @@ impl<E: RelevanceEvaluator> FlCia<E> {
         owners: Vec<Option<UserId>>,
     ) -> Self {
         assert!(cfg.k > 0, "community size must be positive");
+        assert!(cfg.eval_every > 0, "eval_every must be positive");
         assert!((0.0..=1.0).contains(&cfg.beta), "beta must be in [0, 1]");
         assert_eq!(truths.len(), evaluator.num_targets(), "one truth per target");
         assert_eq!(owners.len(), evaluator.num_targets(), "one owner entry per target");
         let candidates = num_users.saturating_sub(usize::from(owners.iter().any(Option::is_some)));
         FlCia {
             tracker: AttackTracker::new(cfg.k, candidates),
+            rel: vec![0.0; num_users * evaluator.num_targets()],
             cfg,
             evaluator,
             truths,
@@ -91,30 +97,41 @@ impl<E: RelevanceEvaluator> FlCia<E> {
 
     /// Predicted community for target `t` at the last evaluation (requires at
     /// least one evaluation round). Exposed for the motivating example.
-    pub fn predict(&self, target: usize) -> Vec<UserId> {
+    pub fn predict(&mut self, target: usize) -> Vec<UserId> {
+        self.refresh_relevance();
         self.rank_all()[target].clone()
     }
 
-    /// Runs the ranking for every target against current momentum states.
+    /// Scores every seen user's momentum model against every target, into the
+    /// reusable flat relevance matrix (one row per user, filled in parallel).
+    fn refresh_relevance(&mut self) {
+        let num_targets = self.evaluator.num_targets();
+        if num_targets == 0 {
+            return; // degenerate zero-target attack; nothing to score
+        }
+        let (rel, momentum, evaluator) = (&mut self.rel, &self.momentum, &self.evaluator);
+        par_chunks_mut(rel, num_targets, |u, row| {
+            if let Some(m) = &momentum[u] {
+                evaluator.relevance_all(m.emb(), m.agg(), row);
+            }
+        });
+    }
+
+    /// Runs the ranking for every target against the relevance matrix
+    /// ([`FlCia::refresh_relevance`] must have run since the last momentum
+    /// update).
     fn rank_all(&self) -> Vec<Vec<UserId>> {
         let num_targets = self.evaluator.num_targets();
-        // Relevance of every user's momentum model for every target.
-        let rel: Vec<Option<Vec<f32>>> = par_map(self.momentum.len(), |u| {
-            self.momentum[u].as_ref().map(|m| {
-                let mut out = vec![0.0f32; num_targets];
-                self.evaluator.relevance_all(m.emb(), m.agg(), &mut out);
-                out
-            })
-        });
         par_map(num_targets, |t| {
-            let mut scored: Vec<(f32, u32)> = rel
+            let mut scored: Vec<(f32, u32)> = self
+                .momentum
                 .iter()
                 .enumerate()
-                .filter_map(|(u, r)| {
-                    if self.owners[t] == Some(UserId::new(u as u32)) {
+                .filter_map(|(u, m)| {
+                    if m.is_none() || self.owners[t] == Some(UserId::new(u as u32)) {
                         return None;
                     }
-                    r.as_ref().map(|r| (r[t], u as u32))
+                    Some((self.rel[u * num_targets + t], u as u32))
                 })
                 .collect();
             scored.sort_by(crate::metrics::rank_desc);
@@ -124,11 +141,12 @@ impl<E: RelevanceEvaluator> FlCia<E> {
 
     fn evaluate(&mut self, round: u64) {
         if let Some(global) = &self.last_global {
-            if !self.prepared || round % (self.cfg.eval_every * 4).max(1) == 0 {
+            if !self.prepared || round.is_multiple_of((self.cfg.eval_every * 4).max(1)) {
                 self.evaluator.prepare(global, self.cfg.seed ^ round);
                 self.prepared = true;
             }
         }
+        self.refresh_relevance();
         let predictions = self.rank_all();
         let mut accs = Vec::with_capacity(predictions.len());
         let mut uppers = Vec::with_capacity(predictions.len());
@@ -159,7 +177,7 @@ impl<E: RelevanceEvaluator> RoundObserver for FlCia<E> {
     }
 
     fn on_round_end(&mut self, stats: &RoundStats) {
-        if (stats.round + 1) % self.cfg.eval_every == 0 {
+        if (stats.round + 1).is_multiple_of(self.cfg.eval_every) {
             self.evaluate(stats.round);
         }
     }

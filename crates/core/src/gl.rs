@@ -19,9 +19,8 @@ use crate::metrics::{community_accuracy, AttackOutcome, AttackTracker};
 use crate::momentum::MomentumState;
 use cia_data::UserId;
 use cia_gossip::{GossipObserver, GossipRoundStats};
-use cia_models::parallel::par_map;
+use cia_models::parallel::{par_chunks_mut, par_map};
 use cia_models::SharedModel;
-use std::collections::BTreeMap;
 
 /// Algorithm 2 with parameter momentum, for one adversary node or a coalition
 /// of colluders.
@@ -31,9 +30,13 @@ pub struct GlCiaCoalition<E: RelevanceEvaluator> {
     truths: Vec<Vec<UserId>>,
     owners: Vec<Option<UserId>>,
     members: Vec<bool>,
-    /// Shared momentum table: sender → EMA model (the coalition multicasts
-    /// received models, so all colluders share one view).
-    momentum: BTreeMap<u32, MomentumState>,
+    /// Shared momentum table, a dense slab indexed by sender id (`None` =
+    /// sender never observed). The coalition multicasts received models, so
+    /// all colluders share one view.
+    momentum: Vec<Option<MomentumState>>,
+    /// Flat `num_users × num_targets` relevance matrix reused across
+    /// evaluation rounds; rows of unseen senders stay untouched.
+    rel: Vec<f32>,
     tracker: AttackTracker,
     last_agg: Option<Vec<f32>>,
     prepared: bool,
@@ -55,6 +58,7 @@ impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
         owners: Vec<Option<UserId>>,
     ) -> Self {
         assert!(cfg.k > 0, "community size must be positive");
+        assert!(cfg.eval_every > 0, "eval_every must be positive");
         assert!(!members.is_empty(), "coalition needs at least one member");
         assert_eq!(truths.len(), evaluator.num_targets(), "one truth per target");
         assert_eq!(owners.len(), evaluator.num_targets(), "one owner entry per target");
@@ -65,12 +69,13 @@ impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
         let candidates = num_users.saturating_sub(usize::from(owners.iter().any(Option::is_some)));
         GlCiaCoalition {
             tracker: AttackTracker::new(cfg.k, candidates),
+            rel: vec![0.0; num_users * evaluator.num_targets()],
             cfg,
             evaluator,
             truths,
             owners,
             members: mask,
-            momentum: BTreeMap::new(),
+            momentum: (0..num_users).map(|_| None).collect(),
             last_agg: None,
             prepared: false,
         }
@@ -83,38 +88,41 @@ impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
 
     /// Number of distinct senders observed so far.
     pub fn senders_seen(&self) -> usize {
-        self.momentum.len()
+        self.momentum.iter().flatten().count()
     }
 
     fn evaluate(&mut self, round: u64) {
-        if self.momentum.is_empty() {
+        if self.momentum.iter().all(Option::is_none) {
             self.tracker.record(round, &[0.0], &[0.0]);
             return;
         }
         if let Some(agg) = &self.last_agg {
-            if !self.prepared || round % (self.cfg.eval_every * 4).max(1) == 0 {
+            if !self.prepared || round.is_multiple_of((self.cfg.eval_every * 4).max(1)) {
                 self.evaluator.prepare(agg, self.cfg.seed ^ round);
                 self.prepared = true;
             }
         }
         let num_targets = self.evaluator.num_targets();
-        let states: Vec<(&u32, &MomentumState)> = self.momentum.iter().collect();
-        let rel: Vec<Vec<f32>> = par_map(states.len(), |i| {
-            let mut out = vec![0.0f32; num_targets];
-            self.evaluator.relevance_all(states[i].1.emb(), states[i].1.agg(), &mut out);
-            out
-        });
+        if num_targets > 0 {
+            let (rel, momentum, evaluator) = (&mut self.rel, &self.momentum, &self.evaluator);
+            par_chunks_mut(rel, num_targets, |sender, row| {
+                if let Some(m) = &momentum[sender] {
+                    evaluator.relevance_all(m.emb(), m.agg(), row);
+                }
+            });
+        }
         let mut accs = Vec::with_capacity(num_targets);
         let mut uppers = Vec::with_capacity(num_targets);
         for t in 0..num_targets {
-            let mut scored: Vec<(f32, u32)> = states
+            let mut scored: Vec<(f32, u32)> = self
+                .momentum
                 .iter()
                 .enumerate()
-                .filter_map(|(i, (&sender, _))| {
-                    if self.owners[t] == Some(UserId::new(sender)) {
+                .filter_map(|(sender, m)| {
+                    if m.is_none() || self.owners[t] == Some(UserId::new(sender as u32)) {
                         None
                     } else {
-                        Some((rel[i][t], sender))
+                        Some((self.rel[sender * num_targets + t], sender as u32))
                     }
                 })
                 .collect();
@@ -124,7 +132,7 @@ impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
             accs.push(community_accuracy(&predicted, &self.truths[t], self.cfg.k));
             let seen = self.truths[t]
                 .iter()
-                .filter(|u| self.momentum.contains_key(&u.raw()))
+                .filter(|u| self.momentum[u.index()].is_some())
                 .count();
             uppers.push(seen as f64 / self.cfg.k as f64);
         }
@@ -140,16 +148,14 @@ impl<E: RelevanceEvaluator> GossipObserver for GlCiaCoalition<E> {
         // Colluders never rank themselves... but they do observe each other's
         // honest models; keep those (they are genuine participants).
         self.last_agg = Some(model.agg.clone());
-        match self.momentum.get_mut(&model.owner.raw()) {
+        match &mut self.momentum[model.owner.index()] {
             Some(state) => state.update(self.cfg.beta, model),
-            None => {
-                self.momentum.insert(model.owner.raw(), MomentumState::from_snapshot(model));
-            }
+            slot @ None => *slot = Some(MomentumState::from_snapshot(model)),
         }
     }
 
     fn on_round_end(&mut self, stats: &GossipRoundStats) {
-        if (stats.round + 1) % self.cfg.eval_every == 0 {
+        if (stats.round + 1).is_multiple_of(self.cfg.eval_every) {
             self.evaluate(stats.round);
         }
     }
@@ -184,6 +190,7 @@ impl<E: RelevanceEvaluator> GlCiaAllPlacements<E> {
         truths: Vec<Vec<UserId>>,
     ) -> Self {
         assert!(cfg.k > 0, "community size must be positive");
+        assert!(cfg.eval_every > 0, "eval_every must be positive");
         assert_eq!(evaluator.num_targets(), num_users, "one target per node");
         assert_eq!(truths.len(), num_users, "one truth per node");
         GlCiaAllPlacements {
@@ -251,7 +258,7 @@ impl<E: RelevanceEvaluator> GossipObserver for GlCiaAllPlacements<E> {
     }
 
     fn on_round_end(&mut self, stats: &GossipRoundStats) {
-        if (stats.round + 1) % self.cfg.eval_every == 0 {
+        if (stats.round + 1).is_multiple_of(self.cfg.eval_every) {
             self.evaluate(stats.round);
         }
     }
@@ -415,11 +422,13 @@ mod tests {
         let pred_scores: Vec<u32> =
             from_scores.into_iter().take(s.k).map(|(_, u)| u).collect();
 
-        let states: Vec<(&u32, &MomentumState)> = coal.momentum.iter().collect();
-        let mut from_params: Vec<(f32, u32)> = states
+        let mut from_params: Vec<(f32, u32)> = coal
+            .momentum
             .iter()
-            .filter(|(&u, _)| u != adversary)
-            .map(|(&u, m)| {
+            .enumerate()
+            .filter_map(|(u, m)| m.as_ref().map(|m| (u as u32, m)))
+            .filter(|(u, _)| *u != adversary)
+            .map(|(u, m)| {
                 (
                     coal.evaluator.relevance_one(m.emb(), m.agg(), adversary as usize),
                     u,

@@ -75,6 +75,7 @@ impl<S: RelevanceScorer> MiaCommunityAttack<S> {
         train_sets: Vec<Vec<u32>>,
     ) -> Self {
         assert!(cfg.cia.k > 0, "community size must be positive");
+        assert!(cfg.cia.eval_every > 0, "eval_every must be positive");
         assert_eq!(truths.len(), targets.len(), "one truth per target");
         assert_eq!(owners.len(), targets.len(), "one owner entry per target");
         assert_eq!(train_sets.len(), num_users, "one train set per user");
@@ -204,7 +205,7 @@ impl<S: RelevanceScorer> RoundObserver for MiaCommunityAttack<S> {
     }
 
     fn on_round_end(&mut self, stats: &RoundStats) {
-        if (stats.round + 1) % self.cfg.cia.eval_every == 0 {
+        if (stats.round + 1).is_multiple_of(self.cfg.cia.eval_every) {
             self.evaluate(stats.round);
         }
     }

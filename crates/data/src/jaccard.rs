@@ -5,6 +5,7 @@
 //! `V_target`. The owner of the target set (when the target is a user's own
 //! train set) is excluded — its Jaccard with itself is trivially 1.
 
+use crate::parallel::par_map;
 use crate::UserId;
 use serde::{Deserialize, Serialize};
 
@@ -17,7 +18,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(jaccard_index(&[1, 2, 3], &[2, 3, 4]), 0.5);
 /// assert_eq!(jaccard_index(&[], &[]), 0.0);
 /// ```
-pub fn jaccard_index(a: &[u32], b: &[u32], ) -> f64 {
+#[must_use]
+pub fn jaccard_index(a: &[u32], b: &[u32]) -> f64 {
     debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "input must be sorted unique");
     debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "input must be sorted unique");
     let mut i = 0;
@@ -46,6 +48,7 @@ pub fn jaccard_index(a: &[u32], b: &[u32], ) -> f64 {
 /// to `target`, ties broken by smaller user id (deterministic).
 ///
 /// `candidates` provides `(user, sorted item set)` pairs.
+#[must_use]
 pub fn top_k_similar<'a>(
     target: &[u32],
     candidates: impl Iterator<Item = (UserId, &'a [u32])>,
@@ -77,7 +80,71 @@ impl GroundTruth {
     ///
     /// `train_sets[u]` must be sorted and deduplicated. The owner `u` is
     /// excluded from its own community.
+    ///
+    /// Implementation: instead of O(N²) pairwise sorted-merge intersections,
+    /// an inverted item → users index is built once; each owner then
+    /// accumulates `|owner ∩ v|` for every co-interacting user `v` by walking
+    /// the postings of its own items (total work `Σ_item |postings(item)|²`
+    /// spread over owners, parallelized with [`par_map`]). The Jaccard value
+    /// is derived from the intersection count with the exact float expression
+    /// [`jaccard_index`] uses, and candidates are ranked with the same
+    /// comparator, so results — including the smaller-id tie-break — are
+    /// identical to [`GroundTruth::from_train_sets_naive`], which the
+    /// property tests use as the oracle.
     pub fn from_train_sets(train_sets: &[Vec<u32>], k: usize) -> Self {
+        let n = train_sets.len();
+        let num_items = train_sets
+            .iter()
+            .filter_map(|s| s.last())
+            .max()
+            .map_or(0, |&m| m as usize + 1);
+        let total_interactions: usize = train_sets.iter().map(Vec::len).sum();
+        if num_items > total_interactions.saturating_mul(8) + 1024 {
+            // Sparse/hashed item ids: a dense postings table sized by the max
+            // id would dwarf the data. The pairwise merge is the right tool.
+            return Self::from_train_sets_naive(train_sets, k);
+        }
+        let mut postings: Vec<Vec<u32>> = vec![Vec::new(); num_items];
+        for (u, set) in train_sets.iter().enumerate() {
+            debug_assert!(
+                set.windows(2).all(|w| w[0] < w[1]),
+                "train sets must be sorted unique"
+            );
+            for &item in set {
+                postings[item as usize].push(u as u32);
+            }
+        }
+        let communities = par_map(n, |owner| {
+            let own = &train_sets[owner];
+            let mut inter = vec![0u32; n];
+            for &item in own {
+                for &v in &postings[item as usize] {
+                    inter[v as usize] += 1;
+                }
+            }
+            let mut scored: Vec<(f64, UserId)> = (0..n)
+                .filter(|&v| v != owner)
+                .map(|v| {
+                    let i = inter[v] as usize;
+                    let union = own.len() + train_sets[v].len() - i;
+                    let j = if union == 0 { 0.0 } else { i as f64 / union as f64 };
+                    (j, UserId::new(v as u32))
+                })
+                .collect();
+            // Same ordering as `top_k_similar`: descending similarity,
+            // ascending id on ties.
+            scored.sort_by(|a, b| {
+                b.0.partial_cmp(&a.0).expect("jaccard is finite").then_with(|| a.1.cmp(&b.1))
+            });
+            scored.into_iter().take(k).map(|(_, u)| u).collect()
+        });
+        GroundTruth { k, communities }
+    }
+
+    /// The straightforward O(N²·|set|) pairwise-merge version of
+    /// [`GroundTruth::from_train_sets`]. Kept as the property-test oracle the
+    /// inverted-index path is checked against.
+    pub fn from_train_sets_naive(train_sets: &[Vec<u32>], k: usize) -> Self {
         let communities = (0..train_sets.len())
             .map(|owner| {
                 top_k_similar(
@@ -175,6 +242,18 @@ mod tests {
         assert!((acc - 0.5).abs() < 1e-12);
         let acc = gt.accuracy(UserId::new(0), &[UserId::new(1), UserId::new(2)]);
         assert!((acc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_item_ids_fall_back_to_naive_and_agree() {
+        // Max id ≫ total interactions: the dense postings table would be
+        // absurd, so the guard routes to the pairwise merge.
+        let sets = vec![vec![7, 4_000_000_000], vec![7, 9], vec![4_000_000_000]];
+        let gt = GroundTruth::from_train_sets(&sets, 2);
+        let naive = GroundTruth::from_train_sets_naive(&sets, 2);
+        for u in 0..3 {
+            assert_eq!(gt.community_of(UserId::new(u)), naive.community_of(UserId::new(u)));
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@ mod ids;
 mod images;
 mod interactions;
 mod jaccard;
+pub mod parallel;
 pub mod presets;
 mod split;
 mod synthetic;

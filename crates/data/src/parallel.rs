@@ -68,6 +68,9 @@ where
 
 /// Computes `f(i)` for `i in 0..n` in parallel and returns the results in
 /// index order.
+///
+/// Workers each fill a per-chunk `Vec<R>` which are concatenated in chunk
+/// order, so results need no `Option` wrapping or unwrap re-scan.
 pub fn par_map<R: Send, F>(n: usize, f: F) -> Vec<R>
 where
     F: Fn(usize) -> R + Sync,
@@ -77,18 +80,56 @@ where
         return (0..n).map(f).collect();
     }
     let chunk = n.div_ceil(threads);
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut out: Vec<R> = Vec::with_capacity(n);
     std::thread::scope(|s| {
-        for (c, slice) in out.chunks_mut(chunk).enumerate() {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|start| {
+                let f = &f;
+                let end = (start + chunk).min(n);
+                s.spawn(move || (start..end).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("par_map worker panicked"));
+        }
+    });
+    out
+}
+
+/// Applies `f` to consecutive `chunk`-sized windows of `items` in parallel;
+/// `f` receives the chunk index and the chunk (the last one may be shorter).
+/// Used to fill row-major matrices row-by-row without collecting row
+/// references.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn par_chunks_mut<T: Send, F>(items: &mut [T], chunk: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let total = items.len().div_ceil(chunk);
+    let threads = num_threads();
+    if total <= 1 || threads <= 1 {
+        for (i, c) in items.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    // Chunks-per-thread groups stay contiguous so indices are recoverable.
+    let per_thread = total.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (g, group) in items.chunks_mut(chunk * per_thread).enumerate() {
             let f = &f;
             s.spawn(move || {
-                for (i, slot) in slice.iter_mut().enumerate() {
-                    *slot = Some(f(c * chunk + i));
+                for (i, c) in group.chunks_mut(chunk).enumerate() {
+                    f(g * per_thread + i, c);
                 }
             });
         }
     });
-    out.into_iter().map(|r| r.expect("all slots filled")).collect()
 }
 
 #[cfg(test)]
@@ -116,6 +157,26 @@ mod tests {
     fn par_map_empty_and_single() {
         assert!(par_map(0, |i| i).is_empty());
         assert_eq!(par_map(1, |i| i + 5), vec![5]);
+    }
+
+    #[test]
+    fn par_chunks_mut_indexes_every_chunk() {
+        let mut v: Vec<u64> = vec![0; 103]; // deliberately not a multiple
+        par_chunks_mut(&mut v, 10, |ci, chunk| {
+            for (o, x) in chunk.iter_mut().enumerate() {
+                *x = (ci * 10 + o) as u64;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+        // Degenerate cases: empty slice, chunk larger than the slice.
+        par_chunks_mut(&mut [] as &mut [u64], 4, |_, _| panic!("no chunks"));
+        let mut one = vec![7u64; 3];
+        par_chunks_mut(&mut one, 100, |ci, c| {
+            assert_eq!(ci, 0);
+            assert_eq!(c.len(), 3);
+        });
     }
 
     #[test]

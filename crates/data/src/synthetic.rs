@@ -128,8 +128,8 @@ impl SyntheticConfig {
         let planting = self.categories.as_ref().and_then(|p| p.health_planting);
 
         let mut records = Vec::with_capacity(self.users);
-        for u in 0..self.users {
-            let c = community_of[u] as usize;
+        for (u, &community) in community_of.iter().enumerate() {
+            let c = community as usize;
             let jitter = 1.0 + self.ipu_jitter * (rng.gen::<f64>() * 2.0 - 1.0);
             let mut n_u = ((self.interactions_per_user as f64) * jitter).round() as usize;
             n_u = n_u.clamp(2, (n_items * 4) / 5);

@@ -1,6 +1,8 @@
 //! Property-based tests for the data substrate.
 
-use cia_data::{jaccard_index, sample_negatives, top_k_similar, SyntheticConfig, UserId, Zipf};
+use cia_data::{
+    jaccard_index, sample_negatives, top_k_similar, GroundTruth, SyntheticConfig, UserId, Zipf,
+};
 use proptest::prelude::*;
 use rand::SeedableRng;
 
@@ -72,6 +74,25 @@ proptest! {
         for &n in &negs {
             prop_assert!(n < num_items);
             prop_assert!(observed.binary_search(&n).is_err());
+        }
+    }
+
+    #[test]
+    fn inverted_index_ground_truth_matches_naive(
+        // A small item universe forces many identical Jaccard values, so the
+        // smaller-id tie-break is exercised constantly.
+        sets in proptest::collection::vec(sorted_unique(12, 8), 2..14),
+        k in 1usize..6,
+    ) {
+        let fast = GroundTruth::from_train_sets(&sets, k);
+        let naive = GroundTruth::from_train_sets_naive(&sets, k);
+        prop_assert_eq!(fast.num_targets(), naive.num_targets());
+        for owner in 0..sets.len() as u32 {
+            prop_assert_eq!(
+                fast.community_of(UserId::new(owner)),
+                naive.community_of(UserId::new(owner)),
+                "owner {} communities diverge", owner
+            );
         }
     }
 

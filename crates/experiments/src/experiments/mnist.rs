@@ -13,7 +13,7 @@ use cia_core::{CiaConfig, FlCia, RelevanceEvaluator};
 use cia_data::presets::Scale;
 use cia_data::{ImageDataset, ImageGenConfig, UserId, IMAGE_DIM, NUM_CLASSES};
 use cia_federated::{FedAvg, FedAvgConfig};
-use cia_models::{MlpClient, MlpHyper, MlpSpec};
+use cia_models::{MlpClient, MlpHyper, MlpScratch, MlpSpec};
 use std::sync::Arc;
 
 /// Relevance of an MLP for a class-probe target: the mean log-softmax
@@ -25,6 +25,25 @@ struct MnistEvaluator {
     targets: Vec<Vec<usize>>,
 }
 
+impl MnistEvaluator {
+    /// Shared inner loop: forwards every probe through `scratch` (no per-probe
+    /// allocation) and folds the class log-probability inline.
+    fn relevance_with(&self, scratch: &mut MlpScratch, agg: &[f32], target: usize) -> f32 {
+        let probes = &self.targets[target];
+        if probes.is_empty() {
+            return f32::NEG_INFINITY;
+        }
+        let mut acc = 0.0f32;
+        for &s in probes {
+            let logits = self.spec.forward_into(agg, self.data.image(s), scratch);
+            // logp[target] = z[target] − lse, without materializing the full
+            // log-softmax vector.
+            acc += logits[target] - MlpSpec::log_sum_exp(logits);
+        }
+        acc / probes.len() as f32
+    }
+}
+
 impl RelevanceEvaluator for MnistEvaluator {
     fn num_targets(&self) -> usize {
         self.targets.len()
@@ -33,16 +52,17 @@ impl RelevanceEvaluator for MnistEvaluator {
     fn prepare(&mut self, _agg: &[f32], _seed: u64) {}
 
     fn relevance_one(&self, _owner_emb: Option<&[f32]>, agg: &[f32], target: usize) -> f32 {
-        let probes = &self.targets[target];
-        if probes.is_empty() {
-            return f32::NEG_INFINITY;
+        let mut scratch = MlpScratch::default();
+        self.relevance_with(&mut scratch, agg, target)
+    }
+
+    fn relevance_all(&self, _owner_emb: Option<&[f32]>, agg: &[f32], out: &mut [f32]) {
+        assert_eq!(out.len(), self.targets.len(), "one output per target");
+        // One scratch for the whole model: reused across targets and probes.
+        let mut scratch = MlpScratch::default();
+        for (t, o) in out.iter_mut().enumerate() {
+            *o = self.relevance_with(&mut scratch, agg, t);
         }
-        let mut acc = 0.0f32;
-        for &s in probes {
-            let logits = self.spec.forward(agg, self.data.image(s));
-            acc += MlpSpec::log_softmax(&logits)[target];
-        }
-        acc / probes.len() as f32
     }
 }
 

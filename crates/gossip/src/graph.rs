@@ -71,7 +71,7 @@ impl ViewTable {
     pub fn refresh_personalized(
         &mut self,
         u: u32,
-        scored: &mut Vec<(u32, f32)>,
+        scored: &mut [(u32, f32)],
         keep: usize,
         rng: &mut StdRng,
     ) {

@@ -8,6 +8,7 @@
 //! Flat parameter layout: `[ p_u (d) | Q (|V|·d) | h (d) ]`; the aggregatable
 //! slice is everything after the user embedding.
 
+use crate::kernel::{dot, dot3};
 use crate::params::{init_uniform, sigmoid};
 use crate::participant::{Participant, RelevanceScorer, SharedModel, SharingPolicy};
 use cia_data::UserId;
@@ -136,6 +137,27 @@ impl GmfSpec {
     }
 }
 
+/// Embedding dimension up to which the hoisted `w = p_u ⊙ h` product lives on
+/// the stack (scoring stays allocation-free for every realistic `d`).
+const W_STACK: usize = 64;
+
+/// Runs `f` with `w = user ⊙ h` materialized once — on the stack when the
+/// dimension allows — so per-item scoring is a plain [`dot`].
+#[inline]
+fn with_user_h<R>(user: &[f32], h: &[f32], f: impl FnOnce(&[f32]) -> R) -> R {
+    let d = user.len();
+    if d <= W_STACK {
+        let mut buf = [0.0f32; W_STACK];
+        for ((b, u), hh) in buf.iter_mut().zip(user).zip(h) {
+            *b = u * hh;
+        }
+        f(&buf[..d])
+    } else {
+        let w: Vec<f32> = user.iter().zip(h).map(|(u, hh)| u * hh).collect();
+        f(&w)
+    }
+}
+
 impl RelevanceScorer for GmfSpec {
     fn num_items(&self) -> u32 {
         self.num_items
@@ -155,16 +177,13 @@ impl RelevanceScorer for GmfSpec {
         assert_eq!(agg.len(), GmfSpec::agg_len(self), "agg size");
         let d = self.dim;
         let h = self.h_slice(agg);
-        // w = p_u ⊙ h, then ŷ_j = σ(w · q_j).
-        let w: Vec<f32> = user.iter().zip(h).map(|(u, h)| u * h).collect();
-        for (j, o) in out.iter_mut().enumerate() {
-            let q = &agg[j * d..(j + 1) * d];
-            let mut z = 0.0f32;
-            for k in 0..d {
-                z += w[k] * q[k];
+        // ŷ_j = σ((p_u ⊙ h) · q_j): w is hoisted once (stack, no allocation)
+        // and every item is one chunked dot.
+        with_user_h(user, h, |w| {
+            for (q, o) in agg[..self.num_items as usize * d].chunks_exact(d).zip(out.iter_mut()) {
+                *o = sigmoid(dot(w, q));
             }
-            *o = sigmoid(z);
-        }
+        });
     }
 
     fn mean_relevance(&self, user_emb: Option<&[f32]>, agg: &[f32], items: &[u32]) -> f32 {
@@ -172,19 +191,14 @@ impl RelevanceScorer for GmfSpec {
         if items.is_empty() {
             return 0.0;
         }
-        let d = self.dim;
         let h = self.h_slice(agg);
-        let w: Vec<f32> = user.iter().zip(h).map(|(u, h)| u * h).collect();
-        let mut acc = 0.0f32;
-        for &j in items {
-            let q = self.item_slice(agg, j);
-            let mut z = 0.0f32;
-            for k in 0..d {
-                z += w[k] * q[k];
+        with_user_h(user, h, |w| {
+            let mut acc = 0.0f32;
+            for &j in items {
+                acc += sigmoid(dot(w, self.item_slice(agg, j)));
             }
-            acc += sigmoid(z);
-        }
-        acc / items.len() as f32
+            acc / items.len() as f32
+        })
     }
 
     fn train_adversary_embedding(
@@ -218,11 +232,7 @@ impl RelevanceScorer for GmfSpec {
 impl GmfSpec {
     fn adversary_step(&self, emb: &mut [f32], agg: &[f32], h: &[f32], j: u32, y: f32, lr: f32) {
         let q = self.item_slice(agg, j);
-        let mut z = 0.0f32;
-        for k in 0..self.dim {
-            z += emb[k] * h[k] * q[k];
-        }
-        let g = sigmoid(z) - y;
+        let g = sigmoid(dot3(emb, h, q)) - y;
         for k in 0..self.dim {
             emb[k] -= lr * g * h[k] * q[k];
         }
@@ -257,20 +267,13 @@ impl GmfClient {
     /// Scores candidate items with the client's own model (utility
     /// evaluation).
     pub fn score_candidates(&self, items: &[u32]) -> Vec<f32> {
-        let d = self.spec.dim;
         let h = self.spec.h_slice(&self.agg);
-        let w: Vec<f32> = self.user_emb.iter().zip(h).map(|(u, h)| u * h).collect();
-        items
-            .iter()
-            .map(|&j| {
-                let q = self.spec.item_slice(&self.agg, j);
-                let mut z = 0.0f32;
-                for k in 0..d {
-                    z += w[k] * q[k];
-                }
-                sigmoid(z)
-            })
-            .collect()
+        with_user_h(&self.user_emb, h, |w| {
+            items
+                .iter()
+                .map(|&j| sigmoid(dot(w, self.spec.item_slice(&self.agg, j))))
+                .collect()
+        })
     }
 
     /// One SGD step on `(item, label)`.
@@ -281,11 +284,7 @@ impl GmfClient {
         let q = &mut items[j as usize * d..(j as usize + 1) * d];
         let u = &mut self.user_emb;
 
-        let mut z = 0.0f32;
-        for k in 0..d {
-            z += u[k] * h[k] * q[k];
-        }
-        let p = sigmoid(z);
+        let p = sigmoid(dot3(u, h, q));
         let g = p - y;
         let wd = self.spec.hyper.weight_decay;
         let tau = self.policy.tau();

@@ -23,15 +23,19 @@
 #![warn(missing_docs)]
 
 mod gmf;
+pub mod kernel;
 mod metrics;
 mod mlp;
-pub mod parallel;
 pub mod params;
 mod participant;
 mod prme;
 
+/// Data-parallel helpers, re-exported from `cia-data` (they moved there so
+/// the similarity ground truth can parallelize without a dependency cycle).
+pub use cia_data::parallel;
+
 pub use gmf::{GmfClient, GmfHyper, GmfSpec};
 pub use metrics::{f1_at_k, hit_ratio, ndcg, rank_of_primary, RankedEval};
-pub use mlp::{Mlp, MlpClient, MlpHyper, MlpSpec};
+pub use mlp::{Mlp, MlpClient, MlpHyper, MlpScratch, MlpSpec};
 pub use participant::{Participant, RelevanceScorer, SharedModel, SharingPolicy, UpdateTransform};
 pub use prme::{PrmeClient, PrmeHyper, PrmeSpec};

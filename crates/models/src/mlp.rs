@@ -7,12 +7,13 @@
 //! cross-entropy for multi-class and sigmoid binary cross-entropy when the
 //! final layer has a single unit.
 
+use crate::kernel;
 use crate::params::init_uniform;
 use crate::participant::{Participant, SharedModel};
 use cia_data::{ImageDataset, UserId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -92,48 +93,140 @@ impl MlpSpec {
 
     /// Forward pass on `params`, returning the output logits.
     ///
+    /// Allocation-sensitive callers should hold an [`MlpScratch`] and use
+    /// [`MlpSpec::forward_into`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if the slices have unexpected lengths.
     pub fn forward(&self, params: &[f32], x: &[f32]) -> Vec<f32> {
+        let mut scratch = MlpScratch::default();
+        self.forward_into(params, x, &mut scratch).to_vec()
+    }
+
+    /// Forward pass into reusable buffers: every layer runs as one fused
+    /// [`kernel::gemv`] (ReLU on hidden layers), activations land in
+    /// `scratch`, and the returned slice borrows the output layer. No
+    /// allocation after the scratch has warmed up to this spec's shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have unexpected lengths.
+    pub fn forward_into<'s>(
+        &self,
+        params: &[f32],
+        x: &[f32],
+        scratch: &'s mut MlpScratch,
+    ) -> &'s [f32] {
         assert_eq!(params.len(), self.param_len(), "param size");
         assert_eq!(x.len(), self.input_len(), "input size");
-        let mut act = x.to_vec();
-        let mut off = 0;
+        scratch.ensure(self);
         let n_layers = self.layers.len() - 1;
-        for (li, w) in self.layers.windows(2).enumerate() {
-            let (n_in, n_out) = (w[0], w[1]);
+        scratch.acts[..x.len()].copy_from_slice(x);
+        for li in 0..n_layers {
+            let (n_in, n_out) = (self.layers[li], self.layers[li + 1]);
+            let off = scratch.param_off[li];
             let weights = &params[off..off + n_in * n_out];
             let biases = &params[off + n_in * n_out..off + n_in * n_out + n_out];
-            let mut next = vec![0.0f32; n_out];
-            for o in 0..n_out {
-                let row = &weights[o * n_in..(o + 1) * n_in];
-                let mut z = biases[o];
-                for i in 0..n_in {
-                    z += row[i] * act[i];
-                }
-                next[o] = if li + 1 < n_layers { z.max(0.0) } else { z };
-            }
-            act = next;
-            off += n_in * n_out + n_out;
+            // Consecutive layers occupy disjoint ranges of the flat
+            // activation buffer.
+            let (prev_part, next_part) = scratch.acts.split_at_mut(scratch.act_off[li + 1]);
+            let prev = &prev_part[scratch.act_off[li]..];
+            let next = &mut next_part[..n_out];
+            kernel::gemv(next, weights, prev, Some(biases), li + 1 < n_layers);
         }
-        act
+        let out_off = scratch.act_off[n_layers];
+        &scratch.acts[out_off..out_off + self.output_len()]
+    }
+
+    /// Max-shifted log-sum-exp of logits (the normalizer of softmax).
+    #[must_use]
+    pub fn log_sum_exp(logits: &[f32]) -> f32 {
+        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        logits.iter().map(|&z| (z - max).exp()).sum::<f32>().ln() + max
     }
 
     /// Log-softmax of logits.
     pub fn log_softmax(logits: &[f32]) -> Vec<f32> {
-        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let lse = logits.iter().map(|&z| (z - max).exp()).sum::<f32>().ln() + max;
+        let lse = Self::log_sum_exp(logits);
         logits.iter().map(|&z| z - lse).collect()
     }
 }
 
-/// A trainable MLP: spec plus parameters.
+/// Reusable forward/backward buffers for one [`MlpSpec`] shape.
+///
+/// Holds the flat per-layer activations, the two delta buffers backprop
+/// ping-pongs between, the gradient accumulator, and the precomputed layer
+/// offsets. [`MlpScratch::ensure`] sizes everything on first use (or on a
+/// spec change); after that, training and inference allocate nothing per
+/// sample.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    /// Flat activations; layer `l` lives at `act_off[l]..act_off[l] + layers[l]`.
+    acts: Vec<f32>,
+    /// Activation offset per layer (`layers.len()` + 1 sentinel entries).
+    act_off: Vec<usize>,
+    /// Parameter offset of each layer's weight block.
+    param_off: Vec<usize>,
+    /// dL/dz of the current layer (sized to the widest layer).
+    delta: Vec<f32>,
+    /// dL/dz of the previous layer, swapped with `delta` each step.
+    prev_delta: Vec<f32>,
+    /// Gradient accumulator over the mini-batch (`param_len` entries).
+    grads: Vec<f32>,
+    /// The layer sizes the buffers were sized for.
+    shape: Vec<usize>,
+}
+
+impl MlpScratch {
+    /// Sizes the forward-pass buffers for `spec` (no-op when already
+    /// matching). The training-only buffers (deltas, gradients) are sized
+    /// separately by [`MlpScratch::ensure_train`], so inference-only callers
+    /// never pay for a `param_len`-sized gradient accumulator.
+    fn ensure(&mut self, spec: &MlpSpec) {
+        if self.shape == spec.layers {
+            return;
+        }
+        self.shape = spec.layers.clone();
+        self.act_off.clear();
+        let mut off = 0;
+        for &n in &spec.layers {
+            self.act_off.push(off);
+            off += n;
+        }
+        self.act_off.push(off);
+        self.acts.clear();
+        self.acts.resize(off, 0.0);
+        self.param_off.clear();
+        let mut poff = 0;
+        for w in spec.layers.windows(2) {
+            self.param_off.push(poff);
+            poff += w[0] * w[1] + w[1];
+        }
+        // A spec change invalidates the training buffers too; they regrow on
+        // the next `ensure_train`.
+        self.delta.clear();
+        self.prev_delta.clear();
+        self.grads.clear();
+    }
+
+    /// Sizes the backprop buffers on top of [`MlpScratch::ensure`].
+    fn ensure_train(&mut self, spec: &MlpSpec) {
+        self.ensure(spec);
+        let widest = spec.layers.iter().copied().max().expect("non-empty spec");
+        self.delta.resize(widest, 0.0);
+        self.prev_delta.resize(widest, 0.0);
+        self.grads.resize(spec.param_len(), 0.0);
+    }
+}
+
+/// A trainable MLP: spec plus parameters, with persistent training scratch.
 #[derive(Debug, Clone)]
 pub struct Mlp {
     spec: MlpSpec,
     params: Vec<f32>,
     hyper: MlpHyper,
+    scratch: MlpScratch,
 }
 
 impl Mlp {
@@ -141,7 +234,7 @@ impl Mlp {
     pub fn new(spec: MlpSpec, hyper: MlpHyper, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let params = spec.init_params(&mut rng);
-        Mlp { spec, params, hyper }
+        Mlp { spec, params, hyper, scratch: MlpScratch::default() }
     }
 
     /// The architecture.
@@ -195,12 +288,15 @@ impl Mlp {
         assert!(!xs.is_empty() && xs.len() == labels.len(), "batch shape");
         let out = self.spec.output_len();
         assert!(labels.iter().all(|&l| l < out), "label out of range");
-        self.train_batch(xs, |logits, i| {
-            let logp = MlpSpec::log_softmax(logits);
-            let loss = -logp[labels[i]];
-            let mut delta: Vec<f32> = logp.iter().map(|&lp| lp.exp()).collect();
+        self.train_batch(xs, |logits, i, delta| {
+            // Softmax cross-entropy, computed without materializing log-probs:
+            // delta = softmax(z) − one_hot(label), loss = lse − z[label].
+            let lse = MlpSpec::log_sum_exp(logits);
+            for (d, &z) in delta.iter_mut().zip(logits) {
+                *d = (z - lse).exp();
+            }
             delta[labels[i]] -= 1.0;
-            (loss, delta)
+            lse - logits[labels[i]]
         })
     }
 
@@ -213,94 +309,82 @@ impl Mlp {
     pub fn train_binary(&mut self, xs: &[&[f32]], targets: &[f32]) -> f32 {
         assert!(!xs.is_empty() && xs.len() == targets.len(), "batch shape");
         assert_eq!(self.spec.output_len(), 1, "binary head required");
-        self.train_batch(xs, |logits, i| {
+        self.train_batch(xs, |logits, i, delta| {
             let p = crate::params::sigmoid(logits[0]);
             let y = targets[i];
             let eps = 1e-7f32;
-            let loss = -(y * (p + eps).ln() + (1.0 - y) * (1.0 - p + eps).ln());
-            (loss, vec![p - y])
+            delta[0] = p - y;
+            -(y * (p + eps).ln() + (1.0 - y) * (1.0 - p + eps).ln())
         })
     }
 
-    /// Shared batched backprop; `head` maps logits to (loss, dL/dlogits).
-    fn train_batch(&mut self, xs: &[&[f32]], head: impl Fn(&[f32], usize) -> (f32, Vec<f32>)) -> f32 {
-        let spec = self.spec.clone();
+    /// Shared batched backprop on the persistent [`MlpScratch`]; `head`
+    /// writes dL/dlogits into the provided buffer and returns the loss.
+    /// Every layer runs through the [`kernel`] gemv/ger primitives and no
+    /// buffer is allocated inside the sample loop.
+    fn train_batch(&mut self, xs: &[&[f32]], head: impl Fn(&[f32], usize, &mut [f32]) -> f32) -> f32 {
+        let spec = &self.spec;
         let n_layers = spec.layers.len() - 1;
-        let mut grads = vec![0.0f32; spec.param_len()];
+        // The scratch moves out so `self.params` stays borrowable.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.ensure_train(spec);
+        scratch.grads.fill(0.0);
         let mut total_loss = 0.0f32;
 
         for (bi, x) in xs.iter().enumerate() {
-            // Forward, keeping activations per layer.
-            let mut acts: Vec<Vec<f32>> = Vec::with_capacity(n_layers + 1);
-            acts.push(x.to_vec());
-            let mut off = 0;
-            for (li, w) in spec.layers.windows(2).enumerate() {
-                let (n_in, n_out) = (w[0], w[1]);
+            // Forward, keeping per-layer activations in the flat buffer.
+            assert_eq!(x.len(), spec.input_len(), "input size");
+            scratch.acts[..x.len()].copy_from_slice(x);
+            for li in 0..n_layers {
+                let (n_in, n_out) = (spec.layers[li], spec.layers[li + 1]);
+                let off = scratch.param_off[li];
                 let weights = &self.params[off..off + n_in * n_out];
                 let biases = &self.params[off + n_in * n_out..off + n_in * n_out + n_out];
-                let prev = &acts[li];
-                let mut next = vec![0.0f32; n_out];
-                for o in 0..n_out {
-                    let row = &weights[o * n_in..(o + 1) * n_in];
-                    let mut z = biases[o];
-                    for i in 0..n_in {
-                        z += row[i] * prev[i];
-                    }
-                    next[o] = if li + 1 < n_layers { z.max(0.0) } else { z };
-                }
-                acts.push(next);
-                off += n_in * n_out + n_out;
+                let (prev_part, next_part) = scratch.acts.split_at_mut(scratch.act_off[li + 1]);
+                let prev = &prev_part[scratch.act_off[li]..];
+                kernel::gemv(&mut next_part[..n_out], weights, prev, Some(biases), li + 1 < n_layers);
             }
 
-            let (loss, mut delta) = head(acts.last().expect("output layer"), bi);
-            total_loss += loss;
+            let out_off = scratch.act_off[n_layers];
+            let logits = &scratch.acts[out_off..out_off + spec.output_len()];
+            total_loss += head(logits, bi, &mut scratch.delta[..spec.output_len()]);
 
             // Backward.
-            let mut offs: Vec<usize> = Vec::with_capacity(n_layers);
-            let mut o = 0;
-            for w in spec.layers.windows(2) {
-                offs.push(o);
-                o += w[0] * w[1] + w[1];
-            }
             for li in (0..n_layers).rev() {
                 let (n_in, n_out) = (spec.layers[li], spec.layers[li + 1]);
-                let off = offs[li];
-                let prev = &acts[li];
-                // Accumulate dW, db.
-                for o in 0..n_out {
-                    let g = delta[o];
-                    let wrow = &mut grads[off + o * n_in..off + (o + 1) * n_in];
-                    for i in 0..n_in {
-                        wrow[i] += g * prev[i];
-                    }
-                    grads[off + n_in * n_out + o] += g;
+                let off = scratch.param_off[li];
+                let prev = &scratch.acts[scratch.act_off[li]..scratch.act_off[li] + n_in];
+                let delta = &scratch.delta[..n_out];
+                // dW += δ ⊗ a, db += δ.
+                kernel::ger(&mut scratch.grads[off..off + n_in * n_out], delta, prev);
+                for (g, d) in scratch.grads[off + n_in * n_out..off + n_in * n_out + n_out]
+                    .iter_mut()
+                    .zip(delta)
+                {
+                    *g += d;
                 }
                 if li > 0 {
-                    // delta_{l-1} = Wᵀ delta ⊙ relu'(a_{l-1})
+                    // delta_{l-1} = Wᵀ δ ⊙ relu'(a_{l-1})
                     let weights = &self.params[off..off + n_in * n_out];
-                    let mut prev_delta = vec![0.0f32; n_in];
-                    for o in 0..n_out {
-                        let g = delta[o];
-                        let row = &weights[o * n_in..(o + 1) * n_in];
-                        for i in 0..n_in {
-                            prev_delta[i] += row[i] * g;
+                    let prev_delta = &mut scratch.prev_delta[..n_in];
+                    prev_delta.fill(0.0);
+                    kernel::gemv_t(prev_delta, weights, delta);
+                    for (pd, a) in prev_delta.iter_mut().zip(prev) {
+                        if *a <= 0.0 {
+                            *pd = 0.0;
                         }
                     }
-                    for i in 0..n_in {
-                        if acts[li][i] <= 0.0 {
-                            prev_delta[i] = 0.0;
-                        }
-                    }
-                    delta = prev_delta;
+                    std::mem::swap(&mut scratch.delta, &mut scratch.prev_delta);
                 }
             }
         }
 
         let scale = self.hyper.lr / xs.len() as f32;
         let wd = self.hyper.weight_decay;
-        for (p, g) in self.params.iter_mut().zip(&grads) {
+        for (p, g) in self.params.iter_mut().zip(&scratch.grads) {
             *p -= scale * g + self.hyper.lr * wd * *p;
         }
+        self.scratch = scratch;
         total_loss / xs.len() as f32
     }
 }
@@ -365,11 +449,12 @@ impl Participant for MlpClient {
     }
 
     fn train_local(&mut self, rng: &mut StdRng) -> f32 {
+        // Fold the per-participant salt into the protocol's stream so two
+        // clients handed identical RNG state still shuffle differently.
+        let mut order_rng = StdRng::seed_from_u64(rng.gen::<u64>() ^ self.rng_salt);
         let mut order = self.samples.clone();
-        order.shuffle(rng);
+        order.shuffle(&mut order_rng);
         let bs = self.model.hyper.batch_size.max(1);
-        // Reseed deterministically per participant to decorrelate batches.
-        let _ = StdRng::seed_from_u64(self.rng_salt);
         let mut loss = 0.0f32;
         let mut batches = 0usize;
         for chunk in order.chunks(bs) {

@@ -5,44 +5,38 @@
 //! update computation — is expressed over flat `f32` slices, so one
 //! property-tested code path serves every model.
 
+use crate::kernel;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// `y ← y + a · x` (BLAS `axpy`).
+/// `y ← y + a · x` (BLAS `axpy`), backed by [`crate::kernel::axpy`].
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
-    assert_eq!(y.len(), x.len(), "axpy length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += a * xi;
-    }
+    kernel::axpy(y, a, x);
 }
 
 /// `y ← a · y`.
 pub fn scale(y: &mut [f32], a: f32) {
-    for yi in y.iter_mut() {
-        *yi *= a;
-    }
+    kernel::scale_in_place(y, a);
 }
 
 /// Exponential moving average, the attack's Eq. 4:
-/// `v ← β·v + (1−β)·θ`.
+/// `v ← β·v + (1−β)·θ`, backed by [`crate::kernel::ema`].
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn ema(v: &mut [f32], beta: f32, theta: &[f32]) {
-    assert_eq!(v.len(), theta.len(), "ema length mismatch");
-    for (vi, ti) in v.iter_mut().zip(theta) {
-        *vi = beta * *vi + (1.0 - beta) * ti;
-    }
+    kernel::ema(v, beta, theta);
 }
 
-/// Euclidean norm of `x`.
+/// Euclidean norm of `x` (f64 accumulation via [`crate::kernel::sq_norm`]).
+#[must_use]
 pub fn l2_norm(x: &[f32]) -> f32 {
-    x.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt() as f32
+    kernel::sq_norm(x).sqrt() as f32
 }
 
 /// Scales `x` in place so that its L2 norm is at most `c` (DP-SGD clipping).
@@ -52,15 +46,7 @@ pub fn l2_norm(x: &[f32]) -> f32 {
 ///
 /// Panics if `c` is not positive.
 pub fn clip_l2(x: &mut [f32], c: f32) -> f32 {
-    assert!(c > 0.0, "clipping threshold must be positive");
-    let n = l2_norm(x);
-    if n > c {
-        let f = c / n;
-        scale(x, f);
-        f
-    } else {
-        1.0
-    }
+    kernel::clip_l2(x, c)
 }
 
 /// `out ← mean of rows`, weighted by `weights` (which are normalized

@@ -1,11 +1,26 @@
 //! Property-based tests for the flat parameter algebra — the code path every
-//! aggregation, momentum, clipping and noising operation flows through.
+//! aggregation, momentum, clipping and noising operation flows through — and
+//! for the chunked kernels, proving the vectorized paths are drop-in for a
+//! straightforward scalar reference.
 
+use cia_models::kernel;
 use cia_models::params::{axpy, clip_l2, ema, l2_norm, scale, weighted_mean};
 use proptest::prelude::*;
 
 fn vec32(len: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-100.0f32..100.0, len..=len)
+}
+
+fn anyvec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    // Unit-scale values over lengths straddling the 8-lane chunk boundary.
+    proptest::collection::vec(-1.0f32..1.0, 0..max_len)
+}
+
+/// Tolerance for comparing a chunked f32 reduction against an f64 scalar
+/// reference: 1e-5, scaled by the sum of absolute terms (f32 rounding is
+/// proportional to the magnitudes summed, not to the final value).
+fn reduction_tol(abs_terms: f64) -> f64 {
+    1e-5 * (1.0 + abs_terms)
 }
 
 proptest! {
@@ -83,6 +98,83 @@ proptest! {
         for ((x, y), o) in a.iter().zip(&b).zip(&out) {
             let (lo, hi) = if x < y { (x, y) } else { (y, x) };
             prop_assert!(*o >= lo - 1e-3 && *o <= hi + 1e-3);
+        }
+    }
+
+    // ---- kernel equivalence: chunked kernels vs scalar references ----
+
+    #[test]
+    fn kernel_dot_matches_scalar_reference(a in anyvec(67)) {
+        let b: Vec<f32> = a.iter().map(|v| 1.0 - v).collect();
+        let reference: f64 = a.iter().zip(&b).map(|(x, y)| *x as f64 * *y as f64).sum();
+        let abs_terms: f64 = a.iter().zip(&b).map(|(x, y)| (*x as f64 * *y as f64).abs()).sum();
+        let got = kernel::dot(&a, &b) as f64;
+        prop_assert!(
+            (got - reference).abs() <= reduction_tol(abs_terms),
+            "dot {got} vs scalar {reference} (len {})", a.len()
+        );
+    }
+
+    #[test]
+    fn kernel_dot3_matches_scalar_reference(a in anyvec(67)) {
+        let b: Vec<f32> = a.iter().map(|v| v * 0.5 + 0.1).collect();
+        let c: Vec<f32> = a.iter().map(|v| 0.9 - v).collect();
+        let reference: f64 = a
+            .iter().zip(&b).zip(&c)
+            .map(|((x, y), z)| *x as f64 * *y as f64 * *z as f64)
+            .sum();
+        let abs_terms: f64 = a
+            .iter().zip(&b).zip(&c)
+            .map(|((x, y), z)| (*x as f64 * *y as f64 * *z as f64).abs())
+            .sum();
+        let got = kernel::dot3(&a, &b, &c) as f64;
+        prop_assert!(
+            (got - reference).abs() <= reduction_tol(abs_terms),
+            "dot3 {got} vs scalar {reference} (len {})", a.len()
+        );
+    }
+
+    #[test]
+    fn kernel_ema_matches_scalar_reference(mut v in anyvec(67), beta in 0.0f32..=1.0) {
+        let theta: Vec<f32> = v.iter().map(|x| x * -0.7 + 0.2).collect();
+        // Elementwise map: same operations in the same order, so equality is
+        // exact, not approximate.
+        let omb = 1.0 - beta;
+        let expected: Vec<f32> =
+            v.iter().zip(&theta).map(|(a, t)| beta * a + omb * t).collect();
+        kernel::ema(&mut v, beta, &theta);
+        prop_assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn kernel_gemv_matches_scalar_reference(
+        x in anyvec(33),
+        n_out in 1usize..9,
+        relu in any::<bool>(),
+    ) {
+        prop_assume!(!x.is_empty());
+        let n_in = x.len();
+        let w: Vec<f32> = (0..n_in * n_out)
+            .map(|i| ((i as f32 * 0.613).sin()) * 0.8)
+            .collect();
+        let bias: Vec<f32> = (0..n_out).map(|o| (o as f32 * 0.37).cos()).collect();
+        let mut out = vec![0.0f32; n_out];
+        kernel::gemv(&mut out, &w, &x, Some(&bias), relu);
+        for o in 0..n_out {
+            let mut z = bias[o] as f64;
+            let mut abs_terms = 0.0f64;
+            for i in 0..n_in {
+                let term = w[o * n_in + i] as f64 * x[i] as f64;
+                z += term;
+                abs_terms += term.abs();
+            }
+            if relu && z < 0.0 {
+                z = 0.0;
+            }
+            prop_assert!(
+                (out[o] as f64 - z).abs() <= reduction_tol(abs_terms),
+                "gemv row {o}: {} vs scalar {z}", out[o]
+            );
         }
     }
 }

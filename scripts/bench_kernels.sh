@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_kernels.json: runs the micro benchmark suite with the
+# harness's JSON-lines output enabled, then folds the stream into a report
+# that pairs each kernel-backed benchmark with its scalar baseline.
+#
+# The JSON-lines stream accumulates in target/criterion-results.jsonl across
+# invocations and later lines win, so a filtered re-run (e.g.
+# `scripts/bench_kernels.sh kernel`) updates only the filtered entries and
+# keeps the rest of the report intact. Delete that file for a fresh slate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Absolute path: cargo runs bench binaries with the package dir as cwd.
+jsonl="$PWD/target/criterion-results.jsonl"
+mkdir -p target
+
+echo "== timing run (micro suite), streaming to $jsonl"
+CRITERION_JSON="$jsonl" cargo bench -p cia-bench --bench micro "$@"
+
+echo "== folding into BENCH_kernels.json"
+cargo run --release -p cia-bench --bin bench_report -- "$jsonl" BENCH_kernels.json
+cat BENCH_kernels.json

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Keeps the benchmarks from bit-rotting: every bench body runs once
+# (`--test`), and clippy gates all targets (benches included) at -D warnings.
+# Part of the verify flow; see ROADMAP.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo bench -- --test (every benchmark body, one iteration)"
+cargo bench -p cia-bench -- --test
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "bench smoke OK"

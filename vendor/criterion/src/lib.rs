@@ -1,0 +1,338 @@
+//! Vendored, dependency-free stand-in for the subset of `criterion` this
+//! workspace uses.
+//!
+//! Implements a straightforward wall-clock harness behind the familiar API:
+//! [`Criterion::bench_function`], [`Bencher::iter`], `criterion_group!` /
+//! `criterion_main!`, and the config knobs the benches set (`sample_size`,
+//! `warm_up_time`, `measurement_time`). Each benchmark warms up, then takes
+//! `sample_size` samples (each a batch of iterations sized so a sample takes
+//! roughly `measurement_time / sample_size`) and reports the median, min and
+//! max nanoseconds per iteration.
+//!
+//! Extras for this workspace:
+//!
+//! * `cargo bench -- --test` runs every benchmark body once (smoke mode, used
+//!   by `scripts/bench_smoke.sh` so benches can't bit-rot);
+//! * a `<substring>` CLI filter matches benchmark names like upstream;
+//! * when `CRITERION_JSON` is set, results are appended to that file as JSON
+//!   lines `{"name": ..., "median_ns": ..., "min_ns": ..., "max_ns": ...}` —
+//!   the hook `cia-bench` uses to emit `BENCH_kernels.json`.
+
+#![forbid(unsafe_code)]
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Runs closures and measures them.
+pub struct Bencher {
+    mode: Mode,
+    /// Median/min/max ns per iteration of the last measurement.
+    result: Option<Sample>,
+}
+
+#[derive(Clone, Copy)]
+struct Sample {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Test,
+    Measure {
+        sample_size: usize,
+        warm_up: Duration,
+        measurement: Duration,
+    },
+}
+
+impl Bencher {
+    /// Benchmarks `f`, timing batches of calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Test => {
+                std::hint::black_box(f());
+            }
+            Mode::Measure { sample_size, warm_up, measurement } => {
+                // Warm-up: run until the warm-up budget is spent, counting
+                // iterations to size the measurement batches.
+                let start = Instant::now();
+                let mut warm_iters = 0u64;
+                while start.elapsed() < warm_up {
+                    std::hint::black_box(f());
+                    warm_iters += 1;
+                }
+                let per_iter = warm_up.as_nanos() as f64 / warm_iters.max(1) as f64;
+                let batch = ((measurement.as_nanos() as f64
+                    / sample_size.max(1) as f64
+                    / per_iter.max(1.0)) as u64)
+                    .max(1);
+                let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+                for _ in 0..sample_size.max(1) {
+                    let t = Instant::now();
+                    for _ in 0..batch {
+                        std::hint::black_box(f());
+                    }
+                    samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+                }
+                samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+                self.result = Some(Sample {
+                    median_ns: samples[samples.len() / 2],
+                    min_ns: samples[0],
+                    max_ns: samples[samples.len() - 1],
+                });
+            }
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Applies `cargo bench` CLI arguments: `--test` (run each body once) and
+    /// an optional name substring filter. Called by `criterion_main!`.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags cargo's bench harness forwards; ignore them.
+                "--bench" | "--nocapture" | "--quiet" => {}
+                a if a.starts_with('-') => {}
+                name => self.filter = Some(name.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named group; group benchmarks are reported as
+    /// `group/name` and may override the timing config.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            criterion: self,
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mode = if self.test_mode {
+            Mode::Test
+        } else {
+            Mode::Measure {
+                sample_size: self.sample_size,
+                warm_up: self.warm_up,
+                measurement: self.measurement,
+            }
+        };
+        let mut bencher = Bencher { mode, result: None };
+        f(&mut bencher);
+        match bencher.result {
+            None => println!("{name:<44} ... ok (test mode)"),
+            Some(s) => {
+                println!(
+                    "{name:<44} median {:>12} /iter (min {}, max {})",
+                    fmt_ns(s.median_ns),
+                    fmt_ns(s.min_ns),
+                    fmt_ns(s.max_ns)
+                );
+                if let Ok(path) = std::env::var("CRITERION_JSON") {
+                    if let Ok(mut file) =
+                        OpenOptions::new().create(true).append(true).open(&path)
+                    {
+                        let _ = writeln!(
+                            file,
+                            "{{\"name\": \"{name}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}}}",
+                            s.median_ns, s.min_ns, s.max_ns
+                        );
+                    }
+                }
+            }
+        }
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and timing config.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    prefix: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.prefix);
+        // Temporarily install the group's timing config.
+        let saved = (
+            self.criterion.sample_size,
+            self.criterion.warm_up,
+            self.criterion.measurement,
+        );
+        self.criterion.sample_size = self.sample_size;
+        self.criterion.warm_up = self.warm_up;
+        self.criterion.measurement = self.measurement;
+        self.criterion.bench_function(&full, f);
+        (self.criterion.sample_size, self.criterion.warm_up, self.criterion.measurement) = saved;
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Re-exported for API compatibility; prefer `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)*) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once_and_measure_mode_times() {
+        let mut runs = 0u32;
+        let mut b = Bencher { mode: Mode::Test, result: None };
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert!(b.result.is_none());
+
+        let mut b = Bencher {
+            mode: Mode::Measure {
+                sample_size: 3,
+                warm_up: Duration::from_millis(5),
+                measurement: Duration::from_millis(10),
+            },
+            result: None,
+        };
+        b.iter(|| std::hint::black_box(3u64.pow(7)));
+        let s = b.result.expect("measured");
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+        assert!(s.median_ns > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            filter: Some("match_me".to_string()),
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("yes_match_me_1", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

@@ -1,0 +1,23 @@
+//! Vendored, dependency-free stand-in for the subset of `serde` this
+//! workspace uses.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` to document
+//! which types are wire-shaped — nothing actually serializes (there is no
+//! `serde_json` in the build environment). The traits are therefore empty
+//! markers with blanket implementations, and the derive macros are accepted
+//! (including `#[serde(...)]` helper attributes) but expand to nothing.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized. Blanket-implemented; real
+/// serialization is out of scope for this offline build.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that can be deserialized. Blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored `serde`
+//! stand-in: the traits are blanket-implemented in `serde`, so the derives
+//! only need to *accept* the syntax (including `#[serde(...)]` helper
+//! attributes) and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attributes; expands to
+/// nothing (the trait is blanket-implemented).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attributes; expands
+/// to nothing (the trait is blanket-implemented).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
