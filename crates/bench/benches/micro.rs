@@ -13,6 +13,7 @@ use cia_federated::{FedAvg, FedAvgConfig, NullObserver};
 use cia_gossip::{GossipConfig, GossipSim, NullGossipObserver};
 use cia_models::params::{clip_l2, ema, sigmoid};
 use cia_models::{kernel, GmfHyper, GmfSpec, Mlp, MlpHyper, MlpSpec, RelevanceScorer, SharingPolicy};
+use cia_scenarios::{DynamicsSpec, FlDynamics, ParticipantDynamics};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -256,6 +257,26 @@ fn bench_protocol_rounds(c: &mut Criterion) {
         let mut sim =
             GossipSim::new(clients(), GossipConfig { rounds: u64::MAX, ..Default::default() });
         b.iter(|| sim.step(&mut NullGossipObserver));
+    });
+    // The same FedAvg round with the scenario engine's churn/straggler
+    // dynamics threaded through the observer seam — measures what the
+    // availability layer costs on top of a bare round.
+    c.bench_function("fedavg_round_48_clients_churn_dynamics", |b| {
+        let dyn_spec = DynamicsSpec {
+            leave_prob: 0.05,
+            join_prob: 0.2,
+            initial_online: 0.9,
+            straggler_fraction: 0.1,
+            straggler_mean_delay: 2.0,
+            ..DynamicsSpec::default()
+        };
+        let mut dynamics = ParticipantDynamics::new(&dyn_spec, 48, 1);
+        let mut inner = NullObserver;
+        let mut sim = FedAvg::new(clients(), FedAvgConfig { rounds: u64::MAX, ..Default::default() });
+        b.iter(|| {
+            let mut obs = FlDynamics { inner: &mut inner, dynamics: &mut dynamics };
+            sim.step(&mut obs)
+        });
     });
 }
 

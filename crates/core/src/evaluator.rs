@@ -4,6 +4,22 @@ use cia_models::parallel::par_map;
 use cia_models::RelevanceScorer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::RefCell;
+
+/// Reusable catalog-sized buffers for [`ItemSetEvaluator::relevance_all`].
+#[derive(Default)]
+struct EvalScratch {
+    scores: Vec<f32>,
+    ranks: Vec<f32>,
+    order: Vec<u32>,
+}
+
+thread_local! {
+    /// Per-thread scratch: the `relevance_all` call sites run inside
+    /// `par_chunks_mut` workers (one model per row), so a thread-local buffer
+    /// makes per-model evaluation allocation-free once each worker is warm.
+    static EVAL_SCRATCH: RefCell<EvalScratch> = RefCell::new(EvalScratch::default());
+}
 
 /// Computes `Ŷ(Θ, V_target)` for every registered target given one
 /// (momentum-averaged) model.
@@ -122,6 +138,23 @@ impl<S: RelevanceScorer> ItemSetEvaluator<S> {
     pub fn is_share_less(&self) -> bool {
         self.share_less
     }
+
+    /// The current fictive adversary embeddings (checkpoint access; empty of
+    /// meaning under full sharing).
+    pub fn adversary_embeddings(&self) -> &[Option<Vec<f32>>] {
+        &self.adversary_embs
+    }
+
+    /// Restores fictive adversary embeddings captured by
+    /// [`ItemSetEvaluator::adversary_embeddings`] (checkpoint resume).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is not aligned with the registered targets.
+    pub fn restore_adversary_embeddings(&mut self, embs: Vec<Option<Vec<f32>>>) {
+        assert_eq!(embs.len(), self.targets.len(), "one embedding slot per target");
+        self.adversary_embs = embs;
+    }
 }
 
 impl<S: RelevanceScorer> RelevanceEvaluator for ItemSetEvaluator<S> {
@@ -133,11 +166,14 @@ impl<S: RelevanceScorer> RelevanceEvaluator for ItemSetEvaluator<S> {
         if !self.share_less {
             return;
         }
-        let scorer = &self.scorer;
-        let targets = &self.targets;
+        // Warm-start each fictive embedding from the previous refresh's
+        // solution: public parameters drift slowly between refreshes, so a
+        // short polish replaces full retraining (ROADMAP "share-less
+        // fictive-embedding training" item).
+        let (scorer, targets, prev) = (&self.scorer, &self.targets, &self.adversary_embs);
         self.adversary_embs = par_map(targets.len(), |t| {
             let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
-            scorer.train_adversary_embedding(agg, &targets[t], &mut rng)
+            scorer.train_adversary_embedding(agg, &targets[t], prev[t].as_deref(), &mut rng)
         });
     }
 
@@ -163,33 +199,39 @@ impl<S: RelevanceScorer> RelevanceEvaluator for ItemSetEvaluator<S> {
             }
             return;
         }
-        // Fast path: score the catalog once, then aggregate per target.
+        // Fast path: score the catalog once into per-thread scratch (no
+        // catalog-sized allocation per model), then aggregate per target.
         let n = self.scorer.num_items() as usize;
-        let mut all = vec![0.0f32; n];
-        self.scorer.score_items(owner_emb, agg, &mut all);
-        let per_item: Vec<f32> = match self.kind {
-            RelevanceKind::MeanScore => all,
-            RelevanceKind::MeanNormalizedRank => {
-                // rank(i) = position in the descending score order.
-                let mut order: Vec<u32> = (0..n as u32).collect();
-                order.sort_by(|&a, &b| {
-                    crate::metrics::rank_desc(&(all[a as usize], a), &(all[b as usize], b))
-                });
-                let mut normalized = vec![0.0f32; n];
-                for (pos, &item) in order.iter().enumerate() {
-                    normalized[item as usize] = 1.0 - pos as f32 / n as f32;
+        EVAL_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let EvalScratch { scores, ranks, order } = scratch;
+            scores.resize(n, 0.0);
+            self.scorer.score_items(owner_emb, agg, scores);
+            let per_item: &[f32] = match self.kind {
+                RelevanceKind::MeanScore => scores,
+                RelevanceKind::MeanNormalizedRank => {
+                    // rank(i) = position in the descending score order.
+                    order.clear();
+                    order.extend(0..n as u32);
+                    order.sort_by(|&a, &b| {
+                        crate::metrics::rank_desc(&(scores[a as usize], a), &(scores[b as usize], b))
+                    });
+                    ranks.resize(n, 0.0);
+                    for (pos, &item) in order.iter().enumerate() {
+                        ranks[item as usize] = 1.0 - pos as f32 / n as f32;
+                    }
+                    ranks
                 }
-                normalized
-            }
-        };
-        for (t, o) in out.iter_mut().enumerate() {
-            let items = &self.targets[t];
-            *o = if items.is_empty() {
-                0.0
-            } else {
-                items.iter().map(|&i| per_item[i as usize]).sum::<f32>() / items.len() as f32
             };
-        }
+            for (t, o) in out.iter_mut().enumerate() {
+                let items = &self.targets[t];
+                *o = if items.is_empty() {
+                    0.0
+                } else {
+                    items.iter().map(|&i| per_item[i as usize]).sum::<f32>() / items.len() as f32
+                };
+            }
+        });
     }
 }
 

@@ -30,6 +30,22 @@ impl Default for CiaConfig {
     }
 }
 
+/// Serializable snapshot of a momentum-based CIA attack's mutable state
+/// ([`FlCia`] and [`crate::GlCiaCoalition`]), used for checkpoint/resume of
+/// long suite runs. Evaluator-side state (fictive embeddings) is captured
+/// separately through the evaluator accessors.
+#[derive(Debug, Clone)]
+pub struct CiaAttackState {
+    /// Per-sender momentum table (`None` = never observed).
+    pub momentum: Vec<Option<MomentumState>>,
+    /// Evaluated history recorded so far.
+    pub history: Vec<crate::metrics::RoundPoint>,
+    /// Last observed public parameters (fictive-embedding reference).
+    pub last_global: Option<Vec<f32>>,
+    /// Whether the evaluator has been prepared at least once.
+    pub prepared: bool,
+}
+
 /// Algorithm 1: the server-side Community Inference Attack.
 ///
 /// Plug an instance into [`cia_federated::FedAvg::run`] as the observer; the
@@ -93,6 +109,46 @@ impl<E: RelevanceEvaluator> FlCia<E> {
     /// The attack summary.
     pub fn outcome(&self) -> AttackOutcome {
         self.tracker.outcome()
+    }
+
+    /// The evaluated per-round history so far (streaming access for suite
+    /// runners that emit one record per evaluation).
+    pub fn history(&self) -> &[crate::metrics::RoundPoint] {
+        self.tracker.history()
+    }
+
+    /// The relevance evaluator (checkpoint access to evaluator-side state).
+    pub fn evaluator(&self) -> &E {
+        &self.evaluator
+    }
+
+    /// Mutable access to the relevance evaluator (checkpoint resume).
+    pub fn evaluator_mut(&mut self) -> &mut E {
+        &mut self.evaluator
+    }
+
+    /// Snapshot of the attack's mutable state for checkpoint/resume.
+    pub fn export_state(&self) -> CiaAttackState {
+        CiaAttackState {
+            momentum: self.momentum.clone(),
+            history: self.tracker.history().to_vec(),
+            last_global: self.last_global.clone(),
+            prepared: self.prepared,
+        }
+    }
+
+    /// Restores a state captured by [`FlCia::export_state`] on an attack
+    /// constructed with the same configuration and tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the momentum table is not aligned with the participants.
+    pub fn restore_state(&mut self, state: CiaAttackState) {
+        assert_eq!(state.momentum.len(), self.momentum.len(), "momentum table size");
+        self.momentum = state.momentum;
+        self.tracker.restore_history(state.history);
+        self.last_global = state.last_global;
+        self.prepared = state.prepared;
     }
 
     /// Predicted community for target `t` at the last evaluation (requires at

@@ -14,8 +14,8 @@
 //!   substitution and the test below checks the two engines agree.
 
 use crate::evaluator::RelevanceEvaluator;
-use crate::fl::CiaConfig;
-use crate::metrics::{community_accuracy, AttackOutcome, AttackTracker};
+use crate::fl::{CiaAttackState, CiaConfig};
+use crate::metrics::{community_accuracy, AttackOutcome, AttackTracker, RoundPoint};
 use crate::momentum::MomentumState;
 use cia_data::UserId;
 use cia_gossip::{GossipObserver, GossipRoundStats};
@@ -84,6 +84,46 @@ impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
     /// The attack summary.
     pub fn outcome(&self) -> AttackOutcome {
         self.tracker.outcome()
+    }
+
+    /// The evaluated per-round history so far.
+    pub fn history(&self) -> &[RoundPoint] {
+        self.tracker.history()
+    }
+
+    /// The relevance evaluator (checkpoint access to evaluator-side state).
+    pub fn evaluator(&self) -> &E {
+        &self.evaluator
+    }
+
+    /// Mutable access to the relevance evaluator (checkpoint resume).
+    pub fn evaluator_mut(&mut self) -> &mut E {
+        &mut self.evaluator
+    }
+
+    /// Snapshot of the attack's mutable state for checkpoint/resume
+    /// (`last_global` carries the last observed delivery's parameters).
+    pub fn export_state(&self) -> CiaAttackState {
+        CiaAttackState {
+            momentum: self.momentum.clone(),
+            history: self.tracker.history().to_vec(),
+            last_global: self.last_agg.clone(),
+            prepared: self.prepared,
+        }
+    }
+
+    /// Restores a state captured by [`GlCiaCoalition::export_state`] on an
+    /// attack constructed with the same configuration and tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the momentum table is not aligned with the participants.
+    pub fn restore_state(&mut self, state: CiaAttackState) {
+        assert_eq!(state.momentum.len(), self.momentum.len(), "momentum table size");
+        self.momentum = state.momentum;
+        self.tracker.restore_history(state.history);
+        self.last_agg = state.last_global;
+        self.prepared = state.prepared;
     }
 
     /// Number of distinct senders observed so far.
@@ -161,6 +201,18 @@ impl<E: RelevanceEvaluator> GossipObserver for GlCiaCoalition<E> {
     }
 }
 
+/// Serializable snapshot of an all-placements sweep's mutable state
+/// (checkpoint/resume counterpart of [`CiaAttackState`]).
+#[derive(Debug, Clone)]
+pub struct PlacementsState {
+    /// Dense score EMAs (`NaN` = never seen).
+    pub s_ema: Vec<f32>,
+    /// Evaluated history recorded so far.
+    pub history: Vec<RoundPoint>,
+    /// Whether the evaluator has been prepared at least once.
+    pub prepared: bool,
+}
+
 /// The all-placements sweep: node `u` attacks with its own train set as
 /// `V_target`, for every `u` simultaneously, applying the momentum to
 /// relevance scores (score-EMA; see the module docs).
@@ -207,6 +259,42 @@ impl<E: RelevanceEvaluator> GlCiaAllPlacements<E> {
     /// The attack summary (AAC averaged over all adversary placements).
     pub fn outcome(&self) -> AttackOutcome {
         self.tracker.outcome()
+    }
+
+    /// The evaluated per-round history so far.
+    pub fn history(&self) -> &[RoundPoint] {
+        self.tracker.history()
+    }
+
+    /// The relevance evaluator (checkpoint access to evaluator-side state).
+    pub fn evaluator(&self) -> &E {
+        &self.evaluator
+    }
+
+    /// Mutable access to the relevance evaluator (checkpoint resume).
+    pub fn evaluator_mut(&mut self) -> &mut E {
+        &mut self.evaluator
+    }
+
+    /// Snapshot of the sweep's mutable state for checkpoint/resume.
+    pub fn export_state(&self) -> PlacementsState {
+        PlacementsState {
+            s_ema: self.s_ema.clone(),
+            history: self.tracker.history().to_vec(),
+            prepared: self.prepared,
+        }
+    }
+
+    /// Restores a state captured by [`GlCiaAllPlacements::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the score table is not aligned with the participants.
+    pub fn restore_state(&mut self, state: PlacementsState) {
+        assert_eq!(state.s_ema.len(), self.s_ema.len(), "score table size");
+        self.s_ema = state.s_ema;
+        self.tracker.restore_history(state.history);
+        self.prepared = state.prepared;
     }
 
     fn evaluate(&mut self, round: u64) {

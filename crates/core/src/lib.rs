@@ -42,8 +42,8 @@ mod momentum;
 
 pub use aia::{AiaCommunityAttack, AiaConfig};
 pub use evaluator::{ItemSetEvaluator, RelevanceEvaluator, RelevanceKind};
-pub use fl::{CiaConfig, FlCia};
-pub use gl::{GlCiaAllPlacements, GlCiaCoalition};
+pub use fl::{CiaAttackState, CiaConfig, FlCia};
+pub use gl::{GlCiaAllPlacements, GlCiaCoalition, PlacementsState};
 pub use metrics::{AttackOutcome, AttackTracker, RoundPoint};
 pub use mia::{membership_entropy, MiaCommunityAttack, MiaConfig};
 pub use momentum::MomentumState;

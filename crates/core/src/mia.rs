@@ -118,12 +118,17 @@ impl<S: RelevanceScorer> MiaCommunityAttack<S> {
             let state = self.momentum[u].as_ref()?;
             let mut scores = vec![0.0f32; num_items];
             self.scorer.score_items(state.emb(), state.agg(), &mut scores);
+            // The entropy rule needs calibrated probabilities; scorers emit
+            // raw relevance (GMF: pre-sigmoid logits), so calibrate here.
             // Confident-positive rule: low entropy alone cannot separate a
             // memorized positive from a confident negative, so membership
             // additionally requires p > 1/2.
             let member: Vec<bool> = scores
                 .iter()
-                .map(|&p| p > 0.5 && membership_entropy(p) <= rho)
+                .map(|&z| {
+                    let p = cia_models::params::sigmoid(z);
+                    p > 0.5 && membership_entropy(p) <= rho
+                })
                 .collect();
             // Per-target fraction of items declared members.
             let fracs: Vec<f32> = self

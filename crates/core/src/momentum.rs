@@ -27,6 +27,13 @@ impl MomentumState {
         }
     }
 
+    /// Rebuilds a state from its raw parts (checkpoint resume); the inverse
+    /// of the [`MomentumState::emb`]/[`MomentumState::agg`]/
+    /// [`MomentumState::updates`] accessors.
+    pub fn from_parts(emb: Option<Vec<f32>>, agg: Vec<f32>, updates: u64) -> Self {
+        MomentumState { emb, agg, updates }
+    }
+
     /// Applies Eq. 4 with coefficient `beta`.
     ///
     /// # Panics

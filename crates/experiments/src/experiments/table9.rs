@@ -23,7 +23,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
     // T_M: training one fictive user embedding against public parameters.
     let start = Instant::now();
     let emb = spec
-        .train_adversary_embedding(&agg, &target, &mut rng)
+        .train_adversary_embedding(&agg, &target, None, &mut rng)
         .expect("GMF has user factors");
     let t_model = start.elapsed().as_secs_f64();
 

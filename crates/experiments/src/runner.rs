@@ -1,472 +1,37 @@
-//! The shared experiment runner: dataset × model × protocol × defense ×
-//! attack, with scale profiles.
+//! The shared experiment runner — a thin consumer of the `cia-scenarios`
+//! spec types and engine.
+//!
+//! Everything a table or figure needs — the spec vocabulary
+//! ([`ModelKind`], [`ProtocolKind`], [`DefenseKind`], [`ScaleParams`]), the
+//! dataset substrate ([`build_setup`]) and the end-to-end engine
+//! ([`run_recsys`]) — lives in `cia-scenarios` now; experiments only choose
+//! *which* scenarios reproduce a paper artifact. New workloads (churn,
+//! stragglers, sybils, partial participation) are one `dynamics` block away
+//! instead of a new hand-wired function — see `crates/scenarios/README.md`.
 
-use cia_core::{
-    AttackOutcome, CiaConfig, FlCia, GlCiaAllPlacements, GlCiaCoalition, ItemSetEvaluator,
-};
-use cia_data::presets::{Preset, Scale};
-use cia_data::{Dataset, GroundTruth, LeaveOneOut, UserId};
-use cia_defenses::{DpConfig, DpMechanism};
-use cia_federated::{FedAvg, FedAvgConfig};
-use cia_gossip::{GossipConfig, GossipProtocol, GossipSim};
-use cia_models::{
-    f1_at_k, GmfClient, GmfHyper, GmfSpec, Participant, PrmeClient, PrmeHyper, PrmeSpec,
-    RankedEval, RelevanceScorer, SharingPolicy,
-};
-use serde::{Deserialize, Serialize};
-use std::time::{Duration, Instant};
+pub use cia_scenarios::setup::{build_setup, RecsysSetup};
+pub use cia_scenarios::spec::{DefenseKind, ModelKind, ProtocolKind, ScaleParams};
+pub use cia_scenarios::RunResult;
 
-/// Which recommendation model to train.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum ModelKind {
-    /// Generalized matrix factorization (evaluated on all three datasets).
-    Gmf,
-    /// Personalized ranking metric embedding (POI datasets only).
-    Prme,
-}
+/// One experiment configuration: a scenario spec under its legacy name.
+/// `ScenarioSpec::new` defaults to the paper's setting — full sharing, no
+/// defense, single adversary, static population.
+pub type RunSpec = cia_scenarios::ScenarioSpec;
 
-impl ModelKind {
-    /// Display name matching the paper.
-    pub fn name(self) -> &'static str {
-        match self {
-            ModelKind::Gmf => "GMF",
-            ModelKind::Prme => "PRME",
-        }
-    }
-}
-
-/// Which collaborative protocol to train over.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum ProtocolKind {
-    /// FedAvg federated learning.
-    Fl,
-    /// Rand-Gossip decentralized learning.
-    RandGossip,
-    /// Pers-Gossip personalized decentralized learning.
-    PersGossip,
-}
-
-impl ProtocolKind {
-    /// Display name matching the paper.
-    pub fn name(self) -> &'static str {
-        match self {
-            ProtocolKind::Fl => "FL",
-            ProtocolKind::RandGossip => "Rand-Gossip",
-            ProtocolKind::PersGossip => "Pers-Gossip",
-        }
-    }
-}
-
-/// Which defense the participants deploy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum DefenseKind {
-    /// Full model sharing, no defense.
-    None,
-    /// The Share-less policy (§III-D) with regularization factor τ.
-    ShareLess {
-        /// Item-update regularization factor.
-        tau: f32,
-    },
-    /// Local DP-SGD (§III-E) calibrated to a target ε (δ = 1e-6, clip = 2 as
-    /// in Figure 5); `None` means noiseless clipping (ε = ∞).
-    Dp {
-        /// Target privacy budget, or `None` for ε = ∞.
-        epsilon: Option<f64>,
-    },
-}
-
-impl DefenseKind {
-    /// The sharing policy implied by the defense.
-    pub fn policy(self) -> SharingPolicy {
-        match self {
-            DefenseKind::ShareLess { tau } => SharingPolicy::ShareLess { tau },
-            _ => SharingPolicy::Full,
-        }
-    }
-}
-
-/// Scale-dependent simulation parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ScaleParams {
-    /// FL communication rounds.
-    pub fl_rounds: u64,
-    /// Gossip rounds.
-    pub gl_rounds: u64,
-    /// FL attack-evaluation cadence.
-    pub fl_eval_every: u64,
-    /// Gossip attack-evaluation cadence.
-    pub gl_eval_every: u64,
-    /// Local epochs per FL round.
-    pub local_epochs: usize,
-    /// Embedding dimensionality.
-    pub dim: usize,
-    /// Community size `K` (the paper's default is 50).
-    pub k: usize,
-    /// Negatives sampled for ranking evaluation (the NCF protocol uses 100).
-    pub eval_negatives: usize,
-    /// Held-out items per user on POI datasets (for F1).
-    pub poi_holdout: usize,
-}
-
-impl ScaleParams {
-    /// The parameters for a given scale.
-    pub fn of(scale: Scale) -> Self {
-        match scale {
-            Scale::Smoke => ScaleParams {
-                fl_rounds: 8,
-                gl_rounds: 40,
-                fl_eval_every: 2,
-                gl_eval_every: 10,
-                local_epochs: 2,
-                dim: 8,
-                k: 5,
-                eval_negatives: 20,
-                poi_holdout: 3,
-            },
-            Scale::Small => ScaleParams {
-                fl_rounds: 20,
-                gl_rounds: 400,
-                fl_eval_every: 2,
-                gl_eval_every: 40,
-                local_epochs: 2,
-                dim: 8,
-                k: 20,
-                eval_negatives: 50,
-                poi_holdout: 5,
-            },
-            Scale::Paper => ScaleParams {
-                fl_rounds: 30,
-                gl_rounds: 1500,
-                fl_eval_every: 3,
-                gl_eval_every: 100,
-                local_epochs: 2,
-                dim: 8,
-                k: 50,
-                eval_negatives: 100,
-                poi_holdout: 5,
-            },
-        }
-    }
-}
-
-/// One experiment configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RunSpec {
-    /// Dataset preset.
-    pub preset: Preset,
-    /// Recommendation model.
-    pub model: ModelKind,
-    /// Collaborative protocol.
-    pub protocol: ProtocolKind,
-    /// Deployed defense.
-    pub defense: DefenseKind,
-    /// Number of adversary-controlled gossip nodes (0 or 1 = single
-    /// adversary via the all-placements sweep; ≥ 2 = a colluding coalition
-    /// with parameter momentum). Ignored in FL.
-    pub colluders: usize,
-    /// Momentum coefficient β (Eq. 4).
-    pub beta: f32,
-    /// Community size override (defaults to the scale's `k` when `None`).
-    pub k_override: Option<usize>,
-    /// Scale profile.
-    pub scale: Scale,
-    /// Master seed.
-    pub seed: u64,
-}
-
-impl RunSpec {
-    /// A full-sharing, no-defense, single-adversary configuration.
-    pub fn new(preset: Preset, model: ModelKind, protocol: ProtocolKind, scale: Scale) -> Self {
-        RunSpec {
-            preset,
-            model,
-            protocol,
-            defense: DefenseKind::None,
-            colluders: 0,
-            beta: 0.99,
-            k_override: None,
-            scale,
-            seed: 42,
-        }
-    }
-}
-
-/// Result of one experiment run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RunResult {
-    /// Attack summary (Max AAC, Best-10%, bounds, history).
-    pub attack: AttackOutcome,
-    /// Recommendation utility: HR@20 for GMF, F1@20 for PRME.
-    pub utility: f64,
-    /// Name of the utility metric.
-    pub utility_metric: &'static str,
-    /// Wall-clock duration of the run.
-    #[serde(skip, default)]
-    pub elapsed: Duration,
-}
-
-/// Shared dataset/ground-truth setup for one (preset, scale, seed).
-pub struct RecsysSetup {
-    /// The generated dataset.
-    pub data: Dataset,
-    /// The train/test split.
-    pub split: LeaveOneOut,
-    /// Community size used for ground truth.
-    pub k: usize,
-    /// Ground-truth communities for per-user targets.
-    pub truth: GroundTruth,
-    /// Scale parameters in effect.
-    pub params: ScaleParams,
-}
-
-impl RecsysSetup {
-    /// Truth table aligned with per-user targets.
-    pub fn truth_table(&self) -> Vec<Vec<UserId>> {
-        (0..self.data.num_users())
-            .map(|u| self.truth.community_of(UserId::new(u as u32)).to_vec())
-            .collect()
-    }
-
-    /// Owner table (each per-user target excludes its donor).
-    pub fn owner_table(&self) -> Vec<Option<UserId>> {
-        (0..self.data.num_users()).map(|u| Some(UserId::new(u as u32))).collect()
-    }
-}
-
-/// Builds the dataset, split and ground truth for a preset at a scale.
+/// Runs one experiment end to end and reports attack + utility.
 ///
 /// # Panics
 ///
-/// Panics if the generated dataset cannot be split (internal invariant).
-pub fn build_setup(preset: Preset, scale: Scale, k_override: Option<usize>, seed: u64) -> RecsysSetup {
-    let params = ScaleParams::of(scale);
-    let data = preset.generate(scale, seed);
-    let holdout = if preset.has_sequences() { params.poi_holdout } else { 1 };
-    let split = LeaveOneOut::with_holdout(&data, holdout, params.eval_negatives, seed ^ 0x5EED)
-        .expect("presets generate splittable data");
-    let k = k_override.unwrap_or(params.k).min(data.num_users().saturating_sub(2)).max(1);
-    let truth = GroundTruth::from_train_sets(split.train_sets(), k);
-    RecsysSetup { data, split, k, truth, params }
-}
-
-/// Runs one experiment end to end and reports attack + utility.
+/// Panics if the spec fails validation (experiment specs are built
+/// programmatically, so a violation is a bug).
 pub fn run_recsys(spec: &RunSpec) -> RunResult {
-    let start = Instant::now();
-    let setup = build_setup(spec.preset, spec.scale, spec.k_override, spec.seed);
-    let mut result = match spec.model {
-        ModelKind::Gmf => run_gmf(spec, &setup),
-        ModelKind::Prme => run_prme(spec, &setup),
-    };
-    result.elapsed = start.elapsed();
-    result
-}
-
-fn gmf_spec(setup: &RecsysSetup) -> GmfSpec {
-    GmfSpec::new(
-        setup.data.num_items(),
-        setup.params.dim,
-        GmfHyper { lr: 0.1, ..GmfHyper::default() },
-    )
-}
-
-fn prme_spec(setup: &RecsysSetup) -> PrmeSpec {
-    PrmeSpec::new(
-        setup.data.num_items(),
-        setup.params.dim,
-        PrmeHyper { lr: 0.05, ..PrmeHyper::default() },
-    )
-}
-
-fn run_gmf(spec: &RunSpec, setup: &RecsysSetup) -> RunResult {
-    let model_spec = gmf_spec(setup);
-    let policy = spec.defense.policy();
-    let clients: Vec<GmfClient> = setup
-        .split
-        .train_sets()
-        .iter()
-        .enumerate()
-        .map(|(u, items)| {
-            model_spec.build_client(
-                UserId::new(u as u32),
-                items.clone(),
-                policy,
-                spec.seed ^ (u as u64).wrapping_mul(0xD6E8_FEB8),
-            )
-        })
-        .collect();
-    let eval_instances = setup.split.eval_instances().to_vec();
-    let utility = move |clients: &[GmfClient]| -> f64 {
-        let mut acc = RankedEval::new();
-        for (c, inst) in clients.iter().zip(&eval_instances) {
-            let pos = c.score_candidates(&[inst.primary()])[0];
-            let negs = c.score_candidates(&inst.negatives);
-            acc.push(pos, &negs, 20);
-        }
-        acc.hr()
-    };
-    run_protocol(spec, setup, model_spec, clients, utility, "HR@20")
-}
-
-fn run_prme(spec: &RunSpec, setup: &RecsysSetup) -> RunResult {
-    let model_spec = prme_spec(setup);
-    let policy = spec.defense.policy();
-    let clients: Vec<PrmeClient> = setup
-        .split
-        .train_sets()
-        .iter()
-        .zip(setup.split.train_sequences())
-        .enumerate()
-        .map(|(u, (items, seq))| {
-            model_spec.build_client(
-                UserId::new(u as u32),
-                items.clone(),
-                seq.clone(),
-                policy,
-                spec.seed ^ (u as u64).wrapping_mul(0xD6E8_FEB8),
-            )
-        })
-        .collect();
-    let eval_instances = setup.split.eval_instances().to_vec();
-    let train_sets = setup.split.train_sets().to_vec();
-    let num_items = setup.data.num_items();
-    let utility = move |clients: &[PrmeClient]| -> f64 {
-        // F1@20: rank the full catalog minus train items, compare the top 20
-        // against the held-out positives.
-        let all: Vec<u32> = (0..num_items).collect();
-        let mut total = 0.0;
-        for ((c, inst), train) in clients.iter().zip(&eval_instances).zip(&train_sets) {
-            let scores = c.score_candidates(&all);
-            let mut ranked: Vec<(f32, u32)> = scores
-                .into_iter()
-                .zip(all.iter().copied())
-                .filter(|(_, j)| train.binary_search(j).is_err())
-                .collect();
-            ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
-            let top: Vec<u32> = ranked.into_iter().take(20).map(|(_, j)| j).collect();
-            total += f1_at_k(&top, &inst.positives);
-        }
-        total / clients.len() as f64
-    };
-    run_protocol(spec, setup, model_spec, clients, utility, "F1@20")
-}
-
-fn run_protocol<S, P>(
-    spec: &RunSpec,
-    setup: &RecsysSetup,
-    scorer: S,
-    clients: Vec<P>,
-    utility: impl Fn(&[P]) -> f64,
-    utility_metric: &'static str,
-) -> RunResult
-where
-    S: RelevanceScorer + Clone + 'static,
-    P: Participant,
-{
-    let n = setup.data.num_users();
-    let share_less = matches!(spec.defense, DefenseKind::ShareLess { .. });
-    let targets = setup.split.train_sets().to_vec();
-    let cia = CiaConfig {
-        k: setup.k,
-        beta: spec.beta,
-        eval_every: match spec.protocol {
-            ProtocolKind::Fl => setup.params.fl_eval_every,
-            _ => setup.params.gl_eval_every,
-        },
-        seed: spec.seed ^ 0xC1A,
-    };
-
-    let dp = match spec.defense {
-        DefenseKind::Dp { epsilon } => {
-            let rounds = match spec.protocol {
-                ProtocolKind::Fl => setup.params.fl_rounds,
-                _ => setup.params.gl_rounds,
-            };
-            let mech = match epsilon {
-                Some(eps) => DpMechanism::with_target_epsilon(eps, 1e-6, rounds, 1.0, 2.0),
-                None => DpMechanism::new(DpConfig { clip: 2.0, noise_multiplier: 0.0 }),
-            };
-            Some(mech)
-        }
-        _ => None,
-    };
-
-    match spec.protocol {
-        ProtocolKind::Fl => {
-            let evaluator = ItemSetEvaluator::new(scorer, targets, share_less);
-            let mut attack =
-                FlCia::new(cia, evaluator, n, setup.truth_table(), setup.owner_table());
-            let mut sim = FedAvg::new(
-                clients,
-                FedAvgConfig {
-                    rounds: setup.params.fl_rounds,
-                    local_epochs: setup.params.local_epochs,
-                    seed: spec.seed,
-                    ..Default::default()
-                },
-            );
-            if let Some(m) = dp {
-                sim.set_update_transform(Box::new(m));
-            }
-            sim.run(&mut attack);
-            sim.sync_clients_to_global();
-            RunResult {
-                attack: attack.outcome(),
-                utility: utility(sim.clients()),
-                utility_metric,
-                elapsed: Duration::ZERO,
-            }
-        }
-        ProtocolKind::RandGossip | ProtocolKind::PersGossip => {
-            let protocol = match spec.protocol {
-                ProtocolKind::PersGossip => GossipProtocol::Pers { exploration: 0.4 },
-                _ => GossipProtocol::Rand,
-            };
-            let cfg = GossipConfig {
-                rounds: setup.params.gl_rounds,
-                protocol,
-                seed: spec.seed,
-                ..Default::default()
-            };
-            let mut sim = GossipSim::new(clients, cfg);
-            if let Some(m) = dp {
-                sim.set_update_transform(Box::new(m));
-            }
-            let outcome = if spec.colluders >= 2 {
-                // A colluding coalition with paper-exact parameter momentum.
-                let members: Vec<u32> =
-                    (0..spec.colluders).map(|i| (i * n / spec.colluders) as u32).collect();
-                let evaluator = ItemSetEvaluator::new(scorer, targets, share_less);
-                let mut attack = GlCiaCoalition::new(
-                    cia,
-                    evaluator,
-                    n,
-                    &members,
-                    setup.truth_table(),
-                    setup.owner_table(),
-                );
-                sim.run(&mut attack);
-                attack.outcome()
-            } else {
-                // Every placement at once (score-EMA; DESIGN.md §3).
-                let evaluator = ItemSetEvaluator::new(scorer, targets, share_less);
-                let mut attack =
-                    GlCiaAllPlacements::new(cia, evaluator, n, setup.truth_table());
-                sim.run(&mut attack);
-                attack.outcome()
-            };
-            RunResult {
-                attack: outcome,
-                utility: utility(sim.nodes()),
-                utility_metric,
-                elapsed: Duration::ZERO,
-            }
-        }
-    }
+    cia_scenarios::run_quiet(spec)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cia_data::presets::{Preset, Scale};
 
     #[test]
     fn smoke_fl_gmf_run() {

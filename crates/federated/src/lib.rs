@@ -109,6 +109,17 @@ pub trait RoundObserver {
         let _ = round;
     }
 
+    /// Called after the protocol's own participation sampling with the
+    /// round's tentative participant mask. Observers may clear entries to
+    /// model availability — churn, stragglers, device dropout — without the
+    /// training loop knowing about participant dynamics (the
+    /// `cia-scenarios` dynamics layer plugs in here). Setting entries to
+    /// `true` is ignored-at-your-own-risk: the protocol honors the final
+    /// mask as-is.
+    fn on_participants(&mut self, round: u64, mask: &mut [bool]) {
+        let _ = (round, mask);
+    }
+
     /// Called at the start of every round with the broadcast global model —
     /// public knowledge for a server-side adversary (reference for update
     /// reconstruction and for training fictive embeddings).
@@ -190,6 +201,28 @@ impl<P: Participant> FedAvg<P> {
         self.round
     }
 
+    /// Mutable access to the clients (checkpoint resume restores each
+    /// participant's private state in place).
+    pub fn clients_mut(&mut self) -> &mut [P] {
+        &mut self.clients
+    }
+
+    /// Restores the protocol-side state — the round counter and the current
+    /// global model — captured from [`FedAvg::round`] and
+    /// [`FedAvg::global_agg`]. Per-round RNG streams are derived from
+    /// `(seed, round)`, so no generator state needs saving: stepping after a
+    /// restore replays exactly the rounds an uninterrupted run would have
+    /// executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_agg` does not match the clients' parameter layout.
+    pub fn restore(&mut self, round: u64, global_agg: Vec<f32>) {
+        assert_eq!(global_agg.len(), self.global_agg.len(), "global layout mismatch");
+        self.round = round;
+        self.global_agg = global_agg;
+    }
+
     /// Loads the current global model into every client (used before utility
     /// evaluation, mirroring the broadcast deployment of the final model).
     pub fn sync_clients_to_global(&mut self) {
@@ -207,7 +240,7 @@ impl<P: Participant> FedAvg<P> {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
         // Sample participants.
-        let sampled: Vec<bool> = if self.cfg.participation >= 1.0 {
+        let mut sampled: Vec<bool> = if self.cfg.participation >= 1.0 {
             vec![true; n]
         } else {
             let k = ((n as f64 * self.cfg.participation).round() as usize).clamp(1, n);
@@ -221,6 +254,7 @@ impl<P: Participant> FedAvg<P> {
         };
 
         observer.on_round_start(t);
+        observer.on_participants(t, &mut sampled);
         observer.on_global(t, &self.global_agg);
 
         // Parallel per-client work; results deposited into aligned slots.
@@ -273,9 +307,13 @@ impl<P: Participant> FedAvg<P> {
                 participants += 1;
             }
         }
-        let mut new_global = vec![0.0f32; self.global_agg.len()];
-        weighted_mean(&mut new_global, &rows, &weights);
-        self.global_agg = new_global;
+        // An all-offline round (dynamics can empty the mask) keeps the
+        // previous global — nothing arrived to aggregate.
+        if participants > 0 {
+            let mut new_global = vec![0.0f32; self.global_agg.len()];
+            weighted_mean(&mut new_global, &rows, &weights);
+            self.global_agg = new_global;
+        }
 
         let stats = RoundStats {
             round: t,
@@ -496,5 +534,75 @@ mod tests {
     #[should_panic(expected = "need at least one client")]
     fn rejects_empty_clients() {
         let _: FedAvg<cia_models::GmfClient> = FedAvg::new(vec![], FedAvgConfig::default());
+    }
+
+    /// Masks odd users via the availability hook and records what arrives.
+    #[derive(Default)]
+    struct OddMasker {
+        models: Vec<u32>,
+    }
+
+    impl RoundObserver for OddMasker {
+        fn on_participants(&mut self, _round: u64, mask: &mut [bool]) {
+            for (u, m) in mask.iter_mut().enumerate() {
+                if u % 2 == 1 {
+                    *m = false;
+                }
+            }
+        }
+        fn on_client_model(&mut self, model: &SharedModel) {
+            self.models.push(model.owner.raw());
+        }
+    }
+
+    #[test]
+    fn participants_hook_filters_the_round() {
+        let mut sim = make_sim(10, 2, SharingPolicy::Full);
+        let mut masker = OddMasker::default();
+        sim.run(&mut masker);
+        assert_eq!(masker.models.len(), 10, "5 even users over 2 rounds");
+        assert!(masker.models.iter().all(|u| u % 2 == 0));
+    }
+
+    struct Blackout;
+
+    impl RoundObserver for Blackout {
+        fn on_participants(&mut self, _round: u64, mask: &mut [bool]) {
+            mask.fill(false);
+        }
+    }
+
+    #[test]
+    fn all_offline_round_keeps_global_and_reports_zero() {
+        let mut sim = make_sim(6, 1, SharingPolicy::Full);
+        let before = sim.global_agg().to_vec();
+        let stats = sim.step(&mut Blackout);
+        assert_eq!(stats.participants, 0);
+        assert_eq!(stats.mean_loss, 0.0);
+        assert_eq!(sim.global_agg(), before.as_slice());
+    }
+
+    #[test]
+    fn restore_replays_identically() {
+        // Run 4 rounds straight; then run 2, export, rebuild, restore, run 2
+        // more — the global models must agree exactly.
+        let mut straight = make_sim(8, 4, SharingPolicy::Full);
+        straight.run(&mut NullObserver);
+
+        let mut first = make_sim(8, 4, SharingPolicy::Full);
+        first.step(&mut NullObserver);
+        first.step(&mut NullObserver);
+        let round = first.round();
+        let global = first.global_agg().to_vec();
+        let states: Vec<Vec<f32>> = first.clients().iter().map(Participant::state_vec).collect();
+
+        let mut resumed = make_sim(8, 4, SharingPolicy::Full);
+        resumed.restore(round, global);
+        for (c, s) in resumed.clients_mut().iter_mut().zip(&states) {
+            c.restore_state(s);
+        }
+        resumed.step(&mut NullObserver);
+        resumed.step(&mut NullObserver);
+        assert_eq!(resumed.global_agg(), straight.global_agg());
     }
 }

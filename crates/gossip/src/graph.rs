@@ -52,6 +52,30 @@ impl ViewTable {
         &self.views[u as usize]
     }
 
+    /// All current out-views (checkpoint access).
+    pub fn views(&self) -> &[Vec<u32>] {
+        &self.views
+    }
+
+    /// Replaces every out-view (checkpoint resume).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table shape is wrong or any view contains its own node
+    /// or a duplicate.
+    pub fn restore_views(&mut self, views: Vec<Vec<u32>>) {
+        assert_eq!(views.len(), self.views.len(), "one view per node");
+        for (u, view) in views.iter().enumerate() {
+            assert_eq!(view.len(), self.out_degree, "view of node {u} must have P entries");
+            let mut uniq = view.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), view.len(), "view of node {u} has duplicates");
+            assert!(!view.contains(&(u as u32)), "view of node {u} contains itself");
+        }
+        self.views = views;
+    }
+
     /// One uniformly random out-neighbor of `u`.
     pub fn random_neighbor(&self, u: u32, rng: &mut StdRng) -> u32 {
         let v = &self.views[u as usize];

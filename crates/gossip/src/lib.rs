@@ -21,5 +21,6 @@ mod sim;
 
 pub use graph::{sample_exp_interval, ViewTable};
 pub use sim::{
-    GossipConfig, GossipObserver, GossipProtocol, GossipRoundStats, GossipSim, NullGossipObserver,
+    GossipConfig, GossipObserver, GossipProtocol, GossipRoundStats, GossipSim, GossipSimState,
+    NullGossipObserver,
 };

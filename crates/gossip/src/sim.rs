@@ -79,6 +79,16 @@ pub trait GossipObserver {
         let _ = round;
     }
 
+    /// Called after the protocol's own wake sampling with the round's
+    /// tentative wake mask. Observers may clear entries to model availability
+    /// — churn, stragglers, node failures — without the gossip loop knowing
+    /// about participant dynamics (the `cia-scenarios` dynamics layer plugs
+    /// in here). Asleep nodes keep accumulating their inbox, exactly like a
+    /// natural sleep round.
+    fn on_wake_set(&mut self, round: u64, mask: &mut [bool]) {
+        let _ = (round, mask);
+    }
+
     /// Called for every routed model delivery.
     fn on_delivery(&mut self, round: u64, receiver: UserId, model: &SharedModel) {
         let _ = (round, receiver, model);
@@ -95,6 +105,24 @@ pub trait GossipObserver {
 pub struct NullGossipObserver;
 
 impl GossipObserver for NullGossipObserver {}
+
+/// Serializable snapshot of a [`GossipSim`]'s protocol-side state
+/// (checkpoint/resume of long runs; node parameters travel separately).
+#[derive(Debug, Clone)]
+pub struct GossipSimState {
+    /// Rounds completed.
+    pub round: u64,
+    /// Next scheduled view-refresh round per node.
+    pub refresh_at: Vec<u64>,
+    /// Current out-views.
+    pub views: Vec<Vec<u32>>,
+    /// Undelivered inbox contents per node (asleep nodes accumulate).
+    pub inboxes: Vec<Vec<SharedModel>>,
+    /// Pers-Gossip `(sender, score)` candidates heard since the last refresh.
+    pub heard: Vec<Vec<(u32, f32)>>,
+    /// DP reference vectors (last sent `[emb | agg]` per node).
+    pub prev_sent: Vec<Option<Vec<f32>>>,
+}
 
 /// Per-node bookkeeping.
 struct NodeCtl {
@@ -180,6 +208,57 @@ impl<P: Participant> GossipSim<P> {
         self.views.view_of(u)
     }
 
+    /// Mutable access to the nodes (checkpoint resume restores each
+    /// participant's private state in place).
+    pub fn nodes_mut(&mut self) -> &mut [P] {
+        &mut self.nodes
+    }
+
+    /// Snapshot of the protocol-side state — round counter, views, refresh
+    /// schedule and per-node mailboxes. Per-round RNG streams are derived
+    /// from `(seed, round)`, so no generator state needs saving; node
+    /// parameters are captured separately via
+    /// [`cia_models::Participant::state_vec`].
+    pub fn export_state(&self) -> GossipSimState {
+        GossipSimState {
+            round: self.round,
+            refresh_at: self.refresh_at.clone(),
+            views: self.views.views().to_vec(),
+            inboxes: self.ctl.iter().map(|c| c.inbox.clone()).collect(),
+            heard: self.ctl.iter().map(|c| c.heard.clone()).collect(),
+            prev_sent: self.ctl.iter().map(|c| c.prev_sent.clone()).collect(),
+        }
+    }
+
+    /// Restores a state captured by [`GossipSim::export_state`] on a
+    /// simulation constructed with the same nodes and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table is not aligned with the node count or the views
+    /// are malformed.
+    pub fn restore_state(&mut self, state: GossipSimState) {
+        let n = self.nodes.len();
+        assert_eq!(state.refresh_at.len(), n, "one refresh time per node");
+        assert_eq!(state.inboxes.len(), n, "one inbox per node");
+        assert_eq!(state.heard.len(), n, "one heard list per node");
+        assert_eq!(state.prev_sent.len(), n, "one DP reference per node");
+        self.views.restore_views(state.views);
+        self.round = state.round;
+        self.refresh_at = state.refresh_at;
+        for (((c, inbox), heard), prev) in self
+            .ctl
+            .iter_mut()
+            .zip(state.inboxes)
+            .zip(state.heard)
+            .zip(state.prev_sent)
+        {
+            c.inbox = inbox;
+            c.heard = heard;
+            c.prev_sent = prev;
+        }
+    }
+
     /// Runs one gossip round: refresh views, send, route, aggregate, train.
     pub fn step(&mut self, observer: &mut dyn GossipObserver) -> GossipRoundStats {
         let t = self.round;
@@ -208,9 +287,14 @@ impl<P: Participant> GossipSim<P> {
             }
         }
 
-        // 2. Wake set.
-        for c in &mut self.ctl {
-            c.awake = self.cfg.wake_fraction >= 1.0 || rng.gen::<f64>() < self.cfg.wake_fraction;
+        // 2. Wake set (drawn first to keep the RNG stream stable, then
+        // filtered through the observer's availability hook).
+        let mut wake: Vec<bool> = (0..n)
+            .map(|_| self.cfg.wake_fraction >= 1.0 || rng.gen::<f64>() < self.cfg.wake_fraction)
+            .collect();
+        observer.on_wake_set(t, &mut wake);
+        for (c, &w) in self.ctl.iter_mut().zip(&wake) {
+            c.awake = w;
         }
 
         // 3. Send phase: snapshot (+ DP transform) in parallel.
@@ -558,5 +642,67 @@ mod tests {
     #[should_panic(expected = "need more nodes")]
     fn rejects_too_few_nodes() {
         let _ = sim(3, GossipConfig::default());
+    }
+
+    /// Clears every odd node from the wake set via the availability hook.
+    #[derive(Default)]
+    struct OddSleeper {
+        stats: Vec<GossipRoundStats>,
+        deliveries: Vec<u32>,
+    }
+
+    impl GossipObserver for OddSleeper {
+        fn on_wake_set(&mut self, _round: u64, mask: &mut [bool]) {
+            for (u, m) in mask.iter_mut().enumerate() {
+                if u % 2 == 1 {
+                    *m = false;
+                }
+            }
+        }
+        fn on_delivery(&mut self, _round: u64, _receiver: UserId, model: &SharedModel) {
+            self.deliveries.push(model.owner.raw());
+        }
+        fn on_round_end(&mut self, stats: &GossipRoundStats) {
+            self.stats.push(stats.clone());
+        }
+    }
+
+    #[test]
+    fn wake_hook_filters_senders() {
+        let mut s = sim(20, GossipConfig { rounds: 4, seed: 6, ..Default::default() });
+        let mut obs = OddSleeper::default();
+        s.run(&mut obs);
+        for st in &obs.stats {
+            assert_eq!(st.awake, 10, "only even nodes wake");
+            assert_eq!(st.deliveries, 10);
+        }
+        assert!(obs.deliveries.iter().all(|u| u % 2 == 0), "only awake nodes send");
+    }
+
+    #[test]
+    fn restore_replays_identically() {
+        let cfg = GossipConfig { rounds: 8, wake_fraction: 0.7, seed: 21, ..Default::default() };
+        let mut straight = sim(14, cfg);
+        straight.run(&mut NullGossipObserver);
+
+        let mut first = sim(14, cfg);
+        for _ in 0..3 {
+            first.step(&mut NullGossipObserver);
+        }
+        let proto = first.export_state();
+        let params: Vec<Vec<f32>> = first.nodes().iter().map(Participant::state_vec).collect();
+
+        let mut resumed = sim(14, cfg);
+        resumed.restore_state(proto);
+        for (node, p) in resumed.nodes_mut().iter_mut().zip(&params) {
+            node.restore_state(p);
+        }
+        for _ in 3..8 {
+            resumed.step(&mut NullGossipObserver);
+        }
+        for (a, b) in straight.nodes().iter().zip(resumed.nodes()) {
+            assert_eq!(a.params, b.params);
+        }
+        assert_eq!(straight.round(), resumed.round());
     }
 }

@@ -7,6 +7,23 @@
 //!
 //! Flat parameter layout: `[ p_u (d) | Q (|V|·d) | h (d) ]`; the aggregatable
 //! slice is everything after the user embedding.
+//!
+//! **Scoring works on pre-sigmoid logits.** The sigmoid is monotone, so
+//! every *per-item ranking* consumer — HR@20, F1@20, normalized-rank
+//! relevance — is exactly invariant to dropping it, and `exp()` dominated
+//! per-item scoring cost (the "sigmoid-bound" plateau in
+//! `BENCH_kernels.json`). The mean-score relevance `Ŷ(Θ, V_target)` is *not*
+//! invariant (a mean does not commute with a per-item monotone transform):
+//! the attack now ranks by mean logit instead of mean probability, and
+//! Pers-Gossip's peer-personalization score
+//! ([`Participant::evaluate_model`]) contrasts mean logits instead of mean
+//! probabilities — deliberate substitutions, valid under §IV-B's "any
+//! recommendation quality metric", that avoid sigmoid saturation compressing
+//! late-training scores into indistinguishability.
+//! The sigmoid survives where calibrated probabilities are genuinely needed:
+//! the BCE training loss, the adversary-embedding gradient, and the MIA
+//! proxy's entropy rule. Use [`crate::params::sigmoid`] explicitly to report
+//! a calibrated score.
 
 use crate::kernel::{dot, dot3};
 use crate::params::{init_uniform, sigmoid};
@@ -28,8 +45,13 @@ pub struct GmfHyper {
     pub weight_decay: f32,
     /// Uniform initialization half-range.
     pub init_scale: f32,
-    /// Epochs used when fitting the adversary's fictive embedding (§IV-C).
+    /// Epochs used when fitting the adversary's fictive embedding (§IV-C)
+    /// from scratch.
     pub adversary_epochs: usize,
+    /// Epochs used when the fictive embedding is warm-started from the
+    /// previous refresh's solution (public parameters drift slowly between
+    /// refreshes, so a short polish suffices).
+    pub adversary_warm_epochs: usize,
 }
 
 impl Default for GmfHyper {
@@ -40,6 +62,7 @@ impl Default for GmfHyper {
             weight_decay: 1e-5,
             init_scale: 0.1,
             adversary_epochs: 5,
+            adversary_warm_epochs: 2,
         }
     }
 }
@@ -177,11 +200,12 @@ impl RelevanceScorer for GmfSpec {
         assert_eq!(agg.len(), GmfSpec::agg_len(self), "agg size");
         let d = self.dim;
         let h = self.h_slice(agg);
-        // ŷ_j = σ((p_u ⊙ h) · q_j): w is hoisted once (stack, no allocation)
-        // and every item is one chunked dot.
+        // Logit z_j = (p_u ⊙ h) · q_j: w is hoisted once (stack, no
+        // allocation) and every item is one chunked dot. σ is monotone, so
+        // ranking and relevance means never need it (module docs).
         with_user_h(user, h, |w| {
             for (q, o) in agg[..self.num_items as usize * d].chunks_exact(d).zip(out.iter_mut()) {
-                *o = sigmoid(dot(w, q));
+                *o = dot(w, q);
             }
         });
     }
@@ -195,7 +219,7 @@ impl RelevanceScorer for GmfSpec {
         with_user_h(user, h, |w| {
             let mut acc = 0.0f32;
             for &j in items {
-                acc += sigmoid(dot(w, self.item_slice(agg, j)));
+                acc += dot(w, self.item_slice(agg, j));
             }
             acc / items.len() as f32
         })
@@ -205,14 +229,24 @@ impl RelevanceScorer for GmfSpec {
         &self,
         agg: &[f32],
         target_items: &[u32],
+        warm_start: Option<&[f32]>,
         rng: &mut StdRng,
     ) -> Option<Vec<f32>> {
         let d = self.dim;
         let h = self.h_slice(agg);
         let mut emb = vec![0.0f32; d];
-        init_uniform(&mut emb, self.hyper.init_scale, rng);
+        let epochs = match warm_start {
+            Some(prev) => {
+                emb.copy_from_slice(prev);
+                self.hyper.adversary_warm_epochs
+            }
+            None => {
+                init_uniform(&mut emb, self.hyper.init_scale, rng);
+                self.hyper.adversary_epochs
+            }
+        };
         let lr = self.hyper.lr;
-        for _ in 0..self.hyper.adversary_epochs {
+        for _ in 0..epochs {
             for &pos in target_items {
                 // One positive step and `negatives` negative steps, updating
                 // only the fictive embedding (item embeddings stay fixed).
@@ -265,13 +299,15 @@ impl GmfClient {
     }
 
     /// Scores candidate items with the client's own model (utility
-    /// evaluation).
+    /// evaluation). Returns pre-sigmoid logits — apply
+    /// [`crate::params::sigmoid`] for calibrated probabilities; ranking
+    /// metrics never need it (module docs).
     pub fn score_candidates(&self, items: &[u32]) -> Vec<f32> {
         let h = self.spec.h_slice(&self.agg);
         with_user_h(&self.user_emb, h, |w| {
             items
                 .iter()
-                .map(|&j| sigmoid(dot(w, self.spec.item_slice(&self.agg, j))))
+                .map(|&j| dot(w, self.spec.item_slice(&self.agg, j)))
                 .collect()
         })
     }
@@ -396,6 +432,45 @@ impl Participant for GmfClient {
         let off =
             RelevanceScorer::mean_relevance(spec, Some(&self.user_emb), &model.agg, &probe);
         on - off
+    }
+
+    fn state_vec(&self) -> Vec<f32> {
+        // [ user_emb | agg | ref_flag | ref_items? ] — decoded only by
+        // `restore_state` below.
+        let d = self.spec.dim;
+        let items_len = self.spec.num_items as usize * d;
+        let mut state = Vec::with_capacity(
+            d + self.agg.len() + 1 + self.ref_items.as_ref().map_or(0, Vec::len),
+        );
+        state.extend_from_slice(&self.user_emb);
+        state.extend_from_slice(&self.agg);
+        match &self.ref_items {
+            Some(r) => {
+                debug_assert_eq!(r.len(), items_len);
+                state.push(1.0);
+                state.extend_from_slice(r);
+            }
+            None => state.push(0.0),
+        }
+        state
+    }
+
+    fn restore_state(&mut self, state: &[f32]) {
+        let d = self.spec.dim;
+        let items_len = self.spec.num_items as usize * d;
+        let agg_len = self.agg.len();
+        assert!(state.len() > d + agg_len, "GMF state too short");
+        self.user_emb.copy_from_slice(&state[..d]);
+        self.agg.copy_from_slice(&state[d..d + agg_len]);
+        let flag = state[d + agg_len];
+        self.ref_items = if flag == 1.0 {
+            let r = &state[d + agg_len + 1..];
+            assert_eq!(r.len(), items_len, "GMF reference-items state size");
+            Some(r.to_vec())
+        } else {
+            assert_eq!(state.len(), d + agg_len + 1, "GMF state size");
+            None
+        };
     }
 }
 
@@ -556,10 +631,56 @@ mod tests {
         }
         let agg = c.agg().to_vec();
         let target = vec![1u32, 2, 3];
-        let emb = s.train_adversary_embedding(&agg, &target, &mut rng).unwrap();
+        let emb = s.train_adversary_embedding(&agg, &target, None, &mut rng).unwrap();
         let on_target = s.mean_relevance(Some(&emb), &agg, &target);
         let off_target = s.mean_relevance(Some(&emb), &agg, &[20, 21, 22]);
         assert!(on_target > off_target, "on {on_target} !> off {off_target}");
+    }
+
+    #[test]
+    fn warm_started_adversary_embedding_stays_on_target() {
+        let s = spec();
+        let mut c = s.build_client(UserId::new(0), vec![1, 2, 3], SharingPolicy::Full, 4);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..40 {
+            c.train_local(&mut rng);
+        }
+        let agg = c.agg().to_vec();
+        let target = vec![1u32, 2, 3];
+        let cold = s.train_adversary_embedding(&agg, &target, None, &mut rng).unwrap();
+        // Warm-starting from the cold solution against the same parameters
+        // must keep (or improve) the on/off-target separation.
+        let warm = s.train_adversary_embedding(&agg, &target, Some(&cold), &mut rng).unwrap();
+        let on = s.mean_relevance(Some(&warm), &agg, &target);
+        let off = s.mean_relevance(Some(&warm), &agg, &[20, 21, 22]);
+        assert!(on > off, "warm-started on {on} !> off {off}");
+    }
+
+    #[test]
+    fn state_roundtrip_restores_everything() {
+        let s = spec();
+        let mut c = s.build_client(UserId::new(3), vec![1, 2, 3], SharingPolicy::Full, 6);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5 {
+            c.train_local(&mut rng);
+        }
+        let state = c.state_vec();
+        let mut fresh = s.build_client(UserId::new(3), vec![1, 2, 3], SharingPolicy::Full, 6);
+        fresh.restore_state(&state);
+        assert_eq!(fresh.user_emb(), c.user_emb());
+        assert_eq!(fresh.agg(), c.agg());
+        // Share-less clients carry reference items in the state too.
+        let mut sl =
+            s.build_client(UserId::new(4), vec![1, 2], SharingPolicy::ShareLess { tau: 0.5 }, 7);
+        let reference = sl.agg().to_vec();
+        sl.absorb_agg(&reference);
+        sl.train_local(&mut rng);
+        let state = sl.state_vec();
+        let mut fresh =
+            s.build_client(UserId::new(4), vec![1, 2], SharingPolicy::ShareLess { tau: 0.5 }, 7);
+        fresh.restore_state(&state);
+        assert_eq!(fresh.ref_items, sl.ref_items);
+        assert_eq!(fresh.agg(), sl.agg());
     }
 
     #[test]

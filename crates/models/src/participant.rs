@@ -109,6 +109,29 @@ pub trait Participant: Send + Sync {
         let _ = model;
         0.0
     }
+
+    /// Serializes the participant's *full* mutable state (private user
+    /// factors, public parameters, defense bookkeeping) into a flat `f32`
+    /// vector, for checkpoint/resume of long runs. The encoding is private to
+    /// the participant type: only [`Participant::restore_state`] of the same
+    /// type needs to understand it.
+    ///
+    /// The default covers participants whose only mutable state is the
+    /// aggregatable slice (e.g. the MNIST MLP client).
+    fn state_vec(&self) -> Vec<f32> {
+        self.agg().to_vec()
+    }
+
+    /// Restores state previously produced by [`Participant::state_vec`] on a
+    /// participant constructed with the same spec and constructor seed.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `state` was produced by a different
+    /// participant layout.
+    fn restore_state(&mut self, state: &[f32]) {
+        self.absorb_agg(state);
+    }
 }
 
 /// A transform applied to a participant's outgoing model update before it is
@@ -156,11 +179,18 @@ pub trait RelevanceScorer: Send + Sync {
     /// Trains a fictive adversary user embedding that "likes" `target_items`,
     /// given public parameters `agg` (the Share-less adaptation of §IV-C).
     ///
+    /// `warm_start` carries the embedding produced by the previous refresh
+    /// against earlier public parameters, if any; implementations should
+    /// continue from it (with a reduced epoch budget) instead of retraining
+    /// from scratch — the item embeddings drift slowly between refreshes, so
+    /// the previous solution is already close.
+    ///
     /// Returns `None` for models without user factors.
     fn train_adversary_embedding(
         &self,
         agg: &[f32],
         target_items: &[u32],
+        warm_start: Option<&[f32]>,
         rng: &mut StdRng,
     ) -> Option<Vec<f32>>;
 }

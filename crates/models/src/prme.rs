@@ -38,8 +38,12 @@ pub struct PrmeHyper {
     pub weight_decay: f32,
     /// Uniform initialization half-range.
     pub init_scale: f32,
-    /// Epochs used when fitting the adversary's fictive embedding (§IV-C).
+    /// Epochs used when fitting the adversary's fictive embedding (§IV-C)
+    /// from scratch.
     pub adversary_epochs: usize,
+    /// Epochs used when the fictive embedding is warm-started from the
+    /// previous refresh's solution.
+    pub adversary_warm_epochs: usize,
 }
 
 impl Default for PrmeHyper {
@@ -51,6 +55,7 @@ impl Default for PrmeHyper {
             weight_decay: 1e-5,
             init_scale: 0.1,
             adversary_epochs: 5,
+            adversary_warm_epochs: 2,
         }
     }
 }
@@ -186,15 +191,25 @@ impl RelevanceScorer for PrmeSpec {
         &self,
         agg: &[f32],
         target_items: &[u32],
+        warm_start: Option<&[f32]>,
         rng: &mut StdRng,
     ) -> Option<Vec<f32>> {
         let d = self.dim;
         let mut emb = vec![0.0f32; d];
-        init_uniform(&mut emb, self.hyper.init_scale, rng);
+        let epochs = match warm_start {
+            Some(prev) => {
+                emb.copy_from_slice(prev);
+                self.hyper.adversary_warm_epochs
+            }
+            None => {
+                init_uniform(&mut emb, self.hyper.init_scale, rng);
+                self.hyper.adversary_epochs
+            }
+        };
         let lr = self.hyper.lr;
         // Pull the embedding towards target preference vectors, push away
         // from random negatives (pairwise, mirroring the training loss).
-        for _ in 0..self.hyper.adversary_epochs {
+        for _ in 0..epochs {
             for &pos in target_items {
                 let neg = rng.gen_range(0..self.num_items);
                 if target_items.binary_search(&neg).is_ok() {
@@ -412,6 +427,42 @@ impl Participant for PrmeClient {
             RelevanceScorer::mean_relevance(spec, Some(&self.user_emb), &model.agg, &probe);
         on - off
     }
+
+    fn state_vec(&self) -> Vec<f32> {
+        // [ user_emb | agg | ref_flag | ref_items? ] — decoded only by
+        // `restore_state` below (PRME references span the full agg slice).
+        let d = self.spec.dim;
+        let mut state = Vec::with_capacity(
+            d + self.agg.len() + 1 + self.ref_items.as_ref().map_or(0, Vec::len),
+        );
+        state.extend_from_slice(&self.user_emb);
+        state.extend_from_slice(&self.agg);
+        match &self.ref_items {
+            Some(r) => {
+                state.push(1.0);
+                state.extend_from_slice(r);
+            }
+            None => state.push(0.0),
+        }
+        state
+    }
+
+    fn restore_state(&mut self, state: &[f32]) {
+        let d = self.spec.dim;
+        let agg_len = self.agg.len();
+        assert!(state.len() > d + agg_len, "PRME state too short");
+        self.user_emb.copy_from_slice(&state[..d]);
+        self.agg.copy_from_slice(&state[d..d + agg_len]);
+        let flag = state[d + agg_len];
+        self.ref_items = if flag == 1.0 {
+            let r = &state[d + agg_len + 1..];
+            assert_eq!(r.len(), agg_len, "PRME reference state size");
+            Some(r.to_vec())
+        } else {
+            assert_eq!(state.len(), d + agg_len + 1, "PRME state size");
+            None
+        };
+    }
 }
 
 #[cfg(test)]
@@ -514,7 +565,7 @@ mod tests {
         }
         let agg = c.agg().to_vec();
         let target = vec![1u32, 2, 3];
-        let emb = s.train_adversary_embedding(&agg, &target, &mut rng).unwrap();
+        let emb = s.train_adversary_embedding(&agg, &target, None, &mut rng).unwrap();
         let on = s.mean_relevance(Some(&emb), &agg, &target);
         let off = s.mean_relevance(Some(&emb), &agg, &[20, 21, 22]);
         assert!(on > off, "on {on} !> off {off}");

@@ -1,0 +1,563 @@
+//! Checkpoint encoding for resumable suite runs.
+//!
+//! A checkpoint captures everything a scenario run needs to continue after
+//! the process is killed: the round counter, every participant's private
+//! state, the protocol-side state (global model in FL; views, refresh
+//! schedule and mailboxes in gossip), the attack's momentum/tracker state,
+//! the adversary's fictive embeddings, and the dynamics layer's
+//! online/straggler state. Per-round RNG streams are derived from
+//! `(seed, round)` throughout the workspace, so no generator state is saved
+//! — resuming replays the exact rounds an uninterrupted run would have run.
+//!
+//! The format is a private little-endian binary encoding (`f32`/`f64` as raw
+//! bits, so restores are bit-exact), guarded by a magic, a version and the
+//! scenario spec's fingerprint.
+
+use cia_core::{CiaAttackState, MomentumState, PlacementsState, RoundPoint};
+use cia_data::UserId;
+use cia_gossip::GossipSimState;
+use cia_models::SharedModel;
+use std::path::{Path, PathBuf};
+
+const MAGIC: u32 = 0x4349_4153; // "CIAS"
+const VERSION: u32 = 1;
+
+/// Protocol-side state, by protocol family.
+#[derive(Debug, Clone)]
+pub enum ProtocolState {
+    /// FedAvg: the current global model.
+    Fl {
+        /// Aggregated global parameters.
+        global: Vec<f32>,
+    },
+    /// Gossip: views, refresh schedule, mailboxes.
+    Gl(GossipSimState),
+}
+
+/// Attack-side state, by engine.
+#[derive(Debug, Clone)]
+pub enum AttackState {
+    /// [`cia_core::FlCia`] / [`cia_core::GlCiaCoalition`] momentum state.
+    Cia(CiaAttackState),
+    /// [`cia_core::GlCiaAllPlacements`] score-EMA state.
+    Placements(PlacementsState),
+}
+
+/// A full mid-run snapshot of one scenario.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Fingerprint of the owning [`crate::spec::ScenarioSpec`]; loading
+    /// refuses a mismatch.
+    pub fingerprint: u64,
+    /// Rounds completed when the snapshot was taken.
+    pub round: u64,
+    /// Evaluation records already emitted to the JSONL stream.
+    pub emitted: u64,
+    /// Per-participant private state ([`cia_models::Participant::state_vec`]).
+    pub clients: Vec<Vec<f32>>,
+    /// Protocol-side state.
+    pub protocol: ProtocolState,
+    /// Attack-side state.
+    pub attack: AttackState,
+    /// Fictive adversary embeddings (Share-less; empty slots otherwise).
+    pub adversary_embs: Vec<Option<Vec<f32>>>,
+    /// Dynamics-layer state.
+    pub dynamics: crate::dynamics::DynamicsState,
+}
+
+impl Checkpoint {
+    /// The checkpoint file path for a scenario inside `dir`. The sanitized
+    /// name is suffixed with a hash of the *exact* name so two scenarios
+    /// whose names sanitize identically (`a.b` vs `a_b`) never share a file.
+    pub fn path_for(dir: &Path, scenario: &str) -> PathBuf {
+        // Scenario names come from specs; keep the file name tame.
+        let safe: String = scenario
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        let h = crate::spec::fnv1a64(scenario.bytes());
+        dir.join(format!("{safe}-{:08x}.ckpt", h as u32))
+    }
+
+    /// Serializes the checkpoint.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.u32(MAGIC);
+        w.u32(VERSION);
+        w.u64(self.fingerprint);
+        w.u64(self.round);
+        w.u64(self.emitted);
+        w.u64(self.clients.len() as u64);
+        for c in &self.clients {
+            w.f32s(c);
+        }
+        match &self.protocol {
+            ProtocolState::Fl { global } => {
+                w.u8(0);
+                w.f32s(global);
+            }
+            ProtocolState::Gl(state) => {
+                w.u8(1);
+                w.u64(state.round);
+                w.u64(state.refresh_at.len() as u64);
+                for &r in &state.refresh_at {
+                    w.u64(r);
+                }
+                w.u64(state.views.len() as u64);
+                for view in &state.views {
+                    w.u32s(view);
+                }
+                w.u64(state.inboxes.len() as u64);
+                for inbox in &state.inboxes {
+                    w.u64(inbox.len() as u64);
+                    for m in inbox {
+                        w.shared_model(m);
+                    }
+                }
+                w.u64(state.heard.len() as u64);
+                for heard in &state.heard {
+                    w.u64(heard.len() as u64);
+                    for &(peer, score) in heard {
+                        w.u32(peer);
+                        w.f32(score);
+                    }
+                }
+                w.u64(state.prev_sent.len() as u64);
+                for prev in &state.prev_sent {
+                    w.opt_f32s(prev.as_deref());
+                }
+            }
+        }
+        match &self.attack {
+            AttackState::Cia(state) => {
+                w.u8(0);
+                w.u64(state.momentum.len() as u64);
+                for m in &state.momentum {
+                    match m {
+                        None => w.u8(0),
+                        Some(m) => {
+                            w.u8(1);
+                            w.opt_f32s(m.emb());
+                            w.f32s(m.agg());
+                            w.u64(m.updates());
+                        }
+                    }
+                }
+                w.round_points(&state.history);
+                w.opt_f32s(state.last_global.as_deref());
+                w.u8(u8::from(state.prepared));
+            }
+            AttackState::Placements(state) => {
+                w.u8(1);
+                w.f32s(&state.s_ema);
+                w.round_points(&state.history);
+                w.u8(u8::from(state.prepared));
+            }
+        }
+        w.u64(self.adversary_embs.len() as u64);
+        for e in &self.adversary_embs {
+            w.opt_f32s(e.as_deref());
+        }
+        w.u64(self.dynamics.online.len() as u64);
+        for &b in &self.dynamics.online {
+            w.u8(u8::from(b));
+        }
+        w.u64(self.dynamics.straggler_until.len() as u64);
+        for &t in &self.dynamics.straggler_until {
+            w.u64(t);
+        }
+        w.buf
+    }
+
+    /// Deserializes a checkpoint, verifying magic, version and fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem — including a
+    /// fingerprint mismatch, which means the checkpoint belongs to a
+    /// different spec.
+    pub fn decode(bytes: &[u8], expect_fingerprint: u64) -> Result<Checkpoint, String> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.u32()? != MAGIC {
+            return Err("not a scenario checkpoint (bad magic)".to_string());
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(format!("unsupported checkpoint version {version}"));
+        }
+        let fingerprint = r.u64()?;
+        if fingerprint != expect_fingerprint {
+            return Err(
+                "checkpoint belongs to a different scenario spec (fingerprint mismatch)"
+                    .to_string(),
+            );
+        }
+        let round = r.u64()?;
+        let emitted = r.u64()?;
+        let n_clients = r.u64()? as usize;
+        let mut clients = Vec::with_capacity(n_clients);
+        for _ in 0..n_clients {
+            clients.push(r.f32s()?);
+        }
+        let protocol = match r.u8()? {
+            0 => ProtocolState::Fl { global: r.f32s()? },
+            1 => {
+                let round = r.u64()?;
+                let n = r.u64()? as usize;
+                let mut refresh_at = Vec::with_capacity(n);
+                for _ in 0..n {
+                    refresh_at.push(r.u64()?);
+                }
+                let n = r.u64()? as usize;
+                let mut views = Vec::with_capacity(n);
+                for _ in 0..n {
+                    views.push(r.u32s()?);
+                }
+                let n = r.u64()? as usize;
+                let mut inboxes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let len = r.u64()? as usize;
+                    let mut inbox = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        inbox.push(r.shared_model()?);
+                    }
+                    inboxes.push(inbox);
+                }
+                let n = r.u64()? as usize;
+                let mut heard = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let len = r.u64()? as usize;
+                    let mut h = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let peer = r.u32()?;
+                        let score = r.f32()?;
+                        h.push((peer, score));
+                    }
+                    heard.push(h);
+                }
+                let n = r.u64()? as usize;
+                let mut prev_sent = Vec::with_capacity(n);
+                for _ in 0..n {
+                    prev_sent.push(r.opt_f32s()?);
+                }
+                ProtocolState::Gl(GossipSimState {
+                    round,
+                    refresh_at,
+                    views,
+                    inboxes,
+                    heard,
+                    prev_sent,
+                })
+            }
+            tag => return Err(format!("unknown protocol state tag {tag}")),
+        };
+        let attack = match r.u8()? {
+            0 => {
+                let n = r.u64()? as usize;
+                let mut momentum = Vec::with_capacity(n);
+                for _ in 0..n {
+                    momentum.push(match r.u8()? {
+                        0 => None,
+                        1 => {
+                            let emb = r.opt_f32s()?;
+                            let agg = r.f32s()?;
+                            let updates = r.u64()?;
+                            Some(MomentumState::from_parts(emb, agg, updates))
+                        }
+                        tag => return Err(format!("unknown momentum tag {tag}")),
+                    });
+                }
+                let history = r.round_points()?;
+                let last_global = r.opt_f32s()?;
+                let prepared = r.u8()? == 1;
+                AttackState::Cia(CiaAttackState { momentum, history, last_global, prepared })
+            }
+            1 => {
+                let s_ema = r.f32s()?;
+                let history = r.round_points()?;
+                let prepared = r.u8()? == 1;
+                AttackState::Placements(PlacementsState { s_ema, history, prepared })
+            }
+            tag => return Err(format!("unknown attack state tag {tag}")),
+        };
+        let n = r.u64()? as usize;
+        let mut adversary_embs = Vec::with_capacity(n);
+        for _ in 0..n {
+            adversary_embs.push(r.opt_f32s()?);
+        }
+        let n = r.u64()? as usize;
+        let mut online = Vec::with_capacity(n);
+        for _ in 0..n {
+            online.push(r.u8()? == 1);
+        }
+        let n = r.u64()? as usize;
+        let mut straggler_until = Vec::with_capacity(n);
+        for _ in 0..n {
+            straggler_until.push(r.u64()?);
+        }
+        if r.pos != bytes.len() {
+            return Err("trailing bytes in checkpoint".to_string());
+        }
+        Ok(Checkpoint {
+            fingerprint,
+            round,
+            emitted,
+            clients,
+            protocol,
+            attack,
+            adversary_embs,
+            dynamics: crate::dynamics::DynamicsState { online, straggler_until },
+        })
+    }
+
+    /// Writes the checkpoint atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("ckpt.tmp");
+        std::fs::write(&tmp, self.encode())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads and verifies a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for I/O, structural or fingerprint failures.
+    pub fn load(path: &Path, expect_fingerprint: u64) -> Result<Checkpoint, String> {
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Checkpoint::decode(&bytes, expect_fingerprint)
+    }
+}
+
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn f32s(&mut self, v: &[f32]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.f32(x);
+        }
+    }
+    fn u32s(&mut self, v: &[u32]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u32(x);
+        }
+    }
+    fn opt_f32s(&mut self, v: Option<&[f32]>) {
+        match v {
+            None => self.u8(0),
+            Some(v) => {
+                self.u8(1);
+                self.f32s(v);
+            }
+        }
+    }
+    fn shared_model(&mut self, m: &SharedModel) {
+        self.u32(m.owner.raw());
+        self.u64(m.round);
+        self.opt_f32s(m.owner_emb.as_deref());
+        self.f32s(&m.agg);
+    }
+    fn round_points(&mut self, points: &[RoundPoint]) {
+        self.u64(points.len() as u64);
+        for p in points {
+            self.u64(p.round);
+            self.f64(p.aac);
+            self.f64(p.best10);
+            self.f64(p.upper_bound);
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        let end = self.pos.checked_add(n).ok_or("checkpoint length overflow")?;
+        let slice = self.bytes.get(self.pos..end).ok_or("checkpoint truncated")?;
+        self.pos = end;
+        Ok(slice)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn len(&mut self) -> Result<usize, String> {
+        let n = self.u64()?;
+        // A length can never exceed the remaining bytes (every element is at
+        // least one byte) — reject early instead of over-allocating.
+        if n as usize > self.bytes.len().saturating_sub(self.pos) {
+            return Err("checkpoint length field exceeds remaining data".to_string());
+        }
+        Ok(n as usize)
+    }
+    fn f32s(&mut self) -> Result<Vec<f32>, String> {
+        let n = self.len()?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.f32()?);
+        }
+        Ok(v)
+    }
+    fn u32s(&mut self) -> Result<Vec<u32>, String> {
+        let n = self.len()?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.u32()?);
+        }
+        Ok(v)
+    }
+    fn opt_f32s(&mut self) -> Result<Option<Vec<f32>>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f32s()?)),
+            tag => Err(format!("unknown option tag {tag}")),
+        }
+    }
+    fn shared_model(&mut self) -> Result<SharedModel, String> {
+        let owner = UserId::new(self.u32()?);
+        let round = self.u64()?;
+        let owner_emb = self.opt_f32s()?;
+        let agg = self.f32s()?;
+        Ok(SharedModel { owner, round, owner_emb, agg })
+    }
+    fn round_points(&mut self) -> Result<Vec<RoundPoint>, String> {
+        let n = self.len()?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            let round = self.u64()?;
+            let aac = self.f64()?;
+            let best10 = self.f64()?;
+            let upper_bound = self.f64()?;
+            v.push(RoundPoint { round, aac, best10, upper_bound });
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::DynamicsState;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            fingerprint: 0xFEED,
+            round: 12,
+            emitted: 3,
+            clients: vec![vec![1.0, -2.5], vec![0.0; 4]],
+            protocol: ProtocolState::Gl(GossipSimState {
+                round: 12,
+                refresh_at: vec![13, 20],
+                views: vec![vec![1], vec![0]],
+                inboxes: vec![
+                    vec![SharedModel {
+                        owner: UserId::new(1),
+                        round: 11,
+                        owner_emb: Some(vec![0.5]),
+                        agg: vec![1.0, 2.0],
+                    }],
+                    vec![],
+                ],
+                heard: vec![vec![(1, 0.25)], vec![]],
+                prev_sent: vec![None, Some(vec![3.0])],
+            }),
+            attack: AttackState::Cia(CiaAttackState {
+                momentum: vec![
+                    None,
+                    Some(MomentumState::from_parts(Some(vec![0.1]), vec![0.2, 0.3], 4)),
+                ],
+                history: vec![RoundPoint { round: 5, aac: 0.5, best10: 0.75, upper_bound: 1.0 }],
+                last_global: Some(vec![9.0]),
+                prepared: true,
+            }),
+            adversary_embs: vec![None, Some(vec![1.25, -0.5])],
+            dynamics: DynamicsState { online: vec![true, false], straggler_until: vec![0, 17] },
+        }
+    }
+
+    #[test]
+    fn roundtrips_bit_exactly() {
+        let ck = sample();
+        let bytes = ck.encode();
+        let back = Checkpoint::decode(&bytes, 0xFEED).unwrap();
+        assert_eq!(back.round, ck.round);
+        assert_eq!(back.emitted, ck.emitted);
+        assert_eq!(back.clients, ck.clients);
+        assert_eq!(back.adversary_embs, ck.adversary_embs);
+        assert_eq!(back.dynamics, ck.dynamics);
+        match (&back.protocol, &ck.protocol) {
+            (ProtocolState::Gl(a), ProtocolState::Gl(b)) => {
+                assert_eq!(a.refresh_at, b.refresh_at);
+                assert_eq!(a.views, b.views);
+                assert_eq!(a.inboxes, b.inboxes);
+                assert_eq!(a.heard, b.heard);
+                assert_eq!(a.prev_sent, b.prev_sent);
+            }
+            _ => panic!("protocol family changed"),
+        }
+        match (&back.attack, &ck.attack) {
+            (AttackState::Cia(a), AttackState::Cia(b)) => {
+                assert_eq!(a.momentum, b.momentum);
+                assert_eq!(a.history, b.history);
+                assert_eq!(a.last_global, b.last_global);
+                assert_eq!(a.prepared, b.prepared);
+            }
+            _ => panic!("attack family changed"),
+        }
+    }
+
+    #[test]
+    fn distinct_names_never_share_a_path() {
+        let dir = Path::new("ckpt");
+        // `a.b` and `a_b` sanitize to the same stem; the name hash keeps
+        // their files apart.
+        assert_ne!(Checkpoint::path_for(dir, "a.b"), Checkpoint::path_for(dir, "a_b"));
+        assert_eq!(Checkpoint::path_for(dir, "x-1"), Checkpoint::path_for(dir, "x-1"));
+    }
+
+    #[test]
+    fn rejects_wrong_fingerprint_and_garbage() {
+        let bytes = sample().encode();
+        assert!(Checkpoint::decode(&bytes, 0xBAD).unwrap_err().contains("fingerprint"));
+        assert!(Checkpoint::decode(&bytes[..10], 0xFEED).is_err());
+        assert!(Checkpoint::decode(b"not a checkpoint", 0xFEED).is_err());
+    }
+}

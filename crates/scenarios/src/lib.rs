@@ -1,0 +1,47 @@
+//! `cia-scenarios` — the declarative scenario engine.
+//!
+//! The paper evaluates the Community Inference Attack under static FL/GL
+//! deployments; real collaborative deployments have churn, stragglers,
+//! partial participation and colluding sybils. This crate turns "a workload"
+//! from a hand-wired Rust function into a *value*:
+//!
+//! * [`spec`] — the scenario specification: dataset × scale × model ×
+//!   protocol × defense × attack plus a `dynamics` block, parseable from
+//!   JSON and composable into named suites ([`SuiteSpec`], [`builtin_suite`]);
+//! * [`dynamics`] — the participant-dynamics layer, threaded through the
+//!   protocols' observer seams so the training loops never fork;
+//! * [`runner`] — deterministic suite execution streaming one JSONL record
+//!   per (scenario, evaluation round), with checkpoint/resume of model,
+//!   momentum, tracker and dynamics state ([`checkpoint`]);
+//! * [`setup`] — the shared dataset/ground-truth substrate (also consumed by
+//!   `cia-experiments`);
+//! * [`json`] — the dependency-free JSON codec behind specs and records.
+//!
+//! ```
+//! use cia_data::presets::Scale;
+//! use cia_scenarios::{builtin_suite, runner::{run_suite, validate_jsonl, RunOptions}};
+//!
+//! let suite = builtin_suite(Scale::Smoke, 42);
+//! let mut out = Vec::new();
+//! let outcomes = run_suite(&suite, &RunOptions::default(), &mut out).unwrap();
+//! assert_eq!(outcomes.len(), 3);
+//! validate_jsonl(&String::from_utf8(out).unwrap()).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod dynamics;
+pub mod json;
+pub mod runner;
+pub mod setup;
+pub mod spec;
+
+pub use dynamics::{DynamicsState, FlDynamics, GlDynamics, ParticipantDynamics};
+pub use runner::{run_quiet, run_scenario, run_suite, RunOptions, RunResult, ScenarioOutcome};
+pub use setup::{build_setup, RecsysSetup};
+pub use spec::{
+    builtin_suite, DefenseKind, DynamicsSpec, ModelKind, ProtocolKind, ScaleParams, ScenarioSpec,
+    SuiteSpec,
+};

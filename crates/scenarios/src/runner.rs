@@ -1,0 +1,941 @@
+//! The suite runner: executes [`ScenarioSpec`]s deterministically from their
+//! seeds, streams one JSONL record per (scenario, evaluation round), and
+//! checkpoints/restores full run state so long paper-scale suites survive
+//! interruption.
+//!
+//! Record schema (all floats finite, one object per line):
+//!
+//! * `round_eval` — emitted at every attack-evaluation round:
+//!   `type suite scenario dataset model protocol scale seed round aac best10
+//!   upper_bound random_bound online participants mean_loss [elapsed_ms]`
+//! * `scenario_summary` — emitted once per completed scenario:
+//!   `type suite scenario dataset model protocol scale seed max_aac
+//!   best10_aac max_round random_bound upper_bound advantage utility
+//!   utility_metric rounds evals completed [elapsed_ms]`
+//!
+//! `elapsed_ms` is the only non-deterministic field and is gated behind
+//! [`RunOptions::timing`] so `--no-timing` runs are byte-identical given the
+//! same spec and seed.
+
+use crate::checkpoint::{AttackState, Checkpoint, ProtocolState};
+use crate::dynamics::{FlDynamics, GlDynamics, ParticipantDynamics};
+use crate::json::{Json, ObjBuilder};
+use crate::setup::{build_setup, RecsysSetup};
+use crate::spec::{DefenseKind, ModelKind, ProtocolKind, ScenarioSpec, SuiteSpec};
+use cia_core::metrics::random_bound;
+use cia_core::{
+    AttackOutcome, CiaConfig, FlCia, GlCiaAllPlacements, GlCiaCoalition, ItemSetEvaluator,
+    RoundPoint,
+};
+use cia_data::UserId;
+use cia_defenses::{DpConfig, DpMechanism};
+use cia_federated::{FedAvg, FedAvgConfig};
+use cia_gossip::{GossipConfig, GossipObserver, GossipProtocol, GossipRoundStats, GossipSim};
+use cia_models::{
+    f1_at_k, GmfClient, GmfHyper, GmfSpec, Participant, PrmeClient, PrmeHyper, PrmeSpec,
+    RankedEval, RelevanceScorer, SharedModel,
+};
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// How a suite run behaves around its JSONL stream and checkpoints.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Include wall-clock `elapsed_ms` fields (the only non-deterministic
+    /// part of the stream).
+    pub timing: bool,
+    /// Directory for checkpoint files; `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Save a checkpoint every this many rounds (0 = only when stopping).
+    pub checkpoint_every: u64,
+    /// Resume from an existing checkpoint if one is present.
+    pub resume: bool,
+    /// Stop (checkpointing first, when enabled) once this many rounds have
+    /// completed — simulates a killed run; `None` runs to completion.
+    pub stop_after_rounds: Option<u64>,
+}
+
+/// Result of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// Attack summary (Max AAC, Best-10%, bounds, history).
+    pub attack: AttackOutcome,
+    /// Recommendation utility (`None` when the run stopped early or was
+    /// skipped).
+    pub utility: Option<f64>,
+    /// Name of the utility metric.
+    pub utility_metric: &'static str,
+    /// Rounds completed.
+    pub rounds_done: u64,
+    /// Whether the scenario ran to completion.
+    pub completed: bool,
+    /// Whether a resume skipped the scenario because a completion marker
+    /// showed its records are already in the stream.
+    pub skipped: bool,
+    /// Wall-clock duration of this invocation.
+    pub elapsed: Duration,
+}
+
+/// Compatibility shape for `cia-experiments`: the result of one completed
+/// run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Attack summary.
+    pub attack: AttackOutcome,
+    /// Recommendation utility: HR@20 for GMF, F1@20 for PRME.
+    pub utility: f64,
+    /// Name of the utility metric.
+    pub utility_metric: &'static str,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+/// Runs one scenario to completion with no JSONL stream and no checkpoints —
+/// the entry point `cia-experiments` tables use.
+///
+/// # Panics
+///
+/// Panics if the spec fails validation (experiment code builds specs
+/// programmatically, so a violation is a bug).
+pub fn run_quiet(spec: &ScenarioSpec) -> RunResult {
+    let mut sink = std::io::sink();
+    let outcome =
+        run_scenario(spec, "", &RunOptions::default(), &mut sink).expect("valid scenario spec");
+    RunResult {
+        attack: outcome.attack,
+        utility: outcome.utility.expect("uninterrupted run completes"),
+        utility_metric: outcome.utility_metric,
+        elapsed: outcome.elapsed,
+    }
+}
+
+/// Runs every scenario of a suite in order, streaming records into `sink`.
+///
+/// # Errors
+///
+/// Returns the first spec validation, I/O or checkpoint error.
+pub fn run_suite(
+    suite: &SuiteSpec,
+    opts: &RunOptions,
+    sink: &mut dyn Write,
+) -> Result<Vec<ScenarioOutcome>, String> {
+    let mut outcomes = Vec::with_capacity(suite.scenarios.len());
+    for spec in &suite.scenarios {
+        outcomes.push(run_scenario(spec, &suite.name, opts, sink)?);
+    }
+    Ok(outcomes)
+}
+
+/// Runs one scenario, streaming records into `sink`.
+///
+/// # Errors
+///
+/// Returns the first spec validation, I/O or checkpoint error.
+pub fn run_scenario(
+    spec: &ScenarioSpec,
+    suite: &str,
+    opts: &RunOptions,
+    sink: &mut dyn Write,
+) -> Result<ScenarioOutcome, String> {
+    spec.validate()?;
+    let start = Instant::now();
+    let ctx = Ctx { spec, suite, opts, start };
+    // A suite killed in scenario N leaves scenarios 1..N completed with
+    // their records already in the stream; the completion marker stops a
+    // resume from re-running them and appending duplicates.
+    if opts.resume && ctx.completion_marker_matches() {
+        return Ok(ScenarioOutcome {
+            name: spec.name.clone(),
+            attack: cia_core::AttackTracker::new(1, 0).outcome(),
+            utility: None,
+            utility_metric: "",
+            rounds_done: 0,
+            completed: true,
+            skipped: true,
+            elapsed: start.elapsed(),
+        });
+    }
+    let setup = build_setup(spec.preset, spec.scale, spec.k_override, spec.seed);
+    let mut outcome = match spec.model {
+        ModelKind::Gmf => run_gmf(&ctx, &setup, sink),
+        ModelKind::Prme => run_prme(&ctx, &setup, sink),
+    }?;
+    outcome.elapsed = start.elapsed();
+    Ok(outcome)
+}
+
+/// Everything constant across one scenario invocation.
+struct Ctx<'a> {
+    spec: &'a ScenarioSpec,
+    suite: &'a str,
+    opts: &'a RunOptions,
+    start: Instant,
+}
+
+impl Ctx<'_> {
+    fn checkpoint_path(&self) -> Option<PathBuf> {
+        self.opts
+            .checkpoint_dir
+            .as_ref()
+            .map(|dir| Checkpoint::path_for(dir, &self.spec.name))
+    }
+
+    fn completion_marker_path(&self) -> Option<PathBuf> {
+        self.checkpoint_path().map(|p| p.with_extension("done"))
+    }
+
+    /// Whether a matching completion marker exists for this spec.
+    fn completion_marker_matches(&self) -> bool {
+        self.completion_marker_path().is_some_and(|p| {
+            std::fs::read_to_string(p)
+                .is_ok_and(|text| text.trim() == format!("{:016x}", self.spec.fingerprint()))
+        })
+    }
+
+    /// Whether a checkpoint should be written after `done` rounds. Rounds
+    /// that emitted records always checkpoint, keeping the stream's record
+    /// count in lockstep with the checkpoint's `emitted` counter — a kill
+    /// can then duplicate at most the current round's records on resume.
+    fn checkpoint_due(&self, done: u64, stopping: bool, emitted_now: bool) -> bool {
+        self.opts.checkpoint_dir.is_some()
+            && (stopping
+                || emitted_now
+                || (self.opts.checkpoint_every > 0
+                    && done.is_multiple_of(self.opts.checkpoint_every)))
+    }
+
+    fn stopping_at(&self, done: u64) -> bool {
+        self.opts.stop_after_rounds.is_some_and(|limit| done >= limit)
+    }
+}
+
+fn gmf_spec(setup: &RecsysSetup) -> GmfSpec {
+    GmfSpec::new(setup.data.num_items(), setup.params.dim, GmfHyper { lr: 0.1, ..GmfHyper::default() })
+}
+
+fn prme_spec(setup: &RecsysSetup) -> PrmeSpec {
+    PrmeSpec::new(
+        setup.data.num_items(),
+        setup.params.dim,
+        PrmeHyper { lr: 0.05, ..PrmeHyper::default() },
+    )
+}
+
+fn run_gmf(ctx: &Ctx, setup: &RecsysSetup, sink: &mut dyn Write) -> Result<ScenarioOutcome, String> {
+    let model_spec = gmf_spec(setup);
+    let policy = ctx.spec.defense.policy();
+    let clients: Vec<GmfClient> = setup
+        .split
+        .train_sets()
+        .iter()
+        .enumerate()
+        .map(|(u, items)| {
+            model_spec.build_client(
+                UserId::new(u as u32),
+                items.clone(),
+                policy,
+                ctx.spec.seed ^ (u as u64).wrapping_mul(0xD6E8_FEB8),
+            )
+        })
+        .collect();
+    let eval_instances = setup.split.eval_instances().to_vec();
+    let utility = move |clients: &[GmfClient]| -> f64 {
+        let mut acc = RankedEval::new();
+        for (c, inst) in clients.iter().zip(&eval_instances) {
+            let pos = c.score_candidates(&[inst.primary()])[0];
+            let negs = c.score_candidates(&inst.negatives);
+            acc.push(pos, &negs, 20);
+        }
+        acc.hr()
+    };
+    run_protocol(ctx, setup, model_spec, clients, utility, "HR@20", sink)
+}
+
+fn run_prme(ctx: &Ctx, setup: &RecsysSetup, sink: &mut dyn Write) -> Result<ScenarioOutcome, String> {
+    let model_spec = prme_spec(setup);
+    let policy = ctx.spec.defense.policy();
+    let clients: Vec<PrmeClient> = setup
+        .split
+        .train_sets()
+        .iter()
+        .zip(setup.split.train_sequences())
+        .enumerate()
+        .map(|(u, (items, seq))| {
+            model_spec.build_client(
+                UserId::new(u as u32),
+                items.clone(),
+                seq.clone(),
+                policy,
+                ctx.spec.seed ^ (u as u64).wrapping_mul(0xD6E8_FEB8),
+            )
+        })
+        .collect();
+    let eval_instances = setup.split.eval_instances().to_vec();
+    let train_sets = setup.split.train_sets().to_vec();
+    let num_items = setup.data.num_items();
+    let utility = move |clients: &[PrmeClient]| -> f64 {
+        // F1@20: rank the full catalog minus train items, compare the top 20
+        // against the held-out positives (logit scores; ranking is
+        // sigmoid-free by monotonicity).
+        let all: Vec<u32> = (0..num_items).collect();
+        let mut total = 0.0;
+        for ((c, inst), train) in clients.iter().zip(&eval_instances).zip(&train_sets) {
+            let scores = c.score_candidates(&all);
+            let mut ranked: Vec<(f32, u32)> = scores
+                .into_iter()
+                .zip(all.iter().copied())
+                .filter(|(_, j)| train.binary_search(j).is_err())
+                .collect();
+            ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+            let top: Vec<u32> = ranked.into_iter().take(20).map(|(_, j)| j).collect();
+            total += f1_at_k(&top, &inst.positives);
+        }
+        total / clients.len() as f64
+    };
+    run_protocol(ctx, setup, model_spec, clients, utility, "F1@20", sink)
+}
+
+fn build_dp(spec: &ScenarioSpec, rounds: u64) -> Option<DpMechanism> {
+    match spec.defense {
+        DefenseKind::Dp { epsilon } => Some(match epsilon {
+            Some(eps) => DpMechanism::with_target_epsilon(eps, 1e-6, rounds, 1.0, 2.0),
+            None => DpMechanism::new(DpConfig { clip: 2.0, noise_multiplier: 0.0 }),
+        }),
+        _ => None,
+    }
+}
+
+fn run_protocol<S, P>(
+    ctx: &Ctx,
+    setup: &RecsysSetup,
+    scorer: S,
+    clients: Vec<P>,
+    utility: impl Fn(&[P]) -> f64,
+    utility_metric: &'static str,
+    sink: &mut dyn Write,
+) -> Result<ScenarioOutcome, String>
+where
+    S: RelevanceScorer + Clone + 'static,
+    P: Participant,
+{
+    let spec = ctx.spec;
+    let n = setup.data.num_users();
+    let share_less = matches!(spec.defense, DefenseKind::ShareLess { .. });
+    let targets = setup.split.train_sets().to_vec();
+    let cia = CiaConfig {
+        k: setup.k,
+        beta: spec.beta,
+        eval_every: setup.params.eval_every(spec.protocol),
+        seed: spec.seed ^ 0xC1A,
+    };
+    let dynamics = ParticipantDynamics::new(&spec.dynamics, n, spec.seed ^ 0xD11A);
+    let evaluator = ItemSetEvaluator::new(scorer, targets, share_less);
+    match spec.protocol {
+        ProtocolKind::Fl => {
+            run_fl(ctx, setup, cia, evaluator, clients, utility, utility_metric, dynamics, sink)
+        }
+        ProtocolKind::RandGossip | ProtocolKind::PersGossip => {
+            run_gl(ctx, setup, cia, evaluator, clients, utility, utility_metric, dynamics, sink)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_fl<S, P>(
+    ctx: &Ctx,
+    setup: &RecsysSetup,
+    cia: CiaConfig,
+    evaluator: ItemSetEvaluator<S>,
+    clients: Vec<P>,
+    utility: impl Fn(&[P]) -> f64,
+    utility_metric: &'static str,
+    mut dynamics: ParticipantDynamics,
+    sink: &mut dyn Write,
+) -> Result<ScenarioOutcome, String>
+where
+    S: RelevanceScorer + Clone + 'static,
+    P: Participant,
+{
+    let spec = ctx.spec;
+    let n = setup.data.num_users();
+    let total = setup.params.fl_rounds;
+    let mut attack = FlCia::new(cia, evaluator, n, setup.truth_table(), setup.owner_table());
+    let mut sim = FedAvg::new(
+        clients,
+        FedAvgConfig {
+            rounds: total,
+            local_epochs: setup.params.local_epochs,
+            seed: spec.seed,
+            ..Default::default()
+        },
+    );
+    if let Some(m) = build_dp(spec, total) {
+        sim.set_update_transform(Box::new(m));
+    }
+
+    let mut emitted: usize = 0;
+    if ctx.opts.resume {
+        if let Some(path) = ctx.checkpoint_path() {
+            if path.exists() {
+                let ck = Checkpoint::load(&path, spec.fingerprint())?;
+                let ProtocolState::Fl { global } = ck.protocol else {
+                    return Err(format!("{}: checkpoint protocol family mismatch", spec.name));
+                };
+                let AttackState::Cia(attack_state) = ck.attack else {
+                    return Err(format!("{}: checkpoint attack family mismatch", spec.name));
+                };
+                if ck.clients.len() != n {
+                    return Err(format!("{}: checkpoint population mismatch", spec.name));
+                }
+                for (c, s) in sim.clients_mut().iter_mut().zip(&ck.clients) {
+                    c.restore_state(s);
+                }
+                sim.restore(ck.round, global);
+                attack.restore_state(attack_state);
+                attack.evaluator_mut().restore_adversary_embeddings(ck.adversary_embs);
+                dynamics.restore_state(ck.dynamics);
+                emitted = ck.emitted as usize;
+            }
+        }
+    }
+
+    let rb = random_bound(setup.k, n.saturating_sub(1));
+    while sim.round() < total {
+        let stats = {
+            let mut obs = FlDynamics { inner: &mut attack, dynamics: &mut dynamics };
+            sim.step(&mut obs)
+        };
+        let emitted_before = emitted;
+        while emitted < attack.history().len() {
+            let p = attack.history()[emitted].clone();
+            emit_round_eval(
+                ctx,
+                sink,
+                &p,
+                rb,
+                dynamics.online_count(),
+                stats.participants,
+                stats.mean_loss,
+            )?;
+            emitted += 1;
+        }
+        let done = sim.round();
+        let stopping = ctx.stopping_at(done);
+        if ctx.checkpoint_due(done, stopping, emitted > emitted_before) {
+            let ck = Checkpoint {
+                fingerprint: spec.fingerprint(),
+                round: done,
+                emitted: emitted as u64,
+                clients: sim.clients().iter().map(Participant::state_vec).collect(),
+                protocol: ProtocolState::Fl { global: sim.global_agg().to_vec() },
+                attack: AttackState::Cia(attack.export_state()),
+                adversary_embs: attack.evaluator().adversary_embeddings().to_vec(),
+                dynamics: dynamics.export_state(),
+            };
+            save_checkpoint(ctx, &ck)?;
+        }
+        if stopping {
+            return Ok(partial_outcome(spec, attack.outcome(), utility_metric, done));
+        }
+    }
+
+    sim.sync_clients_to_global();
+    let utility_value = utility(sim.clients());
+    let outcome = attack.outcome();
+    emit_summary(ctx, sink, &outcome, utility_value, utility_metric, total, emitted)?;
+    clear_checkpoint(ctx);
+    Ok(ScenarioOutcome {
+        name: spec.name.clone(),
+        attack: outcome,
+        utility: Some(utility_value),
+        utility_metric,
+        rounds_done: total,
+        completed: true,
+        skipped: false,
+        elapsed: Duration::ZERO,
+    })
+}
+
+/// Either gossip attack engine behind one observer surface.
+enum GlAttack<S: RelevanceScorer> {
+    Coalition(GlCiaCoalition<ItemSetEvaluator<S>>),
+    All(GlCiaAllPlacements<ItemSetEvaluator<S>>),
+}
+
+impl<S: RelevanceScorer> GlAttack<S> {
+    fn history(&self) -> &[RoundPoint] {
+        match self {
+            GlAttack::Coalition(a) => a.history(),
+            GlAttack::All(a) => a.history(),
+        }
+    }
+
+    fn outcome(&self) -> AttackOutcome {
+        match self {
+            GlAttack::Coalition(a) => a.outcome(),
+            GlAttack::All(a) => a.outcome(),
+        }
+    }
+
+    fn export_state(&self) -> AttackState {
+        match self {
+            GlAttack::Coalition(a) => AttackState::Cia(a.export_state()),
+            GlAttack::All(a) => AttackState::Placements(a.export_state()),
+        }
+    }
+
+    fn restore_state(&mut self, state: AttackState, name: &str) -> Result<(), String> {
+        match (self, state) {
+            (GlAttack::Coalition(a), AttackState::Cia(s)) => {
+                a.restore_state(s);
+                Ok(())
+            }
+            (GlAttack::All(a), AttackState::Placements(s)) => {
+                a.restore_state(s);
+                Ok(())
+            }
+            _ => Err(format!("{name}: checkpoint attack family mismatch")),
+        }
+    }
+
+    fn adversary_embeddings(&self) -> Vec<Option<Vec<f32>>> {
+        match self {
+            GlAttack::Coalition(a) => a.evaluator().adversary_embeddings().to_vec(),
+            GlAttack::All(a) => a.evaluator().adversary_embeddings().to_vec(),
+        }
+    }
+
+    fn restore_adversary_embeddings(&mut self, embs: Vec<Option<Vec<f32>>>) {
+        match self {
+            GlAttack::Coalition(a) => a.evaluator_mut().restore_adversary_embeddings(embs),
+            GlAttack::All(a) => a.evaluator_mut().restore_adversary_embeddings(embs),
+        }
+    }
+}
+
+impl<S: RelevanceScorer> GossipObserver for GlAttack<S> {
+    fn on_round_start(&mut self, round: u64) {
+        match self {
+            GlAttack::Coalition(a) => a.on_round_start(round),
+            GlAttack::All(a) => a.on_round_start(round),
+        }
+    }
+
+    fn on_delivery(&mut self, round: u64, receiver: UserId, model: &SharedModel) {
+        match self {
+            GlAttack::Coalition(a) => a.on_delivery(round, receiver, model),
+            GlAttack::All(a) => a.on_delivery(round, receiver, model),
+        }
+    }
+
+    fn on_round_end(&mut self, stats: &GossipRoundStats) {
+        match self {
+            GlAttack::Coalition(a) => a.on_round_end(stats),
+            GlAttack::All(a) => a.on_round_end(stats),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_gl<S, P>(
+    ctx: &Ctx,
+    setup: &RecsysSetup,
+    cia: CiaConfig,
+    evaluator: ItemSetEvaluator<S>,
+    clients: Vec<P>,
+    utility: impl Fn(&[P]) -> f64,
+    utility_metric: &'static str,
+    mut dynamics: ParticipantDynamics,
+    sink: &mut dyn Write,
+) -> Result<ScenarioOutcome, String>
+where
+    S: RelevanceScorer + Clone + 'static,
+    P: Participant,
+{
+    let spec = ctx.spec;
+    let n = setup.data.num_users();
+    let total = setup.params.gl_rounds;
+    let protocol = match spec.protocol {
+        ProtocolKind::PersGossip => GossipProtocol::Pers { exploration: 0.4 },
+        _ => GossipProtocol::Rand,
+    };
+    let mut sim = GossipSim::new(
+        clients,
+        GossipConfig { rounds: total, protocol, seed: spec.seed, ..Default::default() },
+    );
+    if let Some(m) = build_dp(spec, total) {
+        sim.set_update_transform(Box::new(m));
+    }
+
+    // Sybil coalitions (always-online adversary nodes) and the legacy
+    // `colluders` knob both run the paper-exact coalition engine; a lone
+    // adversary (or none specified) runs the all-placements sweep.
+    // `coalition_size` is the single source of the precedence rule.
+    let coalition = spec.coalition_size();
+    let members: Vec<u32> = if spec.dynamics.sybils > 0 {
+        dynamics.sybil_members()
+    } else {
+        (0..coalition).map(|i| (i * n / coalition.max(1)) as u32).collect()
+    };
+    let mut attack = if members.is_empty() {
+        GlAttack::All(GlCiaAllPlacements::new(cia, evaluator, n, setup.truth_table()))
+    } else {
+        GlAttack::Coalition(GlCiaCoalition::new(
+            cia,
+            evaluator,
+            n,
+            &members,
+            setup.truth_table(),
+            setup.owner_table(),
+        ))
+    };
+
+    let mut emitted: usize = 0;
+    if ctx.opts.resume {
+        if let Some(path) = ctx.checkpoint_path() {
+            if path.exists() {
+                let ck = Checkpoint::load(&path, spec.fingerprint())?;
+                let ProtocolState::Gl(state) = ck.protocol else {
+                    return Err(format!("{}: checkpoint protocol family mismatch", spec.name));
+                };
+                if ck.clients.len() != n {
+                    return Err(format!("{}: checkpoint population mismatch", spec.name));
+                }
+                for (c, s) in sim.nodes_mut().iter_mut().zip(&ck.clients) {
+                    c.restore_state(s);
+                }
+                sim.restore_state(state);
+                attack.restore_state(ck.attack, &spec.name)?;
+                attack.restore_adversary_embeddings(ck.adversary_embs);
+                dynamics.restore_state(ck.dynamics);
+                emitted = ck.emitted as usize;
+            }
+        }
+    }
+
+    let rb = random_bound(setup.k, n.saturating_sub(1));
+    while sim.round() < total {
+        let stats = {
+            let mut obs = GlDynamics { inner: &mut attack, dynamics: &mut dynamics };
+            sim.step(&mut obs)
+        };
+        let emitted_before = emitted;
+        while emitted < attack.history().len() {
+            let p = attack.history()[emitted].clone();
+            emit_round_eval(
+                ctx,
+                sink,
+                &p,
+                rb,
+                dynamics.online_count(),
+                stats.awake,
+                stats.mean_loss,
+            )?;
+            emitted += 1;
+        }
+        let done = sim.round();
+        let stopping = ctx.stopping_at(done);
+        if ctx.checkpoint_due(done, stopping, emitted > emitted_before) {
+            let ck = Checkpoint {
+                fingerprint: spec.fingerprint(),
+                round: done,
+                emitted: emitted as u64,
+                clients: sim.nodes().iter().map(Participant::state_vec).collect(),
+                protocol: ProtocolState::Gl(sim.export_state()),
+                attack: attack.export_state(),
+                adversary_embs: attack.adversary_embeddings(),
+                dynamics: dynamics.export_state(),
+            };
+            save_checkpoint(ctx, &ck)?;
+        }
+        if stopping {
+            return Ok(partial_outcome(spec, attack.outcome(), utility_metric, done));
+        }
+    }
+
+    let utility_value = utility(sim.nodes());
+    let outcome = attack.outcome();
+    emit_summary(ctx, sink, &outcome, utility_value, utility_metric, total, emitted)?;
+    clear_checkpoint(ctx);
+    Ok(ScenarioOutcome {
+        name: spec.name.clone(),
+        attack: outcome,
+        utility: Some(utility_value),
+        utility_metric,
+        rounds_done: total,
+        completed: true,
+        skipped: false,
+        elapsed: Duration::ZERO,
+    })
+}
+
+fn partial_outcome(
+    spec: &ScenarioSpec,
+    attack: AttackOutcome,
+    utility_metric: &'static str,
+    rounds_done: u64,
+) -> ScenarioOutcome {
+    ScenarioOutcome {
+        name: spec.name.clone(),
+        attack,
+        utility: None,
+        utility_metric,
+        rounds_done,
+        completed: false,
+        skipped: false,
+        elapsed: Duration::ZERO,
+    }
+}
+
+fn save_checkpoint(ctx: &Ctx, ck: &Checkpoint) -> Result<(), String> {
+    let path = ctx.checkpoint_path().expect("checkpoint_due implies a directory");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    ck.save(&path).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Removes the scenario's checkpoint after successful completion and leaves
+/// a fingerprinted `.done` marker in its place, so a suite resume skips the
+/// scenario (its records are already in the stream) instead of re-running it
+/// and appending duplicates.
+fn clear_checkpoint(ctx: &Ctx) {
+    if let Some(path) = ctx.checkpoint_path() {
+        let _ = std::fs::remove_file(path);
+    }
+    if let Some(marker) = ctx.completion_marker_path() {
+        if let Some(dir) = marker.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let _ = std::fs::write(marker, format!("{:016x}\n", ctx.spec.fingerprint()));
+    }
+}
+
+fn base_record(ctx: &Ctx, kind: &str) -> ObjBuilder {
+    ObjBuilder::new()
+        .str("type", kind)
+        .str("suite", ctx.suite)
+        .str("scenario", &ctx.spec.name)
+        .str("dataset", ctx.spec.preset.name())
+        .str("model", ctx.spec.model.name())
+        .str("protocol", ctx.spec.protocol.name())
+        .str("scale", &ctx.spec.scale.to_string())
+        .num("seed", ctx.spec.seed as f64)
+}
+
+fn write_record(sink: &mut dyn Write, record: &Json) -> Result<(), String> {
+    let mut line = record.render();
+    line.push('\n');
+    sink.write_all(line.as_bytes()).map_err(|e| format!("cannot write record: {e}"))
+}
+
+fn emit_round_eval(
+    ctx: &Ctx,
+    sink: &mut dyn Write,
+    p: &RoundPoint,
+    random_bound: f64,
+    online: usize,
+    participants: usize,
+    mean_loss: f32,
+) -> Result<(), String> {
+    let mut b = base_record(ctx, "round_eval")
+        .num("round", p.round as f64)
+        .num("aac", p.aac)
+        .num("best10", p.best10)
+        .num("upper_bound", p.upper_bound)
+        .num("random_bound", random_bound)
+        .num("online", online as f64)
+        .num("participants", participants as f64)
+        .num("mean_loss", f64::from(mean_loss));
+    if ctx.opts.timing {
+        b = b.num("elapsed_ms", ctx.start.elapsed().as_millis() as f64);
+    }
+    write_record(sink, &b.build())
+}
+
+fn emit_summary(
+    ctx: &Ctx,
+    sink: &mut dyn Write,
+    outcome: &AttackOutcome,
+    utility: f64,
+    utility_metric: &str,
+    rounds: u64,
+    evals: usize,
+) -> Result<(), String> {
+    let mut b = base_record(ctx, "scenario_summary")
+        .num("max_aac", outcome.max_aac)
+        .num("best10_aac", outcome.best10_aac)
+        .num("max_round", outcome.max_round as f64)
+        .num("random_bound", outcome.random_bound)
+        .num("upper_bound", outcome.upper_bound)
+        .num("advantage", outcome.advantage_over_random())
+        .num("utility", utility)
+        .str("utility_metric", utility_metric)
+        .num("rounds", rounds as f64)
+        .num("evals", evals as f64)
+        .bool("completed", true);
+    if ctx.opts.timing {
+        b = b.num("elapsed_ms", ctx.start.elapsed().as_millis() as f64);
+    }
+    write_record(sink, &b.build())
+}
+
+/// Validates a JSONL result stream against the record schema. Returns the
+/// number of `(round_eval, scenario_summary)` records.
+///
+/// # Errors
+///
+/// Returns the line number and reason of the first invalid record.
+pub fn validate_jsonl(input: &str) -> Result<(usize, usize), String> {
+    const SHARED: [&str; 7] =
+        ["suite", "scenario", "dataset", "model", "protocol", "scale", "seed"];
+    let mut evals = 0usize;
+    let mut summaries = 0usize;
+    for (lineno, line) in input.lines().enumerate() {
+        let fail = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(&fail)?;
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing `type`".to_string()))?;
+        for key in SHARED {
+            if v.get(key).is_none() {
+                return Err(fail(format!("missing `{key}`")));
+            }
+        }
+        let unit = |key: &str| -> Result<(), String> {
+            let x = v
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| fail(format!("missing numeric `{key}`")))?;
+            if !(0.0..=1.0).contains(&x) {
+                return Err(fail(format!("`{key}` = {x} outside [0, 1]")));
+            }
+            Ok(())
+        };
+        match kind {
+            "round_eval" => {
+                v.get("round")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| fail("missing integral `round`".to_string()))?;
+                for key in ["aac", "best10", "upper_bound", "random_bound"] {
+                    unit(key)?;
+                }
+                for key in ["online", "participants"] {
+                    v.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| fail(format!("missing integral `{key}`")))?;
+                }
+                v.get("mean_loss")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| fail("missing numeric `mean_loss`".to_string()))?;
+                evals += 1;
+            }
+            "scenario_summary" => {
+                for key in ["max_aac", "best10_aac", "random_bound", "upper_bound"] {
+                    unit(key)?;
+                }
+                for key in ["max_round", "rounds", "evals"] {
+                    v.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| fail(format!("missing integral `{key}`")))?;
+                }
+                v.get("utility")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| fail("missing numeric `utility`".to_string()))?;
+                v.get("utility_metric")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| fail("missing `utility_metric`".to_string()))?;
+                v.get("completed")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| fail("missing boolean `completed`".to_string()))?;
+                summaries += 1;
+            }
+            other => return Err(fail(format!("unknown record type `{other}`"))),
+        }
+    }
+    if evals == 0 && summaries == 0 {
+        return Err("stream contains no records".to_string());
+    }
+    Ok((evals, summaries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::builtin_suite;
+    use cia_data::presets::{Preset, Scale};
+
+    #[test]
+    fn quiet_fl_gmf_run_matches_legacy_contract() {
+        let spec =
+            ScenarioSpec::new(Preset::MovieLens, ModelKind::Gmf, ProtocolKind::Fl, Scale::Smoke);
+        let r = run_quiet(&spec);
+        assert!(r.attack.max_aac > r.attack.random_bound, "attack below random");
+        assert!(r.utility > 0.0, "HR must be positive");
+        assert_eq!(r.utility_metric, "HR@20");
+    }
+
+    #[test]
+    fn stream_is_schema_valid_and_ordered() {
+        let suite = builtin_suite(Scale::Smoke, 11);
+        let mut buf = Vec::new();
+        let outcomes = run_suite(&suite, &RunOptions::default(), &mut buf).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes.iter().all(|o| o.completed));
+        let text = String::from_utf8(buf).unwrap();
+        let (evals, summaries) = validate_jsonl(&text).unwrap();
+        assert_eq!(summaries, 3);
+        assert!(evals >= 3, "at least one eval per scenario, got {evals}");
+        // Rounds are non-decreasing within a scenario.
+        let mut last: Option<(String, u64)> = None;
+        for line in text.lines() {
+            let v = Json::parse(line).unwrap();
+            if v.get("type").unwrap().as_str() == Some("round_eval") {
+                let name = v.get("scenario").unwrap().as_str().unwrap().to_string();
+                let round = v.get("round").unwrap().as_u64().unwrap();
+                if let Some((prev_name, prev_round)) = &last {
+                    if *prev_name == name {
+                        assert!(round > *prev_round);
+                    }
+                }
+                last = Some((name, round));
+            }
+        }
+    }
+
+    #[test]
+    fn churn_reduces_observed_participants() {
+        let suite = builtin_suite(Scale::Smoke, 3);
+        let churn = suite.scenarios[1].clone();
+        let mut buf = Vec::new();
+        run_scenario(&churn, "t", &RunOptions::default(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut saw_partial = false;
+        for line in text.lines() {
+            let v = Json::parse(line).unwrap();
+            if v.get("type").unwrap().as_str() == Some("round_eval") {
+                let participants = v.get("participants").unwrap().as_u64().unwrap();
+                if participants < 48 {
+                    saw_partial = true;
+                }
+            }
+        }
+        assert!(saw_partial, "churn never took anyone offline");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_streams() {
+        assert!(validate_jsonl("").is_err());
+        assert!(validate_jsonl("{\"type\":\"bogus\"}").unwrap_err().contains("missing"));
+        let bad_aac = r#"{"type":"round_eval","suite":"s","scenario":"x","dataset":"d","model":"m","protocol":"p","scale":"smoke","seed":1,"round":0,"aac":1.5,"best10":0,"upper_bound":0,"random_bound":0,"online":1,"participants":1,"mean_loss":0}"#;
+        assert!(validate_jsonl(bad_aac).unwrap_err().contains("outside"));
+    }
+}

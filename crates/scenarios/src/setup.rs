@@ -1,0 +1,69 @@
+//! Shared dataset/ground-truth setup for one (preset, scale, seed) — the
+//! common substrate every scenario run (and every `cia-experiments` table)
+//! builds on.
+
+use crate::spec::ScaleParams;
+use cia_data::presets::{Preset, Scale};
+use cia_data::{Dataset, GroundTruth, LeaveOneOut, UserId};
+
+/// Dataset, split, ground truth and scale parameters for one scenario.
+pub struct RecsysSetup {
+    /// The generated dataset.
+    pub data: Dataset,
+    /// The train/test split.
+    pub split: LeaveOneOut,
+    /// Community size used for ground truth.
+    pub k: usize,
+    /// Ground-truth communities for per-user targets.
+    pub truth: GroundTruth,
+    /// Scale parameters in effect.
+    pub params: ScaleParams,
+}
+
+impl RecsysSetup {
+    /// Truth table aligned with per-user targets.
+    pub fn truth_table(&self) -> Vec<Vec<UserId>> {
+        (0..self.data.num_users())
+            .map(|u| self.truth.community_of(UserId::new(u as u32)).to_vec())
+            .collect()
+    }
+
+    /// Owner table (each per-user target excludes its donor).
+    pub fn owner_table(&self) -> Vec<Option<UserId>> {
+        (0..self.data.num_users()).map(|u| Some(UserId::new(u as u32))).collect()
+    }
+}
+
+/// Builds the dataset, split and ground truth for a preset at a scale.
+///
+/// # Panics
+///
+/// Panics if the generated dataset cannot be split (internal invariant).
+pub fn build_setup(
+    preset: Preset,
+    scale: Scale,
+    k_override: Option<usize>,
+    seed: u64,
+) -> RecsysSetup {
+    let params = ScaleParams::of(scale);
+    let data = preset.generate(scale, seed);
+    let holdout = if preset.has_sequences() { params.poi_holdout } else { 1 };
+    let split = LeaveOneOut::with_holdout(&data, holdout, params.eval_negatives, seed ^ 0x5EED)
+        .expect("presets generate splittable data");
+    let k = k_override.unwrap_or(params.k).min(data.num_users().saturating_sub(2)).max(1);
+    let truth = GroundTruth::from_train_sets(split.train_sets(), k);
+    RecsysSetup { data, split, k, truth, params }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_tables_are_aligned() {
+        let s = build_setup(Preset::MovieLens, Scale::Smoke, None, 1);
+        assert_eq!(s.truth_table().len(), s.data.num_users());
+        assert_eq!(s.owner_table().len(), s.data.num_users());
+        assert_eq!(s.k, 5);
+    }
+}

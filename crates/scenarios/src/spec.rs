@@ -1,0 +1,810 @@
+//! The declarative scenario specification: dataset × scale × model ×
+//! protocol × defense × attack, plus the `dynamics` block describing how the
+//! participant population behaves over time.
+//!
+//! A [`ScenarioSpec`] is a plain value: build it in code, or parse it from a
+//! JSON document (see `crates/scenarios/README.md` for the format). Specs
+//! compose into named [`SuiteSpec`]s; [`builtin_suite`] ships the three
+//! canonical workloads every deployment question starts from —
+//! `baseline-static`, `churn-20pct` and `colluding-sybils`.
+
+use crate::json::{Json, ObjBuilder};
+use cia_data::presets::{Preset, Scale};
+use cia_models::SharingPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Which recommendation model to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Generalized matrix factorization (evaluated on all three datasets).
+    Gmf,
+    /// Personalized ranking metric embedding (POI datasets only).
+    Prme,
+}
+
+impl ModelKind {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Gmf => "GMF",
+            ModelKind::Prme => "PRME",
+        }
+    }
+
+    /// Parses `"gmf" | "prme"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<ModelKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "gmf" => Some(ModelKind::Gmf),
+            "prme" => Some(ModelKind::Prme),
+            _ => None,
+        }
+    }
+}
+
+/// Which collaborative protocol to train over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// FedAvg federated learning.
+    Fl,
+    /// Rand-Gossip decentralized learning.
+    RandGossip,
+    /// Pers-Gossip personalized decentralized learning.
+    PersGossip,
+}
+
+impl ProtocolKind {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Fl => "FL",
+            ProtocolKind::RandGossip => "Rand-Gossip",
+            ProtocolKind::PersGossip => "Pers-Gossip",
+        }
+    }
+
+    /// Parses `"fl" | "rand-gossip" | "pers-gossip"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<ProtocolKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "fl" => Some(ProtocolKind::Fl),
+            "rand-gossip" | "randgossip" => Some(ProtocolKind::RandGossip),
+            "pers-gossip" | "persgossip" => Some(ProtocolKind::PersGossip),
+            _ => None,
+        }
+    }
+
+    /// Whether the protocol is decentralized.
+    pub fn is_gossip(self) -> bool {
+        !matches!(self, ProtocolKind::Fl)
+    }
+}
+
+/// Which defense the participants deploy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DefenseKind {
+    /// Full model sharing, no defense.
+    None,
+    /// The Share-less policy (§III-D) with regularization factor τ.
+    ShareLess {
+        /// Item-update regularization factor.
+        tau: f32,
+    },
+    /// Local DP-SGD (§III-E) calibrated to a target ε (δ = 1e-6, clip = 2 as
+    /// in Figure 5); `None` means noiseless clipping (ε = ∞).
+    Dp {
+        /// Target privacy budget, or `None` for ε = ∞.
+        epsilon: Option<f64>,
+    },
+}
+
+impl DefenseKind {
+    /// The sharing policy implied by the defense.
+    pub fn policy(self) -> SharingPolicy {
+        match self {
+            DefenseKind::ShareLess { tau } => SharingPolicy::ShareLess { tau },
+            _ => SharingPolicy::Full,
+        }
+    }
+}
+
+/// Scale-dependent simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleParams {
+    /// FL communication rounds.
+    pub fl_rounds: u64,
+    /// Gossip rounds.
+    pub gl_rounds: u64,
+    /// FL attack-evaluation cadence.
+    pub fl_eval_every: u64,
+    /// Gossip attack-evaluation cadence.
+    pub gl_eval_every: u64,
+    /// Local epochs per FL round.
+    pub local_epochs: usize,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Community size `K` (the paper's default is 50).
+    pub k: usize,
+    /// Negatives sampled for ranking evaluation (the NCF protocol uses 100).
+    pub eval_negatives: usize,
+    /// Held-out items per user on POI datasets (for F1).
+    pub poi_holdout: usize,
+}
+
+impl ScaleParams {
+    /// The parameters for a given scale.
+    pub fn of(scale: Scale) -> Self {
+        match scale {
+            Scale::Smoke => ScaleParams {
+                fl_rounds: 8,
+                gl_rounds: 40,
+                fl_eval_every: 2,
+                gl_eval_every: 10,
+                local_epochs: 2,
+                dim: 8,
+                k: 5,
+                eval_negatives: 20,
+                poi_holdout: 3,
+            },
+            Scale::Small => ScaleParams {
+                fl_rounds: 20,
+                gl_rounds: 400,
+                fl_eval_every: 2,
+                gl_eval_every: 40,
+                local_epochs: 2,
+                dim: 8,
+                k: 20,
+                eval_negatives: 50,
+                poi_holdout: 5,
+            },
+            Scale::Paper => ScaleParams {
+                fl_rounds: 30,
+                gl_rounds: 1500,
+                fl_eval_every: 3,
+                gl_eval_every: 100,
+                local_epochs: 2,
+                dim: 8,
+                k: 50,
+                eval_negatives: 100,
+                poi_holdout: 5,
+            },
+        }
+    }
+
+    /// Rounds for a protocol.
+    pub fn rounds(&self, protocol: ProtocolKind) -> u64 {
+        if protocol.is_gossip() {
+            self.gl_rounds
+        } else {
+            self.fl_rounds
+        }
+    }
+
+    /// Attack-evaluation cadence for a protocol.
+    pub fn eval_every(&self, protocol: ProtocolKind) -> u64 {
+        if protocol.is_gossip() {
+            self.gl_eval_every
+        } else {
+            self.fl_eval_every
+        }
+    }
+}
+
+/// How the participant population behaves over time. The default block is
+/// fully static — every scenario is a dynamics scenario, most with the
+/// identity dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicsSpec {
+    /// Per-round probability that an online participant goes offline
+    /// (churn). The stationary offline fraction is
+    /// `leave_prob / (leave_prob + join_prob)`.
+    pub leave_prob: f64,
+    /// Per-round probability that an offline participant rejoins.
+    pub join_prob: f64,
+    /// Fraction of participants online at round 0.
+    pub initial_online: f64,
+    /// Fraction of participants that are stragglers: after each round they
+    /// act in, they sit out a random number of rounds.
+    pub straggler_fraction: f64,
+    /// Mean of the straggler delay distribution (rounds; exponential,
+    /// rounded up — the same family as the gossip view-refresh interval).
+    pub straggler_mean_delay: f64,
+    /// Independent per-round participation sampling on top of churn
+    /// (1.0 = everyone eligible acts).
+    pub participation: f64,
+    /// Size of the adversarial sybil coalition: colluding nodes that are
+    /// always online, never straggle, and pool their observations
+    /// (Algorithm 2 line 14). Gossip protocols only.
+    pub sybils: usize,
+}
+
+impl Default for DynamicsSpec {
+    fn default() -> Self {
+        DynamicsSpec {
+            leave_prob: 0.0,
+            join_prob: 1.0,
+            initial_online: 1.0,
+            straggler_fraction: 0.0,
+            straggler_mean_delay: 3.0,
+            participation: 1.0,
+            sybils: 0,
+        }
+    }
+}
+
+impl DynamicsSpec {
+    /// Whether the block is the identity dynamics (static population).
+    pub fn is_static(&self) -> bool {
+        self.leave_prob == 0.0
+            && self.initial_online >= 1.0
+            && self.straggler_fraction == 0.0
+            && self.participation >= 1.0
+            && self.sybils == 0
+    }
+}
+
+/// One scenario: everything needed to run a workload end to end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (JSONL records and checkpoint files key on it).
+    pub name: String,
+    /// Dataset preset.
+    pub preset: Preset,
+    /// Recommendation model.
+    pub model: ModelKind,
+    /// Collaborative protocol.
+    pub protocol: ProtocolKind,
+    /// Deployed defense.
+    pub defense: DefenseKind,
+    /// Number of adversary-controlled gossip nodes when no sybil block is
+    /// given (0 or 1 = single adversary via the all-placements sweep; ≥ 2 =
+    /// a colluding coalition with parameter momentum). Ignored in FL.
+    pub colluders: usize,
+    /// Momentum coefficient β (Eq. 4).
+    pub beta: f32,
+    /// Community size override (defaults to the scale's `k` when `None`).
+    pub k_override: Option<usize>,
+    /// Scale profile.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Participant dynamics.
+    pub dynamics: DynamicsSpec,
+}
+
+impl ScenarioSpec {
+    /// A full-sharing, no-defense, single-adversary, static-population
+    /// configuration.
+    pub fn new(preset: Preset, model: ModelKind, protocol: ProtocolKind, scale: Scale) -> Self {
+        ScenarioSpec {
+            name: format!(
+                "{}-{}-{}",
+                preset.name().to_ascii_lowercase(),
+                model.name().to_ascii_lowercase(),
+                protocol.name().to_ascii_lowercase()
+            ),
+            preset,
+            model,
+            protocol,
+            defense: DefenseKind::None,
+            colluders: 0,
+            beta: 0.99,
+            k_override: None,
+            scale,
+            seed: 42,
+            dynamics: DynamicsSpec::default(),
+        }
+    }
+
+    /// Size of the adversarial coalition the gossip runner will actually
+    /// field: the sybil block wins over the legacy `colluders` knob, and 0
+    /// or 1 colluder means the all-placements sweep (no coalition engine).
+    pub fn coalition_size(&self) -> usize {
+        if self.dynamics.sybils > 0 {
+            self.dynamics.sybils
+        } else if self.colluders >= 2 {
+            self.colluders
+        } else {
+            0
+        }
+    }
+
+    /// Checks the spec for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated rule.
+    pub fn validate(&self) -> Result<(), String> {
+        let d = &self.dynamics;
+        if self.name.is_empty() {
+            return Err("scenario name must be non-empty".to_string());
+        }
+        if !(0.0..=1.0).contains(&f64::from(self.beta)) {
+            return Err(format!("{}: beta must be in [0, 1]", self.name));
+        }
+        if self.model == ModelKind::Prme && !self.preset.has_sequences() {
+            return Err(format!(
+                "{}: PRME needs check-in sequences; {} has none",
+                self.name,
+                self.preset.name()
+            ));
+        }
+        for (label, p) in [
+            ("leave_prob", d.leave_prob),
+            ("join_prob", d.join_prob),
+            ("straggler_fraction", d.straggler_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{}: {label} must be in [0, 1]", self.name));
+            }
+        }
+        for (label, p) in [("initial_online", d.initial_online), ("participation", d.participation)]
+        {
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(format!("{}: {label} must be in (0, 1]", self.name));
+            }
+        }
+        if d.leave_prob > 0.0 && d.join_prob == 0.0 {
+            return Err(format!(
+                "{}: leave_prob > 0 with join_prob = 0 drains the population",
+                self.name
+            ));
+        }
+        if d.straggler_fraction > 0.0 && d.straggler_mean_delay < 1.0 {
+            return Err(format!("{}: straggler_mean_delay must be ≥ 1 round", self.name));
+        }
+        if d.sybils > 0 && !self.protocol.is_gossip() {
+            return Err(format!(
+                "{}: sybil coalitions need a gossip protocol (the FL adversary is the server)",
+                self.name
+            ));
+        }
+        if d.sybils > 0 && self.colluders > 0 {
+            return Err(format!(
+                "{}: set either dynamics.sybils or colluders, not both",
+                self.name
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serializes into the spec JSON format.
+    pub fn to_json(&self) -> Json {
+        let defense = match self.defense {
+            DefenseKind::None => ObjBuilder::new().str("kind", "none").build(),
+            DefenseKind::ShareLess { tau } => {
+                ObjBuilder::new().str("kind", "share-less").num("tau", f64::from(tau)).build()
+            }
+            DefenseKind::Dp { epsilon } => {
+                let b = ObjBuilder::new().str("kind", "dp");
+                match epsilon {
+                    Some(e) => b.num("epsilon", e).build(),
+                    None => b.value("epsilon", Json::Null).build(),
+                }
+            }
+        };
+        let d = &self.dynamics;
+        let dynamics = ObjBuilder::new()
+            .num("leave_prob", d.leave_prob)
+            .num("join_prob", d.join_prob)
+            .num("initial_online", d.initial_online)
+            .num("straggler_fraction", d.straggler_fraction)
+            .num("straggler_mean_delay", d.straggler_mean_delay)
+            .num("participation", d.participation)
+            .num("sybils", d.sybils as f64)
+            .build();
+        let mut b = ObjBuilder::new()
+            .str("name", &self.name)
+            .str("preset", &self.preset.name().to_ascii_lowercase())
+            .str("model", &self.model.name().to_ascii_lowercase())
+            .str("protocol", &self.protocol.name().to_ascii_lowercase())
+            .value("defense", defense)
+            .num("colluders", self.colluders as f64)
+            .num("beta", f64::from(self.beta));
+        if let Some(k) = self.k_override {
+            b = b.num("k", k as f64);
+        }
+        b.str("scale", &self.scale.to_string())
+            .num("seed", self.seed as f64)
+            .value("dynamics", dynamics)
+            .build()
+    }
+
+    /// Parses a scenario object. Missing optional fields take their
+    /// defaults; `scale` and `seed` fall back to the suite-level values.
+    /// Unknown keys are rejected — a typo that silently fell back to a
+    /// default would run a materially different experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or unknown field.
+    pub fn from_json(v: &Json, default_scale: Scale, default_seed: u64) -> Result<Self, String> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("scenario needs a string `name`")?
+            .to_string();
+        let fail = |msg: &str| format!("scenario `{name}`: {msg}");
+        check_keys(
+            v,
+            &[
+                "name", "preset", "model", "protocol", "defense", "colluders", "beta", "k",
+                "scale", "seed", "dynamics",
+            ],
+            &format!("scenario `{name}`"),
+        )?;
+        if let Some(d) = v.get("defense") {
+            check_keys(d, &["kind", "tau", "epsilon"], &format!("scenario `{name}` defense"))?;
+        }
+        if let Some(d) = v.get("dynamics") {
+            check_keys(
+                d,
+                &[
+                    "leave_prob",
+                    "join_prob",
+                    "initial_online",
+                    "straggler_fraction",
+                    "straggler_mean_delay",
+                    "participation",
+                    "sybils",
+                ],
+                &format!("scenario `{name}` dynamics"),
+            )?;
+        }
+        // Every reader distinguishes *absent* (take the default) from
+        // *present but mistyped/unrepresentable* (error) — a spec that names
+        // a field gets exactly that field or a diagnostic, never a silent
+        // default.
+        let str_field = |key: &str| -> Result<Option<&str>, String> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(x) => {
+                    x.as_str().map(Some).ok_or_else(|| fail(&format!("`{key}` must be a string")))
+                }
+            }
+        };
+        let int_field = |obj: &Json, key: &str, label: &str| -> Result<Option<u64>, String> {
+            match obj.get(key) {
+                None => Ok(None),
+                Some(x) => x.as_u64().map(Some).ok_or_else(|| {
+                    fail(&format!("{label}`{key}` must be an integer below 2^53"))
+                }),
+            }
+        };
+        let num_field = |obj: &Json, key: &str, label: &str| -> Result<Option<f64>, String> {
+            match obj.get(key) {
+                None => Ok(None),
+                Some(x) => x
+                    .as_f64()
+                    .map(Some)
+                    .ok_or_else(|| fail(&format!("{label}`{key}` must be a number"))),
+            }
+        };
+        let preset = match str_field("preset")? {
+            Some(s) => parse_preset(s).ok_or_else(|| fail("unknown `preset`"))?,
+            None => Preset::MovieLens,
+        };
+        let model = match str_field("model")? {
+            Some(s) => ModelKind::parse(s).ok_or_else(|| fail("unknown `model`"))?,
+            None => ModelKind::Gmf,
+        };
+        let protocol = match str_field("protocol")? {
+            Some(s) => ProtocolKind::parse(s).ok_or_else(|| fail("unknown `protocol`"))?,
+            None => ProtocolKind::Fl,
+        };
+        let defense = match v.get("defense") {
+            None => DefenseKind::None,
+            Some(d) => {
+                let kind = match d.get("kind") {
+                    None => "none",
+                    Some(x) => {
+                        x.as_str().ok_or_else(|| fail("defense `kind` must be a string"))?
+                    }
+                };
+                match kind {
+                    "none" => DefenseKind::None,
+                    "share-less" | "shareless" => DefenseKind::ShareLess {
+                        tau: d
+                            .get("tau")
+                            .and_then(Json::as_f64)
+                            .ok_or_else(|| fail("share-less defense needs `tau`"))?
+                            as f32,
+                    },
+                    "dp" => DefenseKind::Dp {
+                        epsilon: match d.get("epsilon") {
+                            None => None,
+                            Some(e) if e.is_null() => None,
+                            Some(e) => {
+                                Some(e.as_f64().ok_or_else(|| fail("`epsilon` must be numeric"))?)
+                            }
+                        },
+                    },
+                    _ => return Err(fail("unknown defense `kind`")),
+                }
+            }
+        };
+        let scale = match str_field("scale")? {
+            Some(s) => Scale::parse(s).ok_or_else(|| fail("unknown `scale`"))?,
+            None => default_scale,
+        };
+        let dynamics = match v.get("dynamics") {
+            None => DynamicsSpec::default(),
+            Some(d) => {
+                let base = DynamicsSpec::default();
+                let f = |key: &str, dflt: f64| -> Result<f64, String> {
+                    Ok(num_field(d, key, "dynamics ")?.unwrap_or(dflt))
+                };
+                DynamicsSpec {
+                    leave_prob: f("leave_prob", base.leave_prob)?,
+                    join_prob: f("join_prob", base.join_prob)?,
+                    initial_online: f("initial_online", base.initial_online)?,
+                    straggler_fraction: f("straggler_fraction", base.straggler_fraction)?,
+                    straggler_mean_delay: f("straggler_mean_delay", base.straggler_mean_delay)?,
+                    participation: f("participation", base.participation)?,
+                    sybils: int_field(d, "sybils", "dynamics ")?.unwrap_or(0) as usize,
+                }
+            }
+        };
+        let spec = ScenarioSpec {
+            preset,
+            model,
+            protocol,
+            defense,
+            colluders: int_field(v, "colluders", "")?.unwrap_or(0) as usize,
+            beta: num_field(v, "beta", "")?.unwrap_or(0.99) as f32,
+            k_override: int_field(v, "k", "")?.map(|k| k as usize),
+            scale,
+            seed: int_field(v, "seed", "")?.unwrap_or(default_seed),
+            dynamics,
+            name,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// A stable fingerprint of the spec (FNV-1a over the canonical JSON),
+    /// used to refuse resuming a checkpoint against a different spec.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a64(self.to_json().render().bytes())
+    }
+}
+
+/// FNV-1a over a byte stream — the crate's one hash, shared by spec
+/// fingerprints and checkpoint file naming.
+pub(crate) fn fnv1a64(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Rejects keys outside the schema — declarative configs must fail loudly
+/// on typos, not silently fall back to defaults.
+fn check_keys(v: &Json, allowed: &[&str], ctx: &str) -> Result<(), String> {
+    if let Json::Obj(pairs) = v {
+        for (k, _) in pairs {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!(
+                    "{ctx}: unknown key `{k}` (allowed: {})",
+                    allowed.join(", ")
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_preset(s: &str) -> Option<Preset> {
+    match s.to_ascii_lowercase().as_str() {
+        "movielens" => Some(Preset::MovieLens),
+        "foursquare" => Some(Preset::Foursquare),
+        "gowalla" => Some(Preset::Gowalla),
+        _ => None,
+    }
+}
+
+/// A named collection of scenarios, run back to back into one JSONL stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteSpec {
+    /// Suite name (stamped on every record).
+    pub name: String,
+    /// The scenarios, in execution order.
+    pub scenarios: Vec<ScenarioSpec>,
+}
+
+impl SuiteSpec {
+    /// Parses a suite document:
+    /// `{"suite": "name", "scale": "...", "seed": N, "scenarios": [...]}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed scenario or field.
+    pub fn parse(input: &str) -> Result<SuiteSpec, String> {
+        let v = Json::parse(input)?;
+        check_keys(&v, &["suite", "scale", "seed", "scenarios"], "suite")?;
+        let name = match v.get("suite") {
+            None => "unnamed".to_string(),
+            Some(x) => {
+                x.as_str().ok_or("suite: `suite` must be a string")?.to_string()
+            }
+        };
+        let default_scale = match v.get("scale") {
+            None => Scale::Smoke,
+            Some(x) => {
+                let s = x.as_str().ok_or("suite: `scale` must be a string")?;
+                Scale::parse(s).ok_or("suite: unknown `scale`")?
+            }
+        };
+        let default_seed = match v.get("seed") {
+            None => 42,
+            Some(x) => x.as_u64().ok_or("suite: `seed` must be an integer below 2^53")?,
+        };
+        let raw = v
+            .get("scenarios")
+            .and_then(Json::as_arr)
+            .ok_or("suite needs a `scenarios` array")?;
+        if raw.is_empty() {
+            return Err("suite has no scenarios".to_string());
+        }
+        let mut scenarios = Vec::with_capacity(raw.len());
+        for s in raw {
+            scenarios.push(ScenarioSpec::from_json(s, default_scale, default_seed)?);
+        }
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        if names.len() != scenarios.len() {
+            return Err("scenario names must be unique within a suite".to_string());
+        }
+        Ok(SuiteSpec { name, scenarios })
+    }
+
+    /// Serializes the suite into its JSON document form.
+    pub fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .str("suite", &self.name)
+            .value("scenarios", Json::Arr(self.scenarios.iter().map(ScenarioSpec::to_json).collect()))
+            .build()
+    }
+}
+
+/// The built-in suite: the three canonical deployment questions.
+///
+/// * `baseline-static` — the paper's own setting: federated GMF on
+///   MovieLens, full participation, no dynamics.
+/// * `churn-20pct` — the same workload under realistic availability: 20% of
+///   the population offline in steady state plus a straggler tail.
+/// * `colluding-sybils` — Rand-Gossip with a 4-node always-online sybil
+///   coalition pooling observations.
+pub fn builtin_suite(scale: Scale, seed: u64) -> SuiteSpec {
+    let mut baseline =
+        ScenarioSpec::new(Preset::MovieLens, ModelKind::Gmf, ProtocolKind::Fl, scale);
+    baseline.name = "baseline-static".to_string();
+    baseline.seed = seed;
+
+    let mut churn = ScenarioSpec::new(Preset::MovieLens, ModelKind::Gmf, ProtocolKind::Fl, scale);
+    churn.name = "churn-20pct".to_string();
+    churn.seed = seed;
+    churn.dynamics = DynamicsSpec {
+        // Stationary offline fraction 0.05 / (0.05 + 0.2) = 20%.
+        leave_prob: 0.05,
+        join_prob: 0.2,
+        initial_online: 0.9,
+        straggler_fraction: 0.1,
+        straggler_mean_delay: 2.0,
+        ..DynamicsSpec::default()
+    };
+
+    let mut sybils =
+        ScenarioSpec::new(Preset::MovieLens, ModelKind::Gmf, ProtocolKind::RandGossip, scale);
+    sybils.name = "colluding-sybils".to_string();
+    sybils.seed = seed;
+    sybils.dynamics = DynamicsSpec { sybils: 4, ..DynamicsSpec::default() };
+
+    SuiteSpec { name: format!("builtin-{scale}"), scenarios: vec![baseline, churn, sybils] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_suite_has_three_valid_scenarios() {
+        let suite = builtin_suite(Scale::Smoke, 7);
+        assert_eq!(suite.scenarios.len(), 3);
+        for s in &suite.scenarios {
+            s.validate().unwrap();
+        }
+        assert_eq!(suite.scenarios[0].name, "baseline-static");
+        assert!(suite.scenarios[1].dynamics.leave_prob > 0.0);
+        assert_eq!(suite.scenarios[2].coalition_size(), 4);
+    }
+
+    #[test]
+    fn spec_json_roundtrip() {
+        let suite = builtin_suite(Scale::Smoke, 9);
+        let doc = suite.to_json().render();
+        let reparsed = SuiteSpec::parse(&doc).unwrap();
+        assert_eq!(reparsed, suite);
+    }
+
+    #[test]
+    fn suite_parsing_applies_defaults() {
+        let doc = r#"{"suite": "mini", "scale": "smoke", "seed": 5,
+                      "scenarios": [{"name": "a"}]}"#;
+        let suite = SuiteSpec::parse(doc).unwrap();
+        let s = &suite.scenarios[0];
+        assert_eq!(s.seed, 5);
+        assert_eq!(s.scale, Scale::Smoke);
+        assert_eq!(s.model, ModelKind::Gmf);
+        assert!(s.dynamics.is_static());
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let mut s = ScenarioSpec::new(Preset::MovieLens, ModelKind::Prme, ProtocolKind::Fl, Scale::Smoke);
+        assert!(s.validate().unwrap_err().contains("PRME"));
+        s.model = ModelKind::Gmf;
+        s.dynamics.sybils = 3;
+        assert!(s.validate().unwrap_err().contains("gossip"));
+        s.protocol = ProtocolKind::RandGossip;
+        s.validate().unwrap();
+        s.colluders = 2;
+        assert!(s.validate().unwrap_err().contains("not both"));
+        s.colluders = 0;
+        s.dynamics.leave_prob = 0.5;
+        s.dynamics.join_prob = 0.0;
+        assert!(s.validate().unwrap_err().contains("drains"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_spec_changes() {
+        let a = ScenarioSpec::new(Preset::MovieLens, ModelKind::Gmf, ProtocolKind::Fl, Scale::Smoke);
+        let mut b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.seed = 43;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let doc = r#"{"suite": "dup", "scenarios": [{"name": "x"}, {"name": "x"}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("unique"));
+    }
+
+    #[test]
+    fn mistyped_fields_fail_loudly() {
+        // Present-but-wrong-typed fields must error, not fall back to
+        // defaults — a string seed would otherwise silently run seed 42.
+        let doc = r#"{"suite": "t", "scenarios": [{"name": "x", "seed": "43"}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("integer"));
+        let doc = r#"{"suite": "t", "scenarios": [{"name": "x", "seed": 9007199254740993}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("2^53"));
+        let doc = r#"{"suite": "t", "scenarios": [{"name": "x", "model": 5}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("string"));
+        let doc = r#"{"suite": "t", "scenarios": [{"name": "x", "beta": "0.5"}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("number"));
+        let doc = r#"{"suite": "t", "scenarios":
+            [{"name": "x", "dynamics": {"leave_prob": "lots"}}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("number"));
+        let doc = r#"{"suite": "t", "seed": "42", "scenarios": [{"name": "x"}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("integer"));
+        let doc = r#"{"suite": "t", "scenarios":
+            [{"name": "x", "defense": {"kind": 3}}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("string"));
+    }
+
+    #[test]
+    fn unknown_keys_fail_loudly() {
+        // A typo in a dynamics field must not silently run a static
+        // population.
+        let doc = r#"{"suite": "t", "scenarios":
+            [{"name": "x", "dynamics": {"straggler_frac": 0.3}}]}"#;
+        let err = SuiteSpec::parse(doc).unwrap_err();
+        assert!(err.contains("straggler_frac"), "{err}");
+        let doc = r#"{"suite": "t", "scenarios": [{"name": "x", "colluderz": 3}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("colluderz"));
+        let doc = r#"{"suite": "t", "sede": 1, "scenarios": [{"name": "x"}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("sede"));
+    }
+}

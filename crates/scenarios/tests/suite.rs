@@ -1,0 +1,165 @@
+//! Suite-level guarantees: byte-identical determinism of the JSONL stream,
+//! and checkpoint/resume landing on exactly the metrics of an uninterrupted
+//! run — for both protocol families.
+
+use cia_data::presets::Scale;
+use cia_scenarios::runner::{run_scenario, run_suite, validate_jsonl, RunOptions};
+use cia_scenarios::{builtin_suite, ScenarioOutcome};
+use std::path::PathBuf;
+
+fn run_builtin(seed: u64) -> (Vec<ScenarioOutcome>, Vec<u8>) {
+    let suite = builtin_suite(Scale::Smoke, seed);
+    let mut buf = Vec::new();
+    let outcomes = run_suite(&suite, &RunOptions::default(), &mut buf).unwrap();
+    (outcomes, buf)
+}
+
+#[test]
+fn same_spec_and_seed_is_byte_identical() {
+    let (outcomes_a, bytes_a) = run_builtin(42);
+    let (_, bytes_b) = run_builtin(42);
+    assert_eq!(bytes_a, bytes_b, "two runs of the same suite diverged");
+    assert!(outcomes_a.iter().all(|o| o.completed));
+    // A different seed produces a different stream (the suite actually
+    // depends on its seed, so the identity above is not vacuous).
+    let (_, bytes_c) = run_builtin(43);
+    assert_ne!(bytes_a, bytes_c);
+    // And the stream is schema-valid.
+    validate_jsonl(&String::from_utf8(bytes_a).unwrap()).unwrap();
+}
+
+/// Temp directory that cleans up after itself.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir()
+            .join(format!("cia-scenarios-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn resume_matches_uninterrupted(scenario_index: usize, stop_after: u64, every: u64, tag: &str) {
+    let suite = builtin_suite(Scale::Smoke, 42);
+    let spec = suite.scenarios[scenario_index].clone();
+
+    // Uninterrupted reference run.
+    let mut straight_out = Vec::new();
+    let straight =
+        run_scenario(&spec, "t", &RunOptions::default(), &mut straight_out).unwrap();
+
+    // Killed run: checkpoints every `every` rounds, stops mid-flight…
+    let dir = TempDir::new(tag);
+    let ckpt = RunOptions {
+        checkpoint_dir: Some(dir.0.clone()),
+        checkpoint_every: every,
+        ..RunOptions::default()
+    };
+    let mut partial_out = Vec::new();
+    let killed = run_scenario(
+        &spec,
+        "t",
+        &RunOptions { stop_after_rounds: Some(stop_after), ..ckpt.clone() },
+        &mut partial_out,
+    )
+    .unwrap();
+    assert!(!killed.completed);
+    assert_eq!(killed.rounds_done, stop_after);
+
+    // …and resumes to completion.
+    let mut resumed_out = Vec::new();
+    let resumed = run_scenario(
+        &spec,
+        "t",
+        &RunOptions { resume: true, ..ckpt },
+        &mut resumed_out,
+    )
+    .unwrap();
+    assert!(resumed.completed);
+
+    // The resumed run must land on exactly the uninterrupted metrics.
+    assert_eq!(resumed.attack.max_aac, straight.attack.max_aac, "max AAC diverged");
+    assert_eq!(resumed.attack.best10_aac, straight.attack.best10_aac);
+    assert_eq!(resumed.attack.max_round, straight.attack.max_round);
+    assert_eq!(resumed.attack.history, straight.attack.history, "history diverged");
+    assert_eq!(resumed.utility, straight.utility, "utility diverged");
+
+    // The concatenated record stream equals the uninterrupted one.
+    let mut stitched = partial_out;
+    stitched.extend_from_slice(&resumed_out);
+    assert_eq!(stitched, straight_out, "stitched JSONL diverged");
+
+    // Completion replaced the checkpoint with a completion marker…
+    let entries: Vec<String> = std::fs::read_dir(&dir.0)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        entries.iter().all(|e| e.ends_with(".done")) && entries.len() == 1,
+        "expected only a completion marker, found {entries:?}"
+    );
+
+    // …so resuming the finished suite again skips it without re-emitting.
+    let mut extra_out = Vec::new();
+    let skipped = run_scenario(
+        &spec,
+        "t",
+        &RunOptions {
+            checkpoint_dir: Some(dir.0.clone()),
+            resume: true,
+            ..RunOptions::default()
+        },
+        &mut extra_out,
+    )
+    .unwrap();
+    assert!(skipped.skipped, "completed scenario was re-run on resume");
+    assert!(extra_out.is_empty(), "skip emitted duplicate records");
+}
+
+#[test]
+fn fl_run_with_churn_resumes_exactly() {
+    // churn-20pct: FL with churn + stragglers, killed at round 4 of 8.
+    resume_matches_uninterrupted(1, 4, 2, "fl-churn");
+}
+
+#[test]
+fn gossip_sybil_run_resumes_exactly() {
+    // colluding-sybils: Rand-Gossip coalition, killed at round 20 of 40.
+    resume_matches_uninterrupted(2, 20, 10, "gl-sybil");
+}
+
+#[test]
+fn resume_refuses_a_different_spec() {
+    let suite = builtin_suite(Scale::Smoke, 42);
+    let spec = suite.scenarios[0].clone();
+    let dir = TempDir::new("fingerprint");
+    let opts = RunOptions {
+        checkpoint_dir: Some(dir.0.clone()),
+        checkpoint_every: 2,
+        stop_after_rounds: Some(4),
+        ..RunOptions::default()
+    };
+    run_scenario(&spec, "t", &opts, &mut Vec::new()).unwrap();
+
+    let mut tampered = spec.clone();
+    tampered.seed = 7;
+    let err = run_scenario(
+        &tampered,
+        "t",
+        &RunOptions {
+            checkpoint_dir: Some(dir.0.clone()),
+            resume: true,
+            ..RunOptions::default()
+        },
+        &mut Vec::new(),
+    )
+    .unwrap_err();
+    assert!(err.contains("fingerprint"), "unexpected error: {err}");
+}

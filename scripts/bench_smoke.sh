@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "== cargo bench -- --test (every benchmark body, one iteration)"
 cargo bench -p cia-bench -- --test
 
+echo "== scenario engine smoke (built-in suite + schema + resume)"
+scripts/scenario_smoke.sh
+
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

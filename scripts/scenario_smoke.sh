@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Scenario engine smoke gate: runs the built-in suite (baseline-static,
+# churn-20pct, colluding-sybils) at smoke scale, validates the emitted JSONL
+# against the record schema, and exercises the checkpoint/resume path by
+# killing the gossip scenario mid-run and resuming it. Part of the verify
+# flow; see ROADMAP.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+echo "== built-in suite at smoke scale"
+cargo run --release -q -p cia-scenarios --bin scenario -- \
+    run --scale smoke --seed 42 --out "$out/suite.jsonl" --no-timing
+
+echo "== JSONL schema validation"
+cargo run --release -q -p cia-scenarios --bin scenario -- validate "$out/suite.jsonl"
+
+echo "== kill/resume: colluding-sybils stopped at round 20, then resumed"
+cargo run --release -q -p cia-scenarios --bin scenario -- \
+    run --scale smoke --seed 42 --only colluding-sybils --out "$out/resumed.jsonl" \
+    --no-timing --checkpoint-dir "$out/ckpt" --checkpoint-every 10 --stop-after 20
+cargo run --release -q -p cia-scenarios --bin scenario -- \
+    run --scale smoke --seed 42 --only colluding-sybils --out "$out/resumed.jsonl" \
+    --no-timing --checkpoint-dir "$out/ckpt" --resume
+cargo run --release -q -p cia-scenarios --bin scenario -- validate "$out/resumed.jsonl"
+
+# The resumed stream must equal the sybil slice of the uninterrupted suite.
+grep '"scenario":"colluding-sybils"' "$out/suite.jsonl" > "$out/straight-sybils.jsonl"
+if ! cmp -s "$out/straight-sybils.jsonl" "$out/resumed.jsonl"; then
+    echo "resumed stream diverged from the uninterrupted run" >&2
+    diff "$out/straight-sybils.jsonl" "$out/resumed.jsonl" >&2 || true
+    exit 1
+fi
+
+echo "scenario smoke OK"

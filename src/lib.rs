@@ -10,6 +10,9 @@
 //! * [`federated`] — the FedAvg simulation with adversary observer hooks;
 //! * [`gossip`] — Rand-Gossip and Pers-Gossip over dynamic P-regular graphs;
 //! * [`attack`] — the Community Inference Attack and the MIA/AIA proxies;
+//! * [`scenarios`] — the declarative scenario engine: spec-driven suites
+//!   with participant dynamics (churn, stragglers, sybils) and resumable
+//!   runs (`cargo run --release -p cia-scenarios --bin scenario -- run`);
 //! * [`experiments`] — runners regenerating every table and figure.
 //!
 //! # Quickstart
@@ -74,6 +77,7 @@ pub use cia_experiments as experiments;
 pub use cia_federated as federated;
 pub use cia_gossip as gossip;
 pub use cia_models as models;
+pub use cia_scenarios as scenarios;
 
 /// One-stop imports for the common attack workflow.
 pub mod prelude {
