@@ -64,6 +64,11 @@ pub struct FlCia<E: RelevanceEvaluator> {
     /// evaluation rounds (rows of never-seen users stay untouched and are
     /// skipped at ranking time).
     rel: Vec<f32>,
+    /// The most recent participant mask delivered through
+    /// [`RoundObserver::on_participants`] — the dynamics layer's live set,
+    /// feeding the per-round online upper bound. All-true until a mask
+    /// arrives (static populations never shrink it).
+    live: Vec<bool>,
     tracker: AttackTracker,
     last_global: Option<Vec<f32>>,
     prepared: bool,
@@ -96,6 +101,7 @@ impl<E: RelevanceEvaluator> FlCia<E> {
         FlCia {
             tracker: AttackTracker::new(cfg.k, candidates),
             rel: vec![0.0; num_users * evaluator.num_targets()],
+            live: vec![true; num_users],
             cfg,
             evaluator,
             truths,
@@ -206,6 +212,7 @@ impl<E: RelevanceEvaluator> FlCia<E> {
         let predictions = self.rank_all();
         let mut accs = Vec::with_capacity(predictions.len());
         let mut uppers = Vec::with_capacity(predictions.len());
+        let mut uppers_online = Vec::with_capacity(predictions.len());
         for (t, pred) in predictions.iter().enumerate() {
             let truth = &self.truths[t];
             accs.push(community_accuracy(pred, truth, self.cfg.k));
@@ -213,13 +220,24 @@ impl<E: RelevanceEvaluator> FlCia<E> {
                 .iter()
                 .filter(|u| self.momentum[u.index()].is_some())
                 .count();
+            let seen_live = truth
+                .iter()
+                .filter(|u| self.momentum[u.index()].is_some() && self.live[u.index()])
+                .count();
             uppers.push(seen as f64 / self.cfg.k as f64);
+            uppers_online.push(seen_live as f64 / self.cfg.k as f64);
         }
-        self.tracker.record(round, &accs, &uppers);
+        self.tracker.record_with_online(round, &accs, &uppers, &uppers_online);
     }
 }
 
 impl<E: RelevanceEvaluator> RoundObserver for FlCia<E> {
+    fn on_participants(&mut self, _round: u64, mask: &mut [bool]) {
+        // One entry per participant; a length mismatch is a wiring bug and
+        // must fail loudly rather than leave part of the live set stale.
+        self.live.copy_from_slice(mask);
+    }
+
     fn on_global(&mut self, _round: u64, global_agg: &[f32]) {
         self.last_global = Some(global_agg.to_vec());
     }
@@ -301,9 +319,93 @@ mod tests {
             out.max_aac
         );
         assert!(out.best10_aac >= out.max_aac * 0.8 || out.best10_aac > out.random_bound);
-        // FL adversary sees everyone: upper bound 1.
+        // FL adversary sees everyone: upper bound 1, and with a static
+        // population the online bound agrees.
         assert!((out.upper_bound - 1.0).abs() < 1e-9);
+        assert_eq!(out.upper_bound_online, out.upper_bound);
         assert_eq!(out.history.len(), 10);
+    }
+
+    #[test]
+    fn online_bound_tracks_the_live_mask() {
+        // Round 0 observes everyone; from round 1 on, odd users are offline.
+        // The static bound stays at full coverage (their momentum persists)
+        // while the online bound drops to the live half.
+        let users = 12;
+        let data = SyntheticConfig::builder()
+            .users(users)
+            .items(60)
+            .communities(2)
+            .interactions_per_user(8)
+            .seed(4)
+            .build()
+            .generate();
+        let split = LeaveOneOut::new(&data, 5, 0).unwrap();
+        let k = 3;
+        let gt = GroundTruth::from_train_sets(split.train_sets(), k);
+        let spec = GmfSpec::new(60, 4, GmfHyper::default());
+        let clients: Vec<_> = split
+            .train_sets()
+            .iter()
+            .enumerate()
+            .map(|(u, items)| {
+                spec.build_client(UserId::new(u as u32), items.clone(), SharingPolicy::Full, u as u64)
+            })
+            .collect();
+        let truths: Vec<Vec<UserId>> =
+            (0..users).map(|u| gt.community_of(UserId::new(u as u32)).to_vec()).collect();
+        let owners = (0..users).map(|u| Some(UserId::new(u as u32))).collect();
+        let evaluator = ItemSetEvaluator::new(spec, split.train_sets().to_vec(), false);
+        let attack = FlCia::new(
+            CiaConfig { k, beta: 0.99, eval_every: 1, seed: 0 },
+            evaluator,
+            users,
+            truths,
+            owners,
+        );
+
+        struct OddOffline<E: crate::evaluator::RelevanceEvaluator>(FlCia<E>);
+        impl<E: crate::evaluator::RelevanceEvaluator> RoundObserver for OddOffline<E> {
+            fn on_participants(&mut self, round: u64, mask: &mut [bool]) {
+                if round >= 1 {
+                    for (u, m) in mask.iter_mut().enumerate() {
+                        if u % 2 == 1 {
+                            *m = false;
+                        }
+                    }
+                }
+                self.0.on_participants(round, mask);
+            }
+            fn on_global(&mut self, round: u64, global_agg: &[f32]) {
+                self.0.on_global(round, global_agg);
+            }
+            fn on_client_model(&mut self, model: &SharedModel) {
+                self.0.on_client_model(model);
+            }
+            fn on_round_end(&mut self, stats: &RoundStats) {
+                self.0.on_round_end(stats);
+            }
+        }
+
+        let mut obs = OddOffline(attack);
+        let mut sim =
+            FedAvg::new(clients, FedAvgConfig { rounds: 4, seed: 8, ..Default::default() });
+        sim.run(&mut obs);
+        let history = obs.0.history().to_vec();
+        assert_eq!(history.len(), 4);
+        // Full coverage after round 0 either way.
+        assert!((history[1].upper_bound - 1.0).abs() < 1e-9);
+        for p in &history[1..] {
+            assert!(
+                p.upper_bound_online < p.upper_bound,
+                "round {}: online bound {} not below static {}",
+                p.round,
+                p.upper_bound_online,
+                p.upper_bound
+            );
+        }
+        // Round 0 saw everyone live.
+        assert_eq!(history[0].upper_bound_online, history[0].upper_bound);
     }
 
     #[test]

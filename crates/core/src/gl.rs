@@ -37,6 +37,11 @@ pub struct GlCiaCoalition<E: RelevanceEvaluator> {
     /// Flat `num_users × num_targets` relevance matrix reused across
     /// evaluation rounds; rows of unseen senders stay untouched.
     rel: Vec<f32>,
+    /// The most recent wake mask delivered through
+    /// [`GossipObserver::on_wake_set`] — the dynamics layer's live set,
+    /// feeding the per-round online upper bound. All-true until a mask
+    /// arrives.
+    live: Vec<bool>,
     tracker: AttackTracker,
     last_agg: Option<Vec<f32>>,
     prepared: bool,
@@ -70,6 +75,7 @@ impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
         GlCiaCoalition {
             tracker: AttackTracker::new(cfg.k, candidates),
             rel: vec![0.0; num_users * evaluator.num_targets()],
+            live: vec![true; num_users],
             cfg,
             evaluator,
             truths,
@@ -136,6 +142,7 @@ impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
             self.tracker.record(round, &[0.0], &[0.0]);
             return;
         }
+        let live = &self.live;
         if let Some(agg) = &self.last_agg {
             if !self.prepared || round.is_multiple_of((self.cfg.eval_every * 4).max(1)) {
                 self.evaluator.prepare(agg, self.cfg.seed ^ round);
@@ -153,6 +160,7 @@ impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
         }
         let mut accs = Vec::with_capacity(num_targets);
         let mut uppers = Vec::with_capacity(num_targets);
+        let mut uppers_online = Vec::with_capacity(num_targets);
         for t in 0..num_targets {
             let mut scored: Vec<(f32, u32)> = self
                 .momentum
@@ -174,13 +182,23 @@ impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
                 .iter()
                 .filter(|u| self.momentum[u.index()].is_some())
                 .count();
+            let seen_live = self.truths[t]
+                .iter()
+                .filter(|u| self.momentum[u.index()].is_some() && live[u.index()])
+                .count();
             uppers.push(seen as f64 / self.cfg.k as f64);
+            uppers_online.push(seen_live as f64 / self.cfg.k as f64);
         }
-        self.tracker.record(round, &accs, &uppers);
+        self.tracker.record_with_online(round, &accs, &uppers, &uppers_online);
     }
 }
 
 impl<E: RelevanceEvaluator> GossipObserver for GlCiaCoalition<E> {
+    fn on_wake_set(&mut self, _round: u64, mask: &mut [bool]) {
+        // One entry per node; mismatches must panic, not truncate.
+        self.live.copy_from_slice(mask);
+    }
+
     fn on_delivery(&mut self, _round: u64, receiver: UserId, model: &SharedModel) {
         if !self.members[receiver.index()] {
             return;
@@ -223,6 +241,8 @@ pub struct GlCiaAllPlacements<E: RelevanceEvaluator> {
     /// Dense score EMAs: `s[observer * n + sender]`, NaN = never seen.
     s_ema: Vec<f32>,
     num_users: usize,
+    /// Latest wake mask (see [`GlCiaCoalition`]'s `live` field).
+    live: Vec<bool>,
     tracker: AttackTracker,
     prepared: bool,
 }
@@ -252,6 +272,7 @@ impl<E: RelevanceEvaluator> GlCiaAllPlacements<E> {
             truths,
             s_ema: vec![f32::NAN; num_users * num_users],
             num_users,
+            live: vec![true; num_users],
             prepared: false,
         }
     }
@@ -300,7 +321,12 @@ impl<E: RelevanceEvaluator> GlCiaAllPlacements<E> {
     fn evaluate(&mut self, round: u64) {
         let n = self.num_users;
         let k = self.cfg.k;
-        let results: Vec<(f64, f64)> = par_map(n, |obs| {
+        // Accuracy covers every placement (the paper's AAC); the coverage
+        // bounds cover only observers with at least one observation — an
+        // observer that never heard anything (offline the whole window under
+        // churn, say) has no vantage point, and averaging its zero into the
+        // bound would conflate "offline" with "zero coverage".
+        let results: Vec<(f64, Option<(f64, f64)>)> = par_map(n, |obs| {
             let row = &self.s_ema[obs * n..(obs + 1) * n];
             let mut scored: Vec<(f32, u32)> = row
                 .iter()
@@ -309,7 +335,7 @@ impl<E: RelevanceEvaluator> GlCiaAllPlacements<E> {
                 .map(|(u, &s)| (s, u as u32))
                 .collect();
             if scored.is_empty() {
-                return (0.0, 0.0);
+                return (0.0, None);
             }
             scored.sort_by(crate::metrics::rank_desc);
             let predicted: Vec<UserId> =
@@ -319,15 +345,26 @@ impl<E: RelevanceEvaluator> GlCiaAllPlacements<E> {
                 .iter()
                 .filter(|u| !row[u.index()].is_nan())
                 .count();
-            (acc, seen as f64 / k as f64)
+            let seen_live = self.truths[obs]
+                .iter()
+                .filter(|u| !row[u.index()].is_nan() && self.live[u.index()])
+                .count();
+            (acc, Some((seen as f64 / k as f64, seen_live as f64 / k as f64)))
         });
         let accs: Vec<f64> = results.iter().map(|r| r.0).collect();
-        let uppers: Vec<f64> = results.iter().map(|r| r.1).collect();
-        self.tracker.record(round, &accs, &uppers);
+        let uppers: Vec<f64> = results.iter().filter_map(|r| r.1.map(|b| b.0)).collect();
+        let uppers_online: Vec<f64> =
+            results.iter().filter_map(|r| r.1.map(|b| b.1)).collect();
+        self.tracker.record_with_online(round, &accs, &uppers, &uppers_online);
     }
 }
 
 impl<E: RelevanceEvaluator> GossipObserver for GlCiaAllPlacements<E> {
+    fn on_wake_set(&mut self, _round: u64, mask: &mut [bool]) {
+        // One entry per node; mismatches must panic, not truncate.
+        self.live.copy_from_slice(mask);
+    }
+
     fn on_delivery(&mut self, _round: u64, receiver: UserId, model: &SharedModel) {
         if !self.prepared {
             // Share-less fictive embeddings need public parameters; the first
@@ -528,6 +565,94 @@ mod tests {
             from_params.into_iter().take(s.k).map(|(_, u)| u).collect();
 
         assert_eq!(pred_scores, pred_params);
+    }
+
+    #[test]
+    fn bound_excludes_observers_that_saw_nothing() {
+        // Regression: the coverage bound used to average in a zero for every
+        // observer with an empty row, so one active adversary among n nodes
+        // reported a bound deflated by a factor of n under churn. Only
+        // observers with at least one observation may contribute.
+        use cia_models::Participant;
+        let s = setup(12, 2, 3);
+        let evaluator = ItemSetEvaluator::new(s.spec.clone(), s.train_sets.clone(), false);
+        let mut all = GlCiaAllPlacements::new(
+            CiaConfig { k: 2, beta: 0.9, eval_every: 1, seed: 0 },
+            evaluator,
+            s.users,
+            s.truths.clone(),
+        );
+        // Observer 0 hears from every node; everyone else hears nothing.
+        for sender in 1..s.users {
+            let snap = s.clients[sender].snapshot(0);
+            all.on_delivery(0, UserId::new(0), &snap);
+        }
+        all.on_round_end(&GossipRoundStats { round: 0, awake: 12, deliveries: 11, mean_loss: 0.0 });
+        let p = &all.history()[0];
+        // Observer 0 has seen 11 of 12 users — its own-community coverage is
+        // high; a mean over all 12 observers would sit at or below 1/12th of
+        // the per-observer maximum.
+        assert!(
+            p.upper_bound > 0.4,
+            "bound {} still deflated by empty observers",
+            p.upper_bound
+        );
+        assert_eq!(p.upper_bound_online, p.upper_bound, "static population");
+    }
+
+    #[test]
+    fn online_bound_never_exceeds_static_bound() {
+        let s = setup(24, 4, 9);
+        let evaluator = ItemSetEvaluator::new(s.spec.clone(), s.train_sets.clone(), false);
+        let mut all = GlCiaAllPlacements::new(
+            CiaConfig { k: s.k, beta: 0.9, eval_every: 2, seed: 0 },
+            evaluator,
+            s.users,
+            s.truths.clone(),
+        );
+        // Half the population is asleep each round, alternating by parity so
+        // everyone still gets observed eventually; the wake mask is routed
+        // through the attack the way the dynamics layer does.
+        struct HalfAsleep<'a, E: RelevanceEvaluator>(&'a mut GlCiaAllPlacements<E>);
+        impl<E: RelevanceEvaluator> GossipObserver for HalfAsleep<'_, E> {
+            fn on_wake_set(&mut self, round: u64, mask: &mut [bool]) {
+                for (u, m) in mask.iter_mut().enumerate() {
+                    if u % 2 == (round % 2) as usize {
+                        *m = false;
+                    }
+                }
+                self.0.on_wake_set(round, mask);
+            }
+            fn on_delivery(&mut self, round: u64, receiver: UserId, model: &SharedModel) {
+                self.0.on_delivery(round, receiver, model);
+            }
+            fn on_round_end(&mut self, stats: &GossipRoundStats) {
+                self.0.on_round_end(stats);
+            }
+        }
+        let mut sim = GossipSim::new(
+            s.clients,
+            GossipConfig { rounds: 16, seed: 5, ..Default::default() },
+        );
+        {
+            let mut obs = HalfAsleep(&mut all);
+            sim.run(&mut obs);
+        }
+        let history = all.history();
+        assert!(!history.is_empty());
+        for p in history {
+            assert!(
+                p.upper_bound_online <= p.upper_bound + 1e-12,
+                "round {}: online {} > static {}",
+                p.round,
+                p.upper_bound_online,
+                p.upper_bound
+            );
+        }
+        // With half the population permanently asleep the two bounds must
+        // actually separate by the end.
+        let last = history.last().unwrap();
+        assert!(last.upper_bound_online < last.upper_bound);
     }
 
     #[test]

@@ -56,6 +56,12 @@ pub struct RoundPoint {
     /// Mean accuracy upper bound (fraction of each true community whose
     /// models the adversary has observed).
     pub upper_bound: f64,
+    /// Dynamics-aware bound: the fraction of each true community whose
+    /// models the adversary has observed *and* whose owners were live in the
+    /// evaluated round. Always ≤ [`RoundPoint::upper_bound`]; equal for
+    /// static populations. Under churn the static bound conflates "offline"
+    /// with "unobserved" — this one separates them.
+    pub upper_bound_online: f64,
 }
 
 /// Accumulates per-round accuracies and reports the paper's summary metrics.
@@ -84,12 +90,37 @@ impl AttackTracker {
     }
 
     /// Records one evaluated round: per-attacker accuracies and per-attacker
-    /// observation-coverage upper bounds.
+    /// observation-coverage upper bounds. The online bound is taken equal to
+    /// the static bound — the right call for attacks over static populations
+    /// (use [`AttackTracker::record_with_online`] when a dynamics layer
+    /// supplies a live participant set).
     pub fn record(&mut self, round: u64, accuracies: &[f64], upper_bounds: &[f64]) {
+        self.record_with_online(round, accuracies, upper_bounds, upper_bounds);
+    }
+
+    /// Records one evaluated round with a separate dynamics-aware bound:
+    /// `upper_bounds_online[i]` counts only community members both observed
+    /// and currently live. Offline/never-observed attackers must be excluded
+    /// from *both* bound slices by the caller (their zeros are absence of
+    /// observation vantage, not coverage evidence — including them deflates
+    /// the reported bound under churn); the accuracy slice stays over the
+    /// full attacker population, so the two slices may differ in length.
+    pub fn record_with_online(
+        &mut self,
+        round: u64,
+        accuracies: &[f64],
+        upper_bounds: &[f64],
+        upper_bounds_online: &[f64],
+    ) {
         let aac = mean(accuracies);
         let best10 = best_fraction_floor(accuracies, 0.1);
-        let upper = mean(upper_bounds);
-        self.history.push(RoundPoint { round, aac, best10, upper_bound: upper });
+        self.history.push(RoundPoint {
+            round,
+            aac,
+            best10,
+            upper_bound: mean(upper_bounds),
+            upper_bound_online: mean(upper_bounds_online),
+        });
     }
 
     /// Number of evaluated rounds so far.
@@ -127,6 +158,7 @@ impl AttackTracker {
                 max_round: p.round,
                 random_bound: random_bound(self.k, self.candidates),
                 upper_bound: p.upper_bound,
+                upper_bound_online: p.upper_bound_online,
                 history: self.history.clone(),
             },
             None => AttackOutcome {
@@ -136,6 +168,7 @@ impl AttackTracker {
                 max_round: 0,
                 random_bound: random_bound(self.k, self.candidates),
                 upper_bound: 0.0,
+                upper_bound_online: 0.0,
                 history: Vec::new(),
             },
         }
@@ -157,6 +190,9 @@ pub struct AttackOutcome {
     pub random_bound: f64,
     /// Mean observation-coverage upper bound at the Max AAC round.
     pub upper_bound: f64,
+    /// Dynamics-aware bound at the Max AAC round (observed ∧ live members
+    /// only); ≤ `upper_bound`, equal for static populations.
+    pub upper_bound_online: f64,
     /// Full per-round history.
     pub history: Vec<RoundPoint>,
 }
@@ -220,9 +256,25 @@ mod tests {
         assert!((out.max_aac - 0.7).abs() < 1e-12);
         assert!((out.best10_aac - 0.8).abs() < 1e-12);
         assert!((out.upper_bound - 1.0).abs() < 1e-12);
+        // Plain `record` treats the population as static.
+        assert_eq!(out.upper_bound_online, out.upper_bound);
         assert!((out.random_bound - 0.1).abs() < 1e-12);
         assert!((out.advantage_over_random() - 7.0).abs() < 1e-9);
         assert_eq!(out.history.len(), 3);
+    }
+
+    #[test]
+    fn online_bound_is_tracked_separately() {
+        let mut t = AttackTracker::new(5, 50);
+        // Bound slices may be shorter than the accuracy slice (offline
+        // attackers excluded) and the online bound sits below the static one.
+        t.record_with_online(0, &[0.2, 0.4, 0.0], &[0.8, 0.6], &[0.4, 0.2]);
+        let p = &t.history()[0];
+        assert!((p.upper_bound - 0.7).abs() < 1e-12);
+        assert!((p.upper_bound_online - 0.3).abs() < 1e-12);
+        assert!(p.upper_bound_online <= p.upper_bound);
+        let out = t.outcome();
+        assert!((out.upper_bound_online - 0.3).abs() < 1e-12);
     }
 
     #[test]

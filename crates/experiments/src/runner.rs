@@ -83,6 +83,40 @@ mod tests {
     }
 
     #[test]
+    fn online_bound_matches_static_bound_without_dynamics() {
+        // Every table/figure run is a static-population scenario, so the
+        // dynamics-aware bound must coincide with the paper's coverage
+        // bound — tables keep reporting one number.
+        let spec = RunSpec::new(Preset::MovieLens, ModelKind::Gmf, ProtocolKind::Fl, Scale::Smoke);
+        let r = run_recsys(&spec);
+        assert_eq!(r.attack.upper_bound_online, r.attack.upper_bound);
+        for p in &r.attack.history {
+            assert_eq!(p.upper_bound_online, p.upper_bound);
+        }
+    }
+
+    #[test]
+    fn online_bound_separates_under_churn() {
+        let mut spec =
+            RunSpec::new(Preset::MovieLens, ModelKind::Gmf, ProtocolKind::Fl, Scale::Smoke);
+        spec.dynamics = cia_scenarios::DynamicsSpec {
+            leave_prob: 0.2,
+            join_prob: 0.3,
+            initial_online: 0.8,
+            ..Default::default()
+        };
+        let r = run_recsys(&spec);
+        assert!(
+            r.attack.history.iter().all(|p| p.upper_bound_online <= p.upper_bound + 1e-12),
+            "online bound exceeded the static bound"
+        );
+        assert!(
+            r.attack.history.iter().any(|p| p.upper_bound_online < p.upper_bound),
+            "churn never separated the bounds"
+        );
+    }
+
+    #[test]
     fn setup_tables_are_aligned() {
         let s = build_setup(Preset::MovieLens, Scale::Smoke, None, 1);
         assert_eq!(s.truth_table().len(), s.data.num_users());

@@ -89,6 +89,18 @@ pub trait GossipObserver {
         let _ = (round, mask);
     }
 
+    /// Availability query consulted before a node acts on its scheduled view
+    /// refresh: an offline device cannot re-sample peers, so returning
+    /// `false` defers the refresh (and, under Pers-Gossip, preserves the
+    /// `heard` personalization evidence the refresh would consume) until the
+    /// node's next available round. Defaults to always-available, which
+    /// reproduces the pre-dynamics behavior exactly; the `cia-scenarios`
+    /// dynamics layer answers from its churn state.
+    fn node_available(&self, round: u64, node: u32) -> bool {
+        let _ = (round, node);
+        true
+    }
+
     /// Called for every routed model delivery.
     fn on_delivery(&mut self, round: u64, receiver: UserId, model: &SharedModel) {
         let _ = (round, receiver, model);
@@ -266,7 +278,9 @@ impl<P: Participant> GossipSim<P> {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ t.wrapping_mul(0xA076_1D64_78BD_642F));
         observer.on_round_start(t);
 
-        // 1. View refreshes due this round.
+        // 1. View refreshes due this round. Offline nodes (per the
+        // observer's availability query) defer theirs: `refresh_at` stays in
+        // the past and fires on the node's first available round.
         let keep = match self.cfg.protocol {
             GossipProtocol::Rand => 0,
             GossipProtocol::Pers { exploration } => {
@@ -274,7 +288,7 @@ impl<P: Participant> GossipSim<P> {
             }
         };
         for u in 0..n as u32 {
-            if self.refresh_at[u as usize] <= t {
+            if self.refresh_at[u as usize] <= t && observer.node_available(t, u) {
                 match self.cfg.protocol {
                     GossipProtocol::Rand => self.views.refresh_random(u, &mut rng),
                     GossipProtocol::Pers { .. } => {
@@ -677,6 +691,33 @@ mod tests {
             assert_eq!(st.deliveries, 10);
         }
         assert!(obs.deliveries.iter().all(|u| u % 2 == 0), "only awake nodes send");
+    }
+
+    /// Declares node 5 permanently unavailable (refresh deferral only; the
+    /// wake set is left alone so the rest of the round is unchanged).
+    struct FiveOffline;
+
+    impl GossipObserver for FiveOffline {
+        fn node_available(&self, _round: u64, node: u32) -> bool {
+            node != 5
+        }
+    }
+
+    #[test]
+    fn offline_nodes_defer_view_refreshes() {
+        // A refresh rate of 1.0 schedules refreshes nearly every round, so
+        // over 12 rounds every available node re-samples its view at least
+        // once with overwhelming probability — while node 5's view must
+        // stay exactly its initial one.
+        let cfg = GossipConfig { rounds: 12, view_refresh_rate: 1.0, seed: 9, ..Default::default() };
+        let mut s = sim(16, cfg);
+        let initial: Vec<Vec<u32>> = (0..16).map(|u| s.view_of(u).to_vec()).collect();
+        s.run(&mut FiveOffline);
+        assert_eq!(s.view_of(5), initial[5].as_slice(), "offline node refreshed its view");
+        let changed = (0..16u32)
+            .filter(|&u| u != 5 && s.view_of(u) != initial[u as usize].as_slice())
+            .count();
+        assert!(changed > 10, "only {changed} available nodes refreshed");
     }
 
     #[test]

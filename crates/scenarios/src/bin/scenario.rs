@@ -1,13 +1,18 @@
 //! `scenario` — run declarative scenario suites.
 //!
 //! ```text
-//! scenario run [--suite builtin|FILE] [--scale smoke|small|paper] [--seed N]
+//! scenario run [--suite NAME|FILE] [--scale smoke|small|paper] [--seed N]
 //!              [--only NAME] [--out FILE] [--checkpoint-dir DIR]
 //!              [--checkpoint-every N] [--resume] [--stop-after N]
 //!              [--no-timing]
 //! scenario list [--scale ...] [--seed N]
 //! scenario validate FILE
 //! ```
+//!
+//! `--suite` accepts a built-in suite name — `builtin`,
+//! `participation-sweep`, `defense-dynamics-grid`, `pers-gossip-churn` — or
+//! a path to a suite JSON document (which may contain `sweep` generator
+//! blocks; see `crates/scenarios/README.md`).
 //!
 //! `run` executes a suite deterministically from its seed and streams one
 //! JSONL record per (scenario, evaluation round) plus a summary per
@@ -18,18 +23,20 @@
 
 use cia_data::presets::Scale;
 use cia_scenarios::runner::{run_scenario, validate_jsonl, RunOptions};
-use cia_scenarios::{builtin_suite, SuiteSpec};
+use cia_scenarios::spec::{named_suite, BUILTIN_SUITE_NAMES};
+use cia_scenarios::SuiteSpec;
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() {
     eprintln!("usage: scenario <run|list|validate> [options]");
-    eprintln!("  run      [--suite builtin|FILE] [--scale smoke|small|paper] [--seed N]");
+    eprintln!("  run      [--suite NAME|FILE] [--scale smoke|small|paper] [--seed N]");
     eprintln!("           [--only NAME] [--out FILE] [--checkpoint-dir DIR]");
     eprintln!("           [--checkpoint-every N] [--resume] [--stop-after N] [--no-timing]");
-    eprintln!("  list     [--suite builtin|FILE] [--scale ...] [--seed N]");
+    eprintln!("  list     [--suite NAME|FILE] [--scale ...] [--seed N]");
     eprintln!("  validate FILE");
+    eprintln!("built-in suites: {}", BUILTIN_SUITE_NAMES.join(", "));
 }
 
 struct Args {
@@ -111,8 +118,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
 }
 
 fn load_suite(args: &Args) -> Result<SuiteSpec, String> {
-    if args.suite == "builtin" {
-        Ok(builtin_suite(args.scale, args.seed))
+    if let Some(suite) = named_suite(&args.suite, args.scale, args.seed) {
+        Ok(suite)
     } else {
         let text = std::fs::read_to_string(&args.suite)
             .map_err(|e| format!("cannot read {}: {e}", args.suite))?;
@@ -121,10 +128,13 @@ fn load_suite(args: &Args) -> Result<SuiteSpec, String> {
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
-    let mut suite = load_suite(args)?;
+    let suite = load_suite(args)?;
+    // Sweeps expand before filtering, so `--only` addresses the concrete
+    // scenarios a sweep generates (e.g. `participation-0.5`).
+    let mut scenarios = suite.expanded()?;
     if let Some(only) = &args.only {
-        suite.scenarios.retain(|s| &s.name == only);
-        if suite.scenarios.is_empty() {
+        scenarios.retain(|s| &s.name == only);
+        if scenarios.is_empty() {
             return Err(format!("no scenario named `{only}` in suite `{}`", suite.name));
         }
     }
@@ -148,7 +158,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             &mut lock
         }
     };
-    for spec in &suite.scenarios {
+    for spec in &scenarios {
         let outcome = run_scenario(spec, &suite.name, &args.opts, sink)?;
         if outcome.skipped {
             eprintln!(
@@ -183,8 +193,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 
 fn cmd_list(args: &Args) -> Result<(), String> {
     let suite = load_suite(args)?;
-    println!("suite: {}", suite.name);
-    for s in &suite.scenarios {
+    let scenarios = suite.expanded()?;
+    println!("suite: {} ({} scenarios from {} entries)", suite.name, scenarios.len(), suite.entries.len());
+    for s in &scenarios {
         let dynamics = if s.dynamics.is_static() {
             "static".to_string()
         } else {

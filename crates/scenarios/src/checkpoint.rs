@@ -20,7 +20,9 @@ use cia_models::SharedModel;
 use std::path::{Path, PathBuf};
 
 const MAGIC: u32 = 0x4349_4153; // "CIAS"
-const VERSION: u32 = 1;
+// v2: `RoundPoint` gained `upper_bound_online`. Older checkpoints are
+// refused with a version error rather than silently misread.
+const VERSION: u32 = 2;
 
 /// Protocol-side state, by protocol family.
 #[derive(Debug, Clone)]
@@ -194,7 +196,7 @@ impl Checkpoint {
         }
         let round = r.u64()?;
         let emitted = r.u64()?;
-        let n_clients = r.u64()? as usize;
+        let n_clients = r.len()?;
         let mut clients = Vec::with_capacity(n_clients);
         for _ in 0..n_clients {
             clients.push(r.f32s()?);
@@ -203,30 +205,30 @@ impl Checkpoint {
             0 => ProtocolState::Fl { global: r.f32s()? },
             1 => {
                 let round = r.u64()?;
-                let n = r.u64()? as usize;
+                let n = r.len()?;
                 let mut refresh_at = Vec::with_capacity(n);
                 for _ in 0..n {
                     refresh_at.push(r.u64()?);
                 }
-                let n = r.u64()? as usize;
+                let n = r.len()?;
                 let mut views = Vec::with_capacity(n);
                 for _ in 0..n {
                     views.push(r.u32s()?);
                 }
-                let n = r.u64()? as usize;
+                let n = r.len()?;
                 let mut inboxes = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let len = r.u64()? as usize;
+                    let len = r.len()?;
                     let mut inbox = Vec::with_capacity(len);
                     for _ in 0..len {
                         inbox.push(r.shared_model()?);
                     }
                     inboxes.push(inbox);
                 }
-                let n = r.u64()? as usize;
+                let n = r.len()?;
                 let mut heard = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let len = r.u64()? as usize;
+                    let len = r.len()?;
                     let mut h = Vec::with_capacity(len);
                     for _ in 0..len {
                         let peer = r.u32()?;
@@ -235,7 +237,7 @@ impl Checkpoint {
                     }
                     heard.push(h);
                 }
-                let n = r.u64()? as usize;
+                let n = r.len()?;
                 let mut prev_sent = Vec::with_capacity(n);
                 for _ in 0..n {
                     prev_sent.push(r.opt_f32s()?);
@@ -253,7 +255,7 @@ impl Checkpoint {
         };
         let attack = match r.u8()? {
             0 => {
-                let n = r.u64()? as usize;
+                let n = r.len()?;
                 let mut momentum = Vec::with_capacity(n);
                 for _ in 0..n {
                     momentum.push(match r.u8()? {
@@ -280,17 +282,17 @@ impl Checkpoint {
             }
             tag => return Err(format!("unknown attack state tag {tag}")),
         };
-        let n = r.u64()? as usize;
+        let n = r.len()?;
         let mut adversary_embs = Vec::with_capacity(n);
         for _ in 0..n {
             adversary_embs.push(r.opt_f32s()?);
         }
-        let n = r.u64()? as usize;
+        let n = r.len()?;
         let mut online = Vec::with_capacity(n);
         for _ in 0..n {
             online.push(r.u8()? == 1);
         }
-        let n = r.u64()? as usize;
+        let n = r.len()?;
         let mut straggler_until = Vec::with_capacity(n);
         for _ in 0..n {
             straggler_until.push(r.u64()?);
@@ -388,6 +390,7 @@ impl Writer {
             self.f64(p.aac);
             self.f64(p.best10);
             self.f64(p.upper_bound);
+            self.f64(p.upper_bound_online);
         }
     }
 }
@@ -466,7 +469,8 @@ impl Reader<'_> {
             let aac = self.f64()?;
             let best10 = self.f64()?;
             let upper_bound = self.f64()?;
-            v.push(RoundPoint { round, aac, best10, upper_bound });
+            let upper_bound_online = self.f64()?;
+            v.push(RoundPoint { round, aac, best10, upper_bound, upper_bound_online });
         }
         Ok(v)
     }
@@ -504,7 +508,13 @@ mod tests {
                     None,
                     Some(MomentumState::from_parts(Some(vec![0.1]), vec![0.2, 0.3], 4)),
                 ],
-                history: vec![RoundPoint { round: 5, aac: 0.5, best10: 0.75, upper_bound: 1.0 }],
+                history: vec![RoundPoint {
+                    round: 5,
+                    aac: 0.5,
+                    best10: 0.75,
+                    upper_bound: 1.0,
+                    upper_bound_online: 0.5,
+                }],
                 last_global: Some(vec![9.0]),
                 prepared: true,
             }),

@@ -101,6 +101,15 @@ impl ParticipantDynamics {
         self.online.iter().filter(|&&o| o).count()
     }
 
+    /// Whether participant `i` is currently online (sybils always are). The
+    /// state reflects the last [`ParticipantDynamics::apply`] call — queried
+    /// at the top of round `t`, it answers for round `t - 1`, which is what
+    /// a deferred-action decision (e.g. a gossip view refresh) wants: "was
+    /// this node reachable at its last opportunity".
+    pub fn is_online(&self, i: usize) -> bool {
+        self.sybil.get(i).copied().unwrap_or(false) || self.online.get(i).copied().unwrap_or(false)
+    }
+
     /// Advances the population to round `round` and intersects `mask` with
     /// availability. Must be called exactly once per round — both protocol
     /// hooks fire exactly once per round.
@@ -210,6 +219,12 @@ impl<O: GossipObserver> GossipObserver for GlDynamics<'_, O> {
     fn on_wake_set(&mut self, round: u64, mask: &mut [bool]) {
         self.dynamics.apply(round, mask);
         self.inner.on_wake_set(round, mask);
+    }
+
+    fn node_available(&self, round: u64, node: u32) -> bool {
+        // Offline nodes defer their view refreshes (and keep their
+        // Pers-Gossip `heard` evidence) until they rejoin.
+        self.dynamics.is_online(node as usize) && self.inner.node_available(round, node)
     }
 
     fn on_delivery(&mut self, round: u64, receiver: cia_data::UserId, model: &SharedModel) {

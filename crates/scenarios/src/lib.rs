@@ -7,7 +7,10 @@
 //!
 //! * [`spec`] — the scenario specification: dataset × scale × model ×
 //!   protocol × defense × attack plus a `dynamics` block, parseable from
-//!   JSON and composable into named suites ([`SuiteSpec`], [`builtin_suite`]);
+//!   JSON and composable into named suites of *generators* — plain
+//!   scenarios or parameter sweeps ([`SuiteSpec`], [`SuiteEntry`],
+//!   [`builtin_suite`], [`participation_sweep_suite`],
+//!   [`defense_dynamics_grid_suite`], [`pers_gossip_churn_suite`]);
 //! * [`dynamics`] — the participant-dynamics layer, threaded through the
 //!   protocols' observer seams so the training loops never fork;
 //! * [`runner`] — deterministic suite execution streaming one JSONL record
@@ -42,6 +45,7 @@ pub use dynamics::{DynamicsState, FlDynamics, GlDynamics, ParticipantDynamics};
 pub use runner::{run_quiet, run_scenario, run_suite, RunOptions, RunResult, ScenarioOutcome};
 pub use setup::{build_setup, RecsysSetup};
 pub use spec::{
-    builtin_suite, DefenseKind, DynamicsSpec, ModelKind, ProtocolKind, ScaleParams, ScenarioSpec,
-    SuiteSpec,
+    builtin_suite, defense_dynamics_grid_suite, named_suite, participation_sweep_suite,
+    pers_gossip_churn_suite, DefenseKind, DynamicsSpec, ModelKind, ProtocolKind, ScaleParams,
+    ScenarioSpec, SuiteEntry, SuiteSpec, SweepField, BUILTIN_SUITE_NAMES,
 };

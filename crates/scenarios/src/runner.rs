@@ -7,11 +7,14 @@
 //!
 //! * `round_eval` — emitted at every attack-evaluation round:
 //!   `type suite scenario dataset model protocol scale seed round aac best10
-//!   upper_bound random_bound online participants mean_loss [elapsed_ms]`
+//!   upper_bound upper_bound_online random_bound online participants
+//!   mean_loss [elapsed_ms]` — `upper_bound_online` is the dynamics-aware
+//!   bound (observed ∧ live community members) and never exceeds
+//!   `upper_bound`.
 //! * `scenario_summary` — emitted once per completed scenario:
 //!   `type suite scenario dataset model protocol scale seed max_aac
-//!   best10_aac max_round random_bound upper_bound advantage utility
-//!   utility_metric rounds evals completed [elapsed_ms]`
+//!   best10_aac max_round random_bound upper_bound upper_bound_online
+//!   advantage utility utility_metric rounds evals completed [elapsed_ms]`
 //!
 //! `elapsed_ms` is the only non-deterministic field and is gated behind
 //! [`RunOptions::timing`] so `--no-timing` runs are byte-identical given the
@@ -112,18 +115,20 @@ pub fn run_quiet(spec: &ScenarioSpec) -> RunResult {
     }
 }
 
-/// Runs every scenario of a suite in order, streaming records into `sink`.
+/// Runs every scenario of a suite in order — sweeps expanded first —
+/// streaming records into `sink`.
 ///
 /// # Errors
 ///
-/// Returns the first spec validation, I/O or checkpoint error.
+/// Returns the first expansion, spec validation, I/O or checkpoint error.
 pub fn run_suite(
     suite: &SuiteSpec,
     opts: &RunOptions,
     sink: &mut dyn Write,
 ) -> Result<Vec<ScenarioOutcome>, String> {
-    let mut outcomes = Vec::with_capacity(suite.scenarios.len());
-    for spec in &suite.scenarios {
+    let scenarios = suite.expanded()?;
+    let mut outcomes = Vec::with_capacity(scenarios.len());
+    for spec in &scenarios {
         outcomes.push(run_scenario(spec, &suite.name, opts, sink)?);
     }
     Ok(outcomes)
@@ -524,6 +529,14 @@ impl<S: RelevanceScorer> GossipObserver for GlAttack<S> {
         }
     }
 
+    fn on_wake_set(&mut self, round: u64, mask: &mut [bool]) {
+        // The dynamics-filtered wake set feeds the engines' online bound.
+        match self {
+            GlAttack::Coalition(a) => a.on_wake_set(round, mask),
+            GlAttack::All(a) => a.on_wake_set(round, mask),
+        }
+    }
+
     fn on_delivery(&mut self, round: u64, receiver: UserId, model: &SharedModel) {
         match self {
             GlAttack::Coalition(a) => a.on_delivery(round, receiver, model),
@@ -747,6 +760,7 @@ fn emit_round_eval(
         .num("aac", p.aac)
         .num("best10", p.best10)
         .num("upper_bound", p.upper_bound)
+        .num("upper_bound_online", p.upper_bound_online)
         .num("random_bound", random_bound)
         .num("online", online as f64)
         .num("participants", participants as f64)
@@ -772,6 +786,7 @@ fn emit_summary(
         .num("max_round", outcome.max_round as f64)
         .num("random_bound", outcome.random_bound)
         .num("upper_bound", outcome.upper_bound)
+        .num("upper_bound_online", outcome.upper_bound_online)
         .num("advantage", outcome.advantage_over_random())
         .num("utility", utility)
         .str("utility_metric", utility_metric)
@@ -825,8 +840,20 @@ pub fn validate_jsonl(input: &str) -> Result<(usize, usize), String> {
                 v.get("round")
                     .and_then(Json::as_u64)
                     .ok_or_else(|| fail("missing integral `round`".to_string()))?;
-                for key in ["aac", "best10", "upper_bound", "random_bound"] {
+                for key in
+                    ["aac", "best10", "upper_bound", "upper_bound_online", "random_bound"]
+                {
                     unit(key)?;
+                }
+                // The online bound counts a subset of the members the static
+                // bound counts; a violation means a producer bug.
+                let upper = v.get("upper_bound").and_then(Json::as_f64).expect("checked");
+                let online =
+                    v.get("upper_bound_online").and_then(Json::as_f64).expect("checked");
+                if online > upper + 1e-9 {
+                    return Err(fail(format!(
+                        "`upper_bound_online` {online} exceeds `upper_bound` {upper}"
+                    )));
                 }
                 for key in ["online", "participants"] {
                     v.get(key)
@@ -839,8 +866,18 @@ pub fn validate_jsonl(input: &str) -> Result<(usize, usize), String> {
                 evals += 1;
             }
             "scenario_summary" => {
-                for key in ["max_aac", "best10_aac", "random_bound", "upper_bound"] {
+                for key in
+                    ["max_aac", "best10_aac", "random_bound", "upper_bound", "upper_bound_online"]
+                {
                     unit(key)?;
+                }
+                let upper = v.get("upper_bound").and_then(Json::as_f64).expect("checked");
+                let online =
+                    v.get("upper_bound_online").and_then(Json::as_f64).expect("checked");
+                if online > upper + 1e-9 {
+                    return Err(fail(format!(
+                        "`upper_bound_online` {online} exceeds `upper_bound` {upper}"
+                    )));
                 }
                 for key in ["max_round", "rounds", "evals"] {
                     v.get(key)
@@ -914,7 +951,7 @@ mod tests {
     #[test]
     fn churn_reduces_observed_participants() {
         let suite = builtin_suite(Scale::Smoke, 3);
-        let churn = suite.scenarios[1].clone();
+        let churn = suite.expanded().unwrap()[1].clone();
         let mut buf = Vec::new();
         run_scenario(&churn, "t", &RunOptions::default(), &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
@@ -935,7 +972,16 @@ mod tests {
     fn validator_rejects_malformed_streams() {
         assert!(validate_jsonl("").is_err());
         assert!(validate_jsonl("{\"type\":\"bogus\"}").unwrap_err().contains("missing"));
-        let bad_aac = r#"{"type":"round_eval","suite":"s","scenario":"x","dataset":"d","model":"m","protocol":"p","scale":"smoke","seed":1,"round":0,"aac":1.5,"best10":0,"upper_bound":0,"random_bound":0,"online":1,"participants":1,"mean_loss":0}"#;
+        let bad_aac = r#"{"type":"round_eval","suite":"s","scenario":"x","dataset":"d","model":"m","protocol":"p","scale":"smoke","seed":1,"round":0,"aac":1.5,"best10":0,"upper_bound":0,"upper_bound_online":0,"random_bound":0,"online":1,"participants":1,"mean_loss":0}"#;
         assert!(validate_jsonl(bad_aac).unwrap_err().contains("outside"));
+        // A record missing the online bound is schema drift.
+        let missing = r#"{"type":"round_eval","suite":"s","scenario":"x","dataset":"d","model":"m","protocol":"p","scale":"smoke","seed":1,"round":0,"aac":0.5,"best10":0,"upper_bound":1,"random_bound":0,"online":1,"participants":1,"mean_loss":0}"#;
+        assert!(validate_jsonl(missing).unwrap_err().contains("upper_bound_online"));
+        // An online bound above the static bound is a producer bug — in
+        // either record type.
+        let inverted = r#"{"type":"round_eval","suite":"s","scenario":"x","dataset":"d","model":"m","protocol":"p","scale":"smoke","seed":1,"round":0,"aac":0.5,"best10":0,"upper_bound":0.5,"upper_bound_online":0.8,"random_bound":0,"online":1,"participants":1,"mean_loss":0}"#;
+        assert!(validate_jsonl(inverted).unwrap_err().contains("exceeds"));
+        let inverted_summary = r#"{"type":"scenario_summary","suite":"s","scenario":"x","dataset":"d","model":"m","protocol":"p","scale":"smoke","seed":1,"max_aac":0.5,"best10_aac":0,"max_round":0,"random_bound":0,"upper_bound":0.5,"upper_bound_online":0.8,"advantage":0,"utility":0.5,"utility_metric":"HR@20","rounds":8,"evals":4,"completed":true}"#;
+        assert!(validate_jsonl(inverted_summary).unwrap_err().contains("exceeds"));
     }
 }

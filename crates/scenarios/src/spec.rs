@@ -4,11 +4,14 @@
 //!
 //! A [`ScenarioSpec`] is a plain value: build it in code, or parse it from a
 //! JSON document (see `crates/scenarios/README.md` for the format). Specs
-//! compose into named [`SuiteSpec`]s; [`builtin_suite`] ships the three
-//! canonical workloads every deployment question starts from —
-//! `baseline-static`, `churn-20pct` and `colluding-sybils`.
+//! compose into named [`SuiteSpec`]s whose entries are *generators* — a
+//! plain scenario, or a [`SuiteEntry::Sweep`] expanding a template over a
+//! swept field. Built-ins: [`builtin_suite`] (the three canonical
+//! workloads), [`participation_sweep_suite`] (Fig. 1 as a suite),
+//! [`defense_dynamics_grid_suite`] (every defense × every dynamics) and
+//! [`pers_gossip_churn_suite`] (view personalization under churn).
 
-use crate::json::{Json, ObjBuilder};
+use crate::json::{fmt_f64, Json, ObjBuilder};
 use cia_data::presets::{Preset, Scale};
 use cia_models::SharingPolicy;
 use serde::{Deserialize, Serialize};
@@ -603,18 +606,261 @@ fn parse_preset(s: &str) -> Option<Preset> {
     }
 }
 
-/// A named collection of scenarios, run back to back into one JSONL stream.
+/// A scenario field a sweep may range over. Numeric values are applied
+/// through [`SweepField::apply`]; integer-valued fields reject fractional
+/// sweep values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepField {
+    /// `dynamics.participation` — the Fig. 1 axis (per-round sample size).
+    Participation,
+    /// `dynamics.leave_prob`.
+    LeaveProb,
+    /// `dynamics.join_prob`.
+    JoinProb,
+    /// `dynamics.initial_online`.
+    InitialOnline,
+    /// `dynamics.straggler_fraction`.
+    StragglerFraction,
+    /// `dynamics.straggler_mean_delay`.
+    StragglerMeanDelay,
+    /// `dynamics.sybils` (integer).
+    Sybils,
+    /// `colluders` (integer).
+    Colluders,
+    /// Momentum coefficient `beta`.
+    Beta,
+    /// Community-size override `k` (integer).
+    K,
+    /// Master `seed` (integer) — repetition sweeps.
+    Seed,
+    /// `defense.tau` (requires a share-less defense on the base).
+    DefenseTau,
+    /// `defense.epsilon` (requires a DP defense on the base).
+    DefenseEpsilon,
+}
+
+impl SweepField {
+    /// The canonical spelling used in suite documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepField::Participation => "dynamics.participation",
+            SweepField::LeaveProb => "dynamics.leave_prob",
+            SweepField::JoinProb => "dynamics.join_prob",
+            SweepField::InitialOnline => "dynamics.initial_online",
+            SweepField::StragglerFraction => "dynamics.straggler_fraction",
+            SweepField::StragglerMeanDelay => "dynamics.straggler_mean_delay",
+            SweepField::Sybils => "dynamics.sybils",
+            SweepField::Colluders => "colluders",
+            SweepField::Beta => "beta",
+            SweepField::K => "k",
+            SweepField::Seed => "seed",
+            SweepField::DefenseTau => "defense.tau",
+            SweepField::DefenseEpsilon => "defense.epsilon",
+        }
+    }
+
+    /// Parses a field path. The `dynamics.` prefix is optional for dynamics
+    /// fields but valid *only* for them — `dynamics.seed` must fail loudly,
+    /// not silently sweep the global seed.
+    pub fn parse(s: &str) -> Option<SweepField> {
+        fn dynamics_field(s: &str) -> Option<SweepField> {
+            match s {
+                "participation" => Some(SweepField::Participation),
+                "leave_prob" => Some(SweepField::LeaveProb),
+                "join_prob" => Some(SweepField::JoinProb),
+                "initial_online" => Some(SweepField::InitialOnline),
+                "straggler_fraction" => Some(SweepField::StragglerFraction),
+                "straggler_mean_delay" => Some(SweepField::StragglerMeanDelay),
+                "sybils" => Some(SweepField::Sybils),
+                _ => None,
+            }
+        }
+        if let Some(rest) = s.strip_prefix("dynamics.") {
+            return dynamics_field(rest);
+        }
+        dynamics_field(s).or(match s {
+            "colluders" => Some(SweepField::Colluders),
+            "beta" => Some(SweepField::Beta),
+            "k" => Some(SweepField::K),
+            "seed" => Some(SweepField::Seed),
+            "defense.tau" | "tau" => Some(SweepField::DefenseTau),
+            "defense.epsilon" | "epsilon" => Some(SweepField::DefenseEpsilon),
+            _ => None,
+        })
+    }
+
+    /// Writes `value` into the field of `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value is not representable (fractional
+    /// integer, negative count) or the base spec lacks the swept defense.
+    pub fn apply(self, spec: &mut ScenarioSpec, value: f64) -> Result<(), String> {
+        let as_count = |value: f64| -> Result<usize, String> {
+            if value >= 0.0 && value.fract() == 0.0 && value < 9_007_199_254_740_992.0 {
+                Ok(value as usize)
+            } else {
+                Err(format!("sweep value {value} is not a non-negative integer"))
+            }
+        };
+        let d = &mut spec.dynamics;
+        match self {
+            SweepField::Participation => d.participation = value,
+            SweepField::LeaveProb => d.leave_prob = value,
+            SweepField::JoinProb => d.join_prob = value,
+            SweepField::InitialOnline => d.initial_online = value,
+            SweepField::StragglerFraction => d.straggler_fraction = value,
+            SweepField::StragglerMeanDelay => d.straggler_mean_delay = value,
+            SweepField::Sybils => d.sybils = as_count(value)?,
+            SweepField::Colluders => spec.colluders = as_count(value)?,
+            SweepField::Beta => spec.beta = value as f32,
+            SweepField::K => spec.k_override = Some(as_count(value)?),
+            SweepField::Seed => spec.seed = as_count(value)? as u64,
+            SweepField::DefenseTau => match &mut spec.defense {
+                DefenseKind::ShareLess { tau } => *tau = value as f32,
+                _ => {
+                    return Err(
+                        "sweeping defense.tau needs a share-less defense on the base".to_string()
+                    )
+                }
+            },
+            SweepField::DefenseEpsilon => match &mut spec.defense {
+                DefenseKind::Dp { epsilon } => *epsilon = Some(value),
+                _ => {
+                    return Err("sweeping defense.epsilon needs a DP defense on the base".to_string())
+                }
+            },
+        }
+        Ok(())
+    }
+}
+
+/// One entry of a suite: a single scenario, or a generator that expands into
+/// one scenario per sweep value. A suite is a list of *generators*, not a
+/// flat scenario list — [`SuiteSpec::expanded`] materializes it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SuiteEntry {
+    /// A single scenario, run as-is.
+    One(ScenarioSpec),
+    /// A parameterized sweep over one field.
+    Sweep {
+        /// The template scenario. Its `name` may contain a `{}` placeholder
+        /// replaced by each sweep value; without one, `-<value>` is appended.
+        base: ScenarioSpec,
+        /// The swept field.
+        field: SweepField,
+        /// The values, in execution order.
+        values: Vec<f64>,
+    },
+}
+
+/// Instantiates a sweep scenario name from the base template.
+fn sweep_name(template: &str, value: f64) -> String {
+    let v = fmt_f64(value);
+    if template.contains("{}") {
+        template.replace("{}", &v)
+    } else {
+        format!("{template}-{v}")
+    }
+}
+
+impl SuiteEntry {
+    /// Expands the entry into concrete scenarios, validating each.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unrepresentable sweep value or validation failure.
+    pub fn expand_into(&self, out: &mut Vec<ScenarioSpec>) -> Result<(), String> {
+        match self {
+            SuiteEntry::One(spec) => {
+                spec.validate()?;
+                out.push(spec.clone());
+            }
+            SuiteEntry::Sweep { base, field, values } => {
+                if values.is_empty() {
+                    return Err(format!("sweep `{}` has no values", base.name));
+                }
+                for &v in values {
+                    let mut spec = base.clone();
+                    field
+                        .apply(&mut spec, v)
+                        .map_err(|e| format!("sweep `{}`: {e}", base.name))?;
+                    spec.name = sweep_name(&base.name, v);
+                    spec.validate()?;
+                    out.push(spec);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the entry into its suite-document form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            SuiteEntry::One(spec) => spec.to_json(),
+            SuiteEntry::Sweep { base, field, values } => {
+                let sweep = ObjBuilder::new()
+                    .str("field", field.name())
+                    .value("values", Json::Arr(values.iter().map(|&v| Json::Num(v)).collect()))
+                    .build();
+                match base.to_json() {
+                    Json::Obj(mut pairs) => {
+                        pairs.push(("sweep".to_string(), sweep));
+                        Json::Obj(pairs)
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+}
+
+/// A named collection of scenario generators, run back to back into one
+/// JSONL stream after [`SuiteSpec::expanded`] materializes the sweeps.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SuiteSpec {
     /// Suite name (stamped on every record).
     pub name: String,
-    /// The scenarios, in execution order.
-    pub scenarios: Vec<ScenarioSpec>,
+    /// The generators, in execution order.
+    pub entries: Vec<SuiteEntry>,
 }
 
 impl SuiteSpec {
+    /// A suite of plain scenarios (no sweeps).
+    pub fn flat(name: impl Into<String>, scenarios: Vec<ScenarioSpec>) -> SuiteSpec {
+        SuiteSpec {
+            name: name.into(),
+            entries: scenarios.into_iter().map(SuiteEntry::One).collect(),
+        }
+    }
+
+    /// Materializes the suite: every sweep expanded, every scenario
+    /// validated, names checked for uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first expansion or validation failure.
+    pub fn expanded(&self) -> Result<Vec<ScenarioSpec>, String> {
+        let mut scenarios = Vec::new();
+        for entry in &self.entries {
+            entry.expand_into(&mut scenarios)?;
+        }
+        if scenarios.is_empty() {
+            return Err("suite has no scenarios".to_string());
+        }
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        if names.len() != scenarios.len() {
+            return Err("scenario names must be unique within a suite".to_string());
+        }
+        Ok(scenarios)
+    }
+
     /// Parses a suite document:
     /// `{"suite": "name", "scale": "...", "seed": N, "scenarios": [...]}`.
+    /// A scenario object may carry a `"sweep": {"field": ..., "values":
+    /// [...]}` block turning it into a generator.
     ///
     /// # Errors
     ///
@@ -646,26 +892,64 @@ impl SuiteSpec {
         if raw.is_empty() {
             return Err("suite has no scenarios".to_string());
         }
-        let mut scenarios = Vec::with_capacity(raw.len());
+        let mut entries = Vec::with_capacity(raw.len());
         for s in raw {
-            scenarios.push(ScenarioSpec::from_json(s, default_scale, default_seed)?);
+            entries.push(parse_entry(s, default_scale, default_seed)?);
         }
-        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
-        names.sort_unstable();
-        names.dedup();
-        if names.len() != scenarios.len() {
-            return Err("scenario names must be unique within a suite".to_string());
-        }
-        Ok(SuiteSpec { name, scenarios })
+        let suite = SuiteSpec { name, entries };
+        // Expand eagerly so malformed sweeps and name collisions fail at
+        // load time, not mid-run.
+        suite.expanded()?;
+        Ok(suite)
     }
 
-    /// Serializes the suite into its JSON document form.
+    /// Serializes the suite into its JSON document form (sweeps stay
+    /// sweeps, not expanded lists).
     pub fn to_json(&self) -> Json {
         ObjBuilder::new()
             .str("suite", &self.name)
-            .value("scenarios", Json::Arr(self.scenarios.iter().map(ScenarioSpec::to_json).collect()))
+            .value("scenarios", Json::Arr(self.entries.iter().map(SuiteEntry::to_json).collect()))
             .build()
     }
+}
+
+/// Parses one suite entry: a scenario object, optionally carrying a `sweep`
+/// generator block.
+fn parse_entry(v: &Json, default_scale: Scale, default_seed: u64) -> Result<SuiteEntry, String> {
+    let Some(sweep) = v.get("sweep") else {
+        return Ok(SuiteEntry::One(ScenarioSpec::from_json(v, default_scale, default_seed)?));
+    };
+    let ctx = format!(
+        "scenario `{}` sweep",
+        v.get("name").and_then(Json::as_str).unwrap_or("?")
+    );
+    check_keys(sweep, &["field", "values"], &ctx)?;
+    let field = sweep
+        .get("field")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{ctx}: needs a string `field`"))?;
+    let field = SweepField::parse(field)
+        .ok_or_else(|| format!("{ctx}: unknown field `{field}`"))?;
+    let raw_values = sweep
+        .get("values")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{ctx}: needs a `values` array"))?;
+    let mut values = Vec::with_capacity(raw_values.len());
+    for x in raw_values {
+        values.push(x.as_f64().ok_or_else(|| format!("{ctx}: values must be numbers"))?);
+    }
+    if values.is_empty() {
+        return Err(format!("{ctx}: needs at least one value"));
+    }
+    // The base spec is the object minus the generator block.
+    let base_obj = match v {
+        Json::Obj(pairs) => {
+            Json::Obj(pairs.iter().filter(|(k, _)| k != "sweep").cloned().collect())
+        }
+        other => other.clone(),
+    };
+    let base = ScenarioSpec::from_json(&base_obj, default_scale, default_seed)?;
+    Ok(SuiteEntry::Sweep { base, field, values })
 }
 
 /// The built-in suite: the three canonical deployment questions.
@@ -701,7 +985,116 @@ pub fn builtin_suite(scale: Scale, seed: u64) -> SuiteSpec {
     sybils.seed = seed;
     sybils.dynamics = DynamicsSpec { sybils: 4, ..DynamicsSpec::default() };
 
-    SuiteSpec { name: format!("builtin-{scale}"), scenarios: vec![baseline, churn, sybils] }
+    SuiteSpec::flat(format!("builtin-{scale}"), vec![baseline, churn, sybils])
+}
+
+/// The churn block shared by the dynamics-heavy built-ins: 20% offline in
+/// steady state plus a straggler tail (the `churn-20pct` setting).
+fn churn_dynamics() -> DynamicsSpec {
+    DynamicsSpec {
+        leave_prob: 0.05,
+        join_prob: 0.2,
+        initial_online: 0.9,
+        straggler_fraction: 0.1,
+        straggler_mean_delay: 2.0,
+        ..DynamicsSpec::default()
+    }
+}
+
+/// The participation sweep (Fig. 1 as a suite): federated GMF on MovieLens
+/// with the per-round sample fraction swept from 10% to full participation.
+/// One sweep generator, five scenarios — `participation-0.1` …
+/// `participation-1`.
+pub fn participation_sweep_suite(scale: Scale, seed: u64) -> SuiteSpec {
+    let mut base = ScenarioSpec::new(Preset::MovieLens, ModelKind::Gmf, ProtocolKind::Fl, scale);
+    base.name = "participation-{}".to_string();
+    base.seed = seed;
+    SuiteSpec {
+        name: format!("participation-sweep-{scale}"),
+        entries: vec![SuiteEntry::Sweep {
+            base,
+            field: SweepField::Participation,
+            values: vec![0.1, 0.25, 0.5, 0.75, 1.0],
+        }],
+    }
+}
+
+/// The defense × dynamics grid: every [`DefenseKind`] family crossed with
+/// the three canonical dynamics (churn + stragglers, a heavy straggler tail,
+/// an always-online sybil coalition). Sybil cells run Rand-Gossip (the FL
+/// adversary is the server, so sybils are a gossip concept); the others run
+/// FedAvg. Cell names are `<defense>-x-<dynamics>`.
+pub fn defense_dynamics_grid_suite(scale: Scale, seed: u64) -> SuiteSpec {
+    let defenses: [(&str, DefenseKind); 3] = [
+        ("none", DefenseKind::None),
+        ("shareless", DefenseKind::ShareLess { tau: 0.5 }),
+        ("dp10", DefenseKind::Dp { epsilon: Some(10.0) }),
+    ];
+    let stragglers = DynamicsSpec {
+        straggler_fraction: 0.4,
+        straggler_mean_delay: 3.0,
+        ..DynamicsSpec::default()
+    };
+    let sybils = DynamicsSpec { sybils: 4, ..DynamicsSpec::default() };
+    let dynamics: [(&str, ProtocolKind, DynamicsSpec); 3] = [
+        ("churn", ProtocolKind::Fl, churn_dynamics()),
+        ("stragglers", ProtocolKind::Fl, stragglers),
+        ("sybils", ProtocolKind::RandGossip, sybils),
+    ];
+    let mut scenarios = Vec::with_capacity(defenses.len() * dynamics.len());
+    for (dyn_name, protocol, d) in &dynamics {
+        for (def_name, defense) in &defenses {
+            let mut s = ScenarioSpec::new(Preset::MovieLens, ModelKind::Gmf, *protocol, scale);
+            s.name = format!("{def_name}-x-{dyn_name}");
+            s.seed = seed;
+            s.defense = *defense;
+            s.dynamics = *d;
+            scenarios.push(s);
+        }
+    }
+    SuiteSpec::flat(format!("defense-dynamics-grid-{scale}"), scenarios)
+}
+
+/// Pers-Gossip under churn: does view personalization amplify or dampen the
+/// attack when the population moves? Three all-placements runs —
+/// personalized views over a static population, the same under churn, and a
+/// Rand-Gossip churn control.
+pub fn pers_gossip_churn_suite(scale: Scale, seed: u64) -> SuiteSpec {
+    let mut pers_static =
+        ScenarioSpec::new(Preset::MovieLens, ModelKind::Gmf, ProtocolKind::PersGossip, scale);
+    pers_static.name = "pers-static".to_string();
+    pers_static.seed = seed;
+
+    let mut pers_churn = pers_static.clone();
+    pers_churn.name = "pers-churn".to_string();
+    pers_churn.dynamics = churn_dynamics();
+
+    let mut rand_churn =
+        ScenarioSpec::new(Preset::MovieLens, ModelKind::Gmf, ProtocolKind::RandGossip, scale);
+    rand_churn.name = "rand-churn".to_string();
+    rand_churn.seed = seed;
+    rand_churn.dynamics = churn_dynamics();
+
+    SuiteSpec::flat(
+        format!("pers-gossip-churn-{scale}"),
+        vec![pers_static, pers_churn, rand_churn],
+    )
+}
+
+/// Every built-in suite name accepted by [`named_suite`] (and the CLI's
+/// `--suite` flag).
+pub const BUILTIN_SUITE_NAMES: [&str; 4] =
+    ["builtin", "participation-sweep", "defense-dynamics-grid", "pers-gossip-churn"];
+
+/// Looks up a built-in suite by name.
+pub fn named_suite(name: &str, scale: Scale, seed: u64) -> Option<SuiteSpec> {
+    match name {
+        "builtin" => Some(builtin_suite(scale, seed)),
+        "participation-sweep" => Some(participation_sweep_suite(scale, seed)),
+        "defense-dynamics-grid" => Some(defense_dynamics_grid_suite(scale, seed)),
+        "pers-gossip-churn" => Some(pers_gossip_churn_suite(scale, seed)),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -711,13 +1104,121 @@ mod tests {
     #[test]
     fn builtin_suite_has_three_valid_scenarios() {
         let suite = builtin_suite(Scale::Smoke, 7);
-        assert_eq!(suite.scenarios.len(), 3);
-        for s in &suite.scenarios {
-            s.validate().unwrap();
+        let scenarios = suite.expanded().unwrap();
+        assert_eq!(scenarios.len(), 3);
+        assert_eq!(scenarios[0].name, "baseline-static");
+        assert!(scenarios[1].dynamics.leave_prob > 0.0);
+        assert_eq!(scenarios[2].coalition_size(), 4);
+    }
+
+    #[test]
+    fn participation_sweep_expands_one_generator_into_five() {
+        let suite = participation_sweep_suite(Scale::Smoke, 7);
+        assert_eq!(suite.entries.len(), 1, "the sweep is a generator, not a flat list");
+        let scenarios = suite.expanded().unwrap();
+        assert_eq!(scenarios.len(), 5);
+        assert_eq!(scenarios[0].name, "participation-0.1");
+        assert_eq!(scenarios[4].name, "participation-1");
+        let fracs: Vec<f64> = scenarios.iter().map(|s| s.dynamics.participation).collect();
+        assert_eq!(fracs, vec![0.1, 0.25, 0.5, 0.75, 1.0]);
+        // Everything but the swept field is shared.
+        for s in &scenarios {
+            assert_eq!(s.protocol, ProtocolKind::Fl);
+            assert_eq!(s.seed, 7);
         }
-        assert_eq!(suite.scenarios[0].name, "baseline-static");
-        assert!(suite.scenarios[1].dynamics.leave_prob > 0.0);
-        assert_eq!(suite.scenarios[2].coalition_size(), 4);
+    }
+
+    #[test]
+    fn defense_grid_crosses_every_defense_with_every_dynamics() {
+        let suite = defense_dynamics_grid_suite(Scale::Smoke, 3);
+        let scenarios = suite.expanded().unwrap();
+        assert_eq!(scenarios.len(), 9);
+        let sybil_cells: Vec<&ScenarioSpec> =
+            scenarios.iter().filter(|s| s.dynamics.sybils > 0).collect();
+        assert_eq!(sybil_cells.len(), 3);
+        assert!(sybil_cells.iter().all(|s| s.protocol.is_gossip()));
+        assert_eq!(
+            scenarios.iter().filter(|s| matches!(s.defense, DefenseKind::Dp { .. })).count(),
+            3
+        );
+        assert!(scenarios.iter().any(|s| s.name == "shareless-x-churn"));
+    }
+
+    #[test]
+    fn pers_gossip_churn_suite_pairs_protocols_under_identical_dynamics() {
+        let suite = pers_gossip_churn_suite(Scale::Smoke, 11);
+        let scenarios = suite.expanded().unwrap();
+        assert_eq!(scenarios.len(), 3);
+        let pers_churn = scenarios.iter().find(|s| s.name == "pers-churn").unwrap();
+        let rand_churn = scenarios.iter().find(|s| s.name == "rand-churn").unwrap();
+        assert_eq!(pers_churn.protocol, ProtocolKind::PersGossip);
+        assert_eq!(rand_churn.protocol, ProtocolKind::RandGossip);
+        assert_eq!(pers_churn.dynamics, rand_churn.dynamics, "churn control must match");
+        assert!(pers_churn.dynamics.leave_prob > 0.0);
+    }
+
+    #[test]
+    fn every_named_suite_expands_and_validates() {
+        for name in BUILTIN_SUITE_NAMES {
+            let suite = named_suite(name, Scale::Smoke, 42).unwrap();
+            let scenarios = suite.expanded().unwrap();
+            assert!(!scenarios.is_empty(), "{name} is empty");
+        }
+        assert!(named_suite("nope", Scale::Smoke, 42).is_none());
+    }
+
+    #[test]
+    fn sweep_blocks_parse_and_expand() {
+        let doc = r#"{"suite": "s", "scale": "smoke", "seed": 5, "scenarios": [
+            {"name": "p{}", "sweep": {"field": "dynamics.participation",
+                                      "values": [0.5, 1.0]}},
+            {"name": "reps", "protocol": "rand-gossip",
+             "sweep": {"field": "seed", "values": [1, 2, 3]}}
+        ]}"#;
+        let suite = SuiteSpec::parse(doc).unwrap();
+        assert_eq!(suite.entries.len(), 2);
+        let scenarios = suite.expanded().unwrap();
+        assert_eq!(scenarios.len(), 5);
+        assert_eq!(scenarios[0].name, "p0.5");
+        assert_eq!(scenarios[1].name, "p1");
+        assert_eq!(scenarios[2].name, "reps-1");
+        assert_eq!(scenarios[2].seed, 1);
+        assert_eq!(scenarios[4].seed, 3);
+        // Sweeps survive the JSON roundtrip as generators.
+        let reparsed = SuiteSpec::parse(&suite.to_json().render()).unwrap();
+        assert_eq!(reparsed.entries, suite.entries);
+    }
+
+    #[test]
+    fn malformed_sweeps_fail_at_parse_time() {
+        let doc = r#"{"suite": "s", "scenarios":
+            [{"name": "x", "sweep": {"field": "bogus", "values": [1]}}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("unknown field"));
+        // A non-dynamics field under the dynamics prefix must not silently
+        // resolve to the bare field.
+        let doc = r#"{"suite": "s", "scenarios":
+            [{"name": "x", "sweep": {"field": "dynamics.seed", "values": [1]}}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("unknown field"));
+        assert!(SweepField::parse("dynamics.beta").is_none());
+        assert_eq!(SweepField::parse("participation"), Some(SweepField::Participation));
+        let doc = r#"{"suite": "s", "scenarios":
+            [{"name": "x", "sweep": {"field": "seed", "values": []}}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("value"));
+        let doc = r#"{"suite": "s", "scenarios":
+            [{"name": "x", "sweep": {"field": "seed", "values": [1.5]}}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("integer"));
+        // Duplicate expanded names collide loudly.
+        let doc = r#"{"suite": "s", "scenarios":
+            [{"name": "x", "sweep": {"field": "seed", "values": [1, 1]}}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("unique"));
+        // Sweeping a defense knob the base doesn't carry.
+        let doc = r#"{"suite": "s", "scenarios":
+            [{"name": "x", "sweep": {"field": "defense.tau", "values": [0.5]}}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("share-less"));
+        // Expanded specs are validated: participation 0 is out of range.
+        let doc = r#"{"suite": "s", "scenarios":
+            [{"name": "x", "sweep": {"field": "dynamics.participation", "values": [0.0]}}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("participation"));
     }
 
     #[test]
@@ -733,7 +1234,8 @@ mod tests {
         let doc = r#"{"suite": "mini", "scale": "smoke", "seed": 5,
                       "scenarios": [{"name": "a"}]}"#;
         let suite = SuiteSpec::parse(doc).unwrap();
-        let s = &suite.scenarios[0];
+        let scenarios = suite.expanded().unwrap();
+        let s = &scenarios[0];
         assert_eq!(s.seed, 5);
         assert_eq!(s.scale, Scale::Smoke);
         assert_eq!(s.model, ModelKind::Gmf);

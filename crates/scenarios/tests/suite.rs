@@ -46,9 +46,14 @@ impl Drop for TempDir {
     }
 }
 
-fn resume_matches_uninterrupted(scenario_index: usize, stop_after: u64, every: u64, tag: &str) {
-    let suite = builtin_suite(Scale::Smoke, 42);
-    let spec = suite.scenarios[scenario_index].clone();
+fn resume_matches_uninterrupted(
+    suite: cia_scenarios::SuiteSpec,
+    scenario_index: usize,
+    stop_after: u64,
+    every: u64,
+    tag: &str,
+) {
+    let spec = suite.expanded().unwrap()[scenario_index].clone();
 
     // Uninterrupted reference run.
     let mut straight_out = Vec::new();
@@ -126,19 +131,33 @@ fn resume_matches_uninterrupted(scenario_index: usize, stop_after: u64, every: u
 #[test]
 fn fl_run_with_churn_resumes_exactly() {
     // churn-20pct: FL with churn + stragglers, killed at round 4 of 8.
-    resume_matches_uninterrupted(1, 4, 2, "fl-churn");
+    resume_matches_uninterrupted(builtin_suite(Scale::Smoke, 42), 1, 4, 2, "fl-churn");
 }
 
 #[test]
 fn gossip_sybil_run_resumes_exactly() {
     // colluding-sybils: Rand-Gossip coalition, killed at round 20 of 40.
-    resume_matches_uninterrupted(2, 20, 10, "gl-sybil");
+    resume_matches_uninterrupted(builtin_suite(Scale::Smoke, 42), 2, 20, 10, "gl-sybil");
+}
+
+#[test]
+fn sweep_expanded_scenario_resumes_exactly() {
+    // participation-0.5, a scenario that only exists after sweep expansion:
+    // killed at round 4 of 8, resumed, must land on the uninterrupted
+    // metrics.
+    resume_matches_uninterrupted(
+        cia_scenarios::participation_sweep_suite(Scale::Smoke, 42),
+        2,
+        4,
+        2,
+        "sweep-participation",
+    );
 }
 
 #[test]
 fn resume_refuses_a_different_spec() {
     let suite = builtin_suite(Scale::Smoke, 42);
-    let spec = suite.scenarios[0].clone();
+    let spec = suite.expanded().unwrap()[0].clone();
     let dir = TempDir::new("fingerprint");
     let opts = RunOptions {
         checkpoint_dir: Some(dir.0.clone()),

@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # Keeps the benchmarks from bit-rotting: every bench body runs once
-# (`--test`), and clippy gates all targets (benches included) at -D warnings.
-# Part of the verify flow; see ROADMAP.md.
+# (`--test`), the full workspace test suite gates ahead of clippy (a test
+# regression should fail this gate before any bench numbers are trusted),
+# and clippy gates all targets (benches included) at -D warnings. Part of
+# the verify flow; see ROADMAP.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo bench -- --test (every benchmark body, one iteration)"
 cargo bench -p cia-bench -- --test
 
-echo "== scenario engine smoke (built-in suite + schema + resume)"
+echo "== scenario engine smoke (suites + sweeps + grid cell + schema + resume)"
 scripts/scenario_smoke.sh
+
+echo "== cargo test --workspace -q"
+cargo test --workspace -q
 
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
