@@ -12,7 +12,9 @@ use cia_defenses::{DpConfig, DpMechanism, UpdateTransform};
 use cia_federated::{FedAvg, FedAvgConfig, NullObserver};
 use cia_gossip::{GossipConfig, GossipSim, NullGossipObserver};
 use cia_models::params::{clip_l2, ema, sigmoid};
-use cia_models::{kernel, GmfHyper, GmfSpec, Mlp, MlpHyper, MlpSpec, RelevanceScorer, SharingPolicy};
+use cia_models::{
+    kernel, GmfHyper, GmfSpec, Mlp, MlpHyper, MlpSpec, RelevanceScorer, SharingPolicy,
+};
 use cia_scenarios::{DynamicsSpec, FlDynamics, ParticipantDynamics};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -137,7 +139,12 @@ fn bench_mlp_train(c: &mut Criterion) {
     c.bench_function("mlp_train_batch_784x100x10_b16_scalar_ref", |b| {
         b.iter(|| {
             std::hint::black_box(scalar_ref_train_batch(
-                &spec, &mut params, hyper.lr, hyper.weight_decay, &xs, &labels,
+                &spec,
+                &mut params,
+                hyper.lr,
+                hyper.weight_decay,
+                &xs,
+                &labels,
             ))
         });
     });
@@ -245,12 +252,18 @@ fn bench_protocol_rounds(c: &mut Criterion) {
             .iter()
             .enumerate()
             .map(|(u, items)| {
-                spec.build_client(UserId::new(u as u32), items.clone(), SharingPolicy::Full, u as u64)
+                spec.build_client(
+                    UserId::new(u as u32),
+                    items.clone(),
+                    SharingPolicy::Full,
+                    u as u64,
+                )
             })
             .collect()
     };
     c.bench_function("fedavg_round_48_clients", |b| {
-        let mut sim = FedAvg::new(clients(), FedAvgConfig { rounds: u64::MAX, ..Default::default() });
+        let mut sim =
+            FedAvg::new(clients(), FedAvgConfig { rounds: u64::MAX, ..Default::default() });
         b.iter(|| sim.step(&mut NullObserver));
     });
     c.bench_function("gossip_round_48_nodes", |b| {
@@ -272,7 +285,8 @@ fn bench_protocol_rounds(c: &mut Criterion) {
         };
         let mut dynamics = ParticipantDynamics::new(&dyn_spec, 48, 1);
         let mut inner = NullObserver;
-        let mut sim = FedAvg::new(clients(), FedAvgConfig { rounds: u64::MAX, ..Default::default() });
+        let mut sim =
+            FedAvg::new(clients(), FedAvgConfig { rounds: u64::MAX, ..Default::default() });
         b.iter(|| {
             let mut obs = FlDynamics { inner: &mut inner, dynamics: &mut dynamics };
             sim.step(&mut obs)

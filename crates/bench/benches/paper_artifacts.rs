@@ -13,8 +13,8 @@ fn bench_artifacts(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(3));
     for name in [
-        "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-        "table9", "fig1", "fig3", "fig4", "fig5", "aia", "mnist", "ablation",
+        "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+        "fig1", "fig3", "fig4", "fig5", "aia", "mnist", "ablation",
     ] {
         group.bench_function(name, |b| {
             b.iter(|| std::hint::black_box(run_experiment(name, Scale::Smoke, 42)));

@@ -64,14 +64,9 @@ pub fn render_report(measurements: &[Measurement]) -> String {
             out.push_str(",\n");
         }
         first = false;
-        let _ = write!(
-            out,
-            "  {{\"name\": \"{}\", \"median_ns\": {:.1}",
-            m.name, m.median_ns
-        );
-        let baseline = BASELINE_SUFFIXES
-            .iter()
-            .find_map(|s| by_name.get(format!("{}{}", m.name, s).as_str()));
+        let _ = write!(out, "  {{\"name\": \"{}\", \"median_ns\": {:.1}", m.name, m.median_ns);
+        let baseline =
+            BASELINE_SUFFIXES.iter().find_map(|s| by_name.get(format!("{}{}", m.name, s).as_str()));
         if let Some(&base) = baseline {
             let _ = write!(
                 out,

@@ -264,15 +264,21 @@ mod tests {
         let k = 4;
         let target_user = 0usize;
         let target = split.train_sets()[target_user].clone();
-        let truth =
-            GroundTruth::from_train_sets(split.train_sets(), k).community_of(UserId::new(0)).to_vec();
+        let truth = GroundTruth::from_train_sets(split.train_sets(), k)
+            .community_of(UserId::new(0))
+            .to_vec();
         let spec = GmfSpec::new(90, 8, GmfHyper::default());
         let clients: Vec<_> = split
             .train_sets()
             .iter()
             .enumerate()
             .map(|(u, items)| {
-                spec.build_client(UserId::new(u as u32), items.clone(), SharingPolicy::Full, u as u64)
+                spec.build_client(
+                    UserId::new(u as u32),
+                    items.clone(),
+                    SharingPolicy::Full,
+                    u as u64,
+                )
             })
             .collect();
         let mut attack = AiaCommunityAttack::new(

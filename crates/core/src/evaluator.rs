@@ -183,11 +183,7 @@ impl<S: RelevanceScorer> RelevanceEvaluator for ItemSetEvaluator<S> {
             self.relevance_all(owner_emb, agg, &mut out);
             return out[target];
         }
-        let emb = if self.share_less {
-            self.adversary_embs[target].as_deref()
-        } else {
-            owner_emb
-        };
+        let emb = if self.share_less { self.adversary_embs[target].as_deref() } else { owner_emb };
         self.scorer.mean_relevance(emb, agg, &self.targets[target])
     }
 
@@ -214,7 +210,10 @@ impl<S: RelevanceScorer> RelevanceEvaluator for ItemSetEvaluator<S> {
                     order.clear();
                     order.extend(0..n as u32);
                     order.sort_by(|&a, &b| {
-                        crate::metrics::rank_desc(&(scores[a as usize], a), &(scores[b as usize], b))
+                        crate::metrics::rank_desc(
+                            &(scores[a as usize], a),
+                            &(scores[b as usize], b),
+                        )
                     });
                     ranks.resize(n, 0.0);
                     for (pos, &item) in order.iter().enumerate() {

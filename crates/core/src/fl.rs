@@ -216,10 +216,7 @@ impl<E: RelevanceEvaluator> FlCia<E> {
         for (t, pred) in predictions.iter().enumerate() {
             let truth = &self.truths[t];
             accs.push(community_accuracy(pred, truth, self.cfg.k));
-            let seen = truth
-                .iter()
-                .filter(|u| self.momentum[u.index()].is_some())
-                .count();
+            let seen = truth.iter().filter(|u| self.momentum[u.index()].is_some()).count();
             let seen_live = truth
                 .iter()
                 .filter(|u| self.momentum[u.index()].is_some() && self.live[u.index()])
@@ -287,16 +284,19 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(u, items)| {
-                spec.build_client(UserId::new(u as u32), items.clone(), SharingPolicy::Full, u as u64)
+                spec.build_client(
+                    UserId::new(u as u32),
+                    items.clone(),
+                    SharingPolicy::Full,
+                    u as u64,
+                )
             })
             .collect();
 
-        let evaluator =
-            ItemSetEvaluator::new(spec.clone(), split.train_sets().to_vec(), false);
+        let evaluator = ItemSetEvaluator::new(spec.clone(), split.train_sets().to_vec(), false);
         let truths: Vec<Vec<UserId>> =
             (0..users).map(|u| gt.community_of(UserId::new(u as u32)).to_vec()).collect();
-        let owners: Vec<Option<UserId>> =
-            (0..users).map(|u| Some(UserId::new(u as u32))).collect();
+        let owners: Vec<Option<UserId>> = (0..users).map(|u| Some(UserId::new(u as u32))).collect();
         let mut attack = FlCia::new(
             CiaConfig { k, beta: 0.9, eval_every: 2, seed: 0 },
             evaluator,
@@ -349,7 +349,12 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(u, items)| {
-                spec.build_client(UserId::new(u as u32), items.clone(), SharingPolicy::Full, u as u64)
+                spec.build_client(
+                    UserId::new(u as u32),
+                    items.clone(),
+                    SharingPolicy::Full,
+                    u as u64,
+                )
             })
             .collect();
         let truths: Vec<Vec<UserId>> =
@@ -425,7 +430,12 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(u, items)| {
-                spec.build_client(UserId::new(u as u32), items.clone(), SharingPolicy::Full, u as u64)
+                spec.build_client(
+                    UserId::new(u as u32),
+                    items.clone(),
+                    SharingPolicy::Full,
+                    u as u64,
+                )
             })
             .collect();
         let gt = GroundTruth::from_train_sets(split.train_sets(), 2);
@@ -440,7 +450,8 @@ mod tests {
             truths,
             owners,
         );
-        let mut sim = FedAvg::new(clients, FedAvgConfig { rounds: 3, seed: 5, ..Default::default() });
+        let mut sim =
+            FedAvg::new(clients, FedAvgConfig { rounds: 3, seed: 5, ..Default::default() });
         sim.run(&mut attack);
         assert!(attack.momentum.iter().all(Option::is_some));
         assert!(attack.momentum.iter().flatten().all(|m| m.updates() == 3));

@@ -178,10 +178,7 @@ impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
             let predicted: Vec<UserId> =
                 scored.into_iter().take(self.cfg.k).map(|(_, u)| UserId::new(u)).collect();
             accs.push(community_accuracy(&predicted, &self.truths[t], self.cfg.k));
-            let seen = self.truths[t]
-                .iter()
-                .filter(|u| self.momentum[u.index()].is_some())
-                .count();
+            let seen = self.truths[t].iter().filter(|u| self.momentum[u.index()].is_some()).count();
             let seen_live = self.truths[t]
                 .iter()
                 .filter(|u| self.momentum[u.index()].is_some() && live[u.index()])
@@ -255,12 +252,7 @@ impl<E: RelevanceEvaluator> GlCiaAllPlacements<E> {
     ///
     /// Panics if the evaluator's target count differs from `num_users` or
     /// the truth table is misaligned.
-    pub fn new(
-        cfg: CiaConfig,
-        evaluator: E,
-        num_users: usize,
-        truths: Vec<Vec<UserId>>,
-    ) -> Self {
+    pub fn new(cfg: CiaConfig, evaluator: E, num_users: usize, truths: Vec<Vec<UserId>>) -> Self {
         assert!(cfg.k > 0, "community size must be positive");
         assert!(cfg.eval_every > 0, "eval_every must be positive");
         assert_eq!(evaluator.num_targets(), num_users, "one target per node");
@@ -341,10 +333,7 @@ impl<E: RelevanceEvaluator> GlCiaAllPlacements<E> {
             let predicted: Vec<UserId> =
                 scored.into_iter().take(k).map(|(_, u)| UserId::new(u)).collect();
             let acc = community_accuracy(&predicted, &self.truths[obs], k);
-            let seen = self.truths[obs]
-                .iter()
-                .filter(|u| !row[u.index()].is_nan())
-                .count();
+            let seen = self.truths[obs].iter().filter(|u| !row[u.index()].is_nan()).count();
             let seen_live = self.truths[obs]
                 .iter()
                 .filter(|u| !row[u.index()].is_nan() && self.live[u.index()])
@@ -353,8 +342,7 @@ impl<E: RelevanceEvaluator> GlCiaAllPlacements<E> {
         });
         let accs: Vec<f64> = results.iter().map(|r| r.0).collect();
         let uppers: Vec<f64> = results.iter().filter_map(|r| r.1.map(|b| b.0)).collect();
-        let uppers_online: Vec<f64> =
-            results.iter().filter_map(|r| r.1.map(|b| b.1)).collect();
+        let uppers_online: Vec<f64> = results.iter().filter_map(|r| r.1.map(|b| b.1)).collect();
         self.tracker.record_with_online(round, &accs, &uppers, &uppers_online);
     }
 }
@@ -423,7 +411,12 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(u, items)| {
-                spec.build_client(UserId::new(u as u32), items.clone(), SharingPolicy::Full, u as u64)
+                spec.build_client(
+                    UserId::new(u as u32),
+                    items.clone(),
+                    SharingPolicy::Full,
+                    u as u64,
+                )
             })
             .collect();
         let truths: Vec<Vec<UserId>> =
@@ -441,10 +434,8 @@ mod tests {
             s.users,
             s.truths.clone(),
         );
-        let mut sim = GossipSim::new(
-            s.clients,
-            GossipConfig { rounds: 40, seed: 3, ..Default::default() },
-        );
+        let mut sim =
+            GossipSim::new(s.clients, GossipConfig { rounds: 40, seed: 3, ..Default::default() });
         sim.run(&mut attack);
         let out = attack.outcome();
         assert!(
@@ -525,10 +516,8 @@ mod tests {
                 self.1.on_round_end(stats);
             }
         }
-        let mut sim = GossipSim::new(
-            s.clients,
-            GossipConfig { rounds: 12, seed: 13, ..Default::default() },
-        );
+        let mut sim =
+            GossipSim::new(s.clients, GossipConfig { rounds: 12, seed: 13, ..Default::default() });
         {
             let mut tee = Tee(&mut all, &mut coal);
             sim.run(&mut tee);
@@ -544,8 +533,7 @@ mod tests {
             .map(|(u, &v)| (v, u as u32))
             .collect();
         from_scores.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then_with(|| a.1.cmp(&b.1)));
-        let pred_scores: Vec<u32> =
-            from_scores.into_iter().take(s.k).map(|(_, u)| u).collect();
+        let pred_scores: Vec<u32> = from_scores.into_iter().take(s.k).map(|(_, u)| u).collect();
 
         let mut from_params: Vec<(f32, u32)> = coal
             .momentum
@@ -553,16 +541,10 @@ mod tests {
             .enumerate()
             .filter_map(|(u, m)| m.as_ref().map(|m| (u as u32, m)))
             .filter(|(u, _)| *u != adversary)
-            .map(|(u, m)| {
-                (
-                    coal.evaluator.relevance_one(m.emb(), m.agg(), adversary as usize),
-                    u,
-                )
-            })
+            .map(|(u, m)| (coal.evaluator.relevance_one(m.emb(), m.agg(), adversary as usize), u))
             .collect();
         from_params.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then_with(|| a.1.cmp(&b.1)));
-        let pred_params: Vec<u32> =
-            from_params.into_iter().take(s.k).map(|(_, u)| u).collect();
+        let pred_params: Vec<u32> = from_params.into_iter().take(s.k).map(|(_, u)| u).collect();
 
         assert_eq!(pred_scores, pred_params);
     }
@@ -592,11 +574,7 @@ mod tests {
         // Observer 0 has seen 11 of 12 users — its own-community coverage is
         // high; a mean over all 12 observers would sit at or below 1/12th of
         // the per-observer maximum.
-        assert!(
-            p.upper_bound > 0.4,
-            "bound {} still deflated by empty observers",
-            p.upper_bound
-        );
+        assert!(p.upper_bound > 0.4, "bound {} still deflated by empty observers", p.upper_bound);
         assert_eq!(p.upper_bound_online, p.upper_bound, "static population");
     }
 
@@ -630,10 +608,8 @@ mod tests {
                 self.0.on_round_end(stats);
             }
         }
-        let mut sim = GossipSim::new(
-            s.clients,
-            GossipConfig { rounds: 16, seed: 5, ..Default::default() },
-        );
+        let mut sim =
+            GossipSim::new(s.clients, GossipConfig { rounds: 16, seed: 5, ..Default::default() });
         {
             let mut obs = HalfAsleep(&mut all);
             sim.run(&mut obs);

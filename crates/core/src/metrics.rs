@@ -146,10 +146,8 @@ impl AttackTracker {
 
     /// Summarizes into the paper's reporting format.
     pub fn outcome(&self) -> AttackOutcome {
-        let best = self
-            .history
-            .iter()
-            .max_by(|a, b| a.aac.partial_cmp(&b.aac).expect("finite AAC"));
+        let best =
+            self.history.iter().max_by(|a, b| a.aac.partial_cmp(&b.aac).expect("finite AAC"));
         match best {
             Some(p) => AttackOutcome {
                 k: self.k,

@@ -102,11 +102,7 @@ impl<S: RelevanceScorer> MiaCommunityAttack<S> {
     /// achieved.
     pub fn precision_at_max(&self) -> f64 {
         let max_round = self.tracker.outcome().max_round;
-        self.precision_history
-            .iter()
-            .find(|(r, _)| *r == max_round)
-            .map(|(_, p)| *p)
-            .unwrap_or(0.0)
+        self.precision_history.iter().find(|(r, _)| *r == max_round).map(|(_, p)| *p).unwrap_or(0.0)
     }
 
     fn evaluate(&mut self, round: u64) {
@@ -181,16 +177,12 @@ impl<S: RelevanceScorer> MiaCommunityAttack<S> {
             let predicted: Vec<UserId> =
                 scored.into_iter().take(self.cfg.cia.k).map(|(_, u)| UserId::new(u)).collect();
             accs.push(community_accuracy(&predicted, &self.truths[t], self.cfg.cia.k));
-            let seen = self.truths[t]
-                .iter()
-                .filter(|u| self.momentum[u.index()].is_some())
-                .count();
+            let seen = self.truths[t].iter().filter(|u| self.momentum[u.index()].is_some()).count();
             uppers.push(seen as f64 / self.cfg.cia.k as f64);
         }
         self.tracker.record(round, &accs, &uppers);
 
-        let precisions: Vec<f64> =
-            member_frac.iter().flatten().map(|(_, p)| *p).collect();
+        let precisions: Vec<f64> = member_frac.iter().flatten().map(|(_, p)| *p).collect();
         let mean_precision = if precisions.is_empty() {
             0.0
         } else {
@@ -251,13 +243,17 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(u, items)| {
-                spec.build_client(UserId::new(u as u32), items.clone(), SharingPolicy::Full, u as u64)
+                spec.build_client(
+                    UserId::new(u as u32),
+                    items.clone(),
+                    SharingPolicy::Full,
+                    u as u64,
+                )
             })
             .collect();
         let truths: Vec<Vec<UserId>> =
             (0..users).map(|u| gt.community_of(UserId::new(u as u32)).to_vec()).collect();
-        let owners: Vec<Option<UserId>> =
-            (0..users).map(|u| Some(UserId::new(u as u32))).collect();
+        let owners: Vec<Option<UserId>> = (0..users).map(|u| Some(UserId::new(u as u32))).collect();
         let mut attack = MiaCommunityAttack::new(
             MiaConfig { cia: CiaConfig { k, beta: 0.9, eval_every: 2, seed: 0 }, rho: 0.4 },
             spec,

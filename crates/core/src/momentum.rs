@@ -20,11 +20,7 @@ impl MomentumState {
     /// Initializes the state from the first observed snapshot
     /// (`v⁰_u = Θ⁰_u`, line 10 of Algorithms 1 and 2).
     pub fn from_snapshot(model: &SharedModel) -> Self {
-        MomentumState {
-            emb: model.owner_emb.clone(),
-            agg: model.agg.clone(),
-            updates: 1,
-        }
+        MomentumState { emb: model.owner_emb.clone(), agg: model.agg.clone(), updates: 1 }
     }
 
     /// Rebuilds a state from its raw parts (checkpoint resume); the inverse

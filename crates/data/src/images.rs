@@ -155,9 +155,8 @@ mod tests {
     #[test]
     fn same_class_closer_than_cross_class() {
         let d = small();
-        let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-        };
+        let dist =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
         let a0 = d.indices_of_class(0);
         let a1 = d.indices_of_class(1);
         let same = dist(d.image(a0[0]), d.image(a0[1]));

@@ -93,11 +93,8 @@ impl GroundTruth {
     /// property tests use as the oracle.
     pub fn from_train_sets(train_sets: &[Vec<u32>], k: usize) -> Self {
         let n = train_sets.len();
-        let num_items = train_sets
-            .iter()
-            .filter_map(|s| s.last())
-            .max()
-            .map_or(0, |&m| m as usize + 1);
+        let num_items =
+            train_sets.iter().filter_map(|s| s.last()).max().map_or(0, |&m| m as usize + 1);
         let total_interactions: usize = train_sets.iter().map(Vec::len).sum();
         if num_items > total_interactions.saturating_mul(8) + 1024 {
             // Sparse/hashed item ids: a dense postings table sized by the max
@@ -106,10 +103,7 @@ impl GroundTruth {
         }
         let mut postings: Vec<Vec<u32>> = vec![Vec::new(); num_items];
         for (u, set) in train_sets.iter().enumerate() {
-            debug_assert!(
-                set.windows(2).all(|w| w[0] < w[1]),
-                "train sets must be sorted unique"
-            );
+            debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "train sets must be sorted unique");
             for &item in set {
                 postings[item as usize].push(u as u32);
             }
@@ -149,9 +143,11 @@ impl GroundTruth {
             .map(|owner| {
                 top_k_similar(
                     &train_sets[owner],
-                    train_sets.iter().enumerate().filter(|&(u, _)| u != owner).map(
-                        |(u, items)| (UserId::new(u as u32), items.as_slice()),
-                    ),
+                    train_sets
+                        .iter()
+                        .enumerate()
+                        .filter(|&(u, _)| u != owner)
+                        .map(|(u, items)| (UserId::new(u as u32), items.as_slice())),
                     k,
                 )
             })

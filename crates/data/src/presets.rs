@@ -88,7 +88,11 @@ impl Preset {
     }
 }
 
-fn dims(scale: Scale, paper: (usize, u32, usize), small: (usize, u32, usize)) -> (usize, u32, usize) {
+fn dims(
+    scale: Scale,
+    paper: (usize, u32, usize),
+    small: (usize, u32, usize),
+) -> (usize, u32, usize) {
     match scale {
         Scale::Paper => paper,
         Scale::Small => small,

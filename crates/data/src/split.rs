@@ -283,10 +283,7 @@ mod tests {
     #[test]
     fn rejects_single_interaction_users() {
         let d = Dataset::new("tiny", 10, vec![UserRecord::new(vec![1], vec![])]).unwrap();
-        assert!(matches!(
-            LeaveOneOut::new(&d, 3, 0),
-            Err(DataError::NotEnoughInteractions { .. })
-        ));
+        assert!(matches!(LeaveOneOut::new(&d, 3, 0), Err(DataError::NotEnoughInteractions { .. })));
     }
 
     #[test]

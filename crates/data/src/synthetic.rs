@@ -106,10 +106,8 @@ impl SyntheticConfig {
             }
             CategoryMap::new(labels)
         });
-        let health_pool: Vec<u32> = category_map
-            .as_ref()
-            .map(|m| m.items_in(HEALTH_CATEGORY))
-            .unwrap_or_default();
+        let health_pool: Vec<u32> =
+            category_map.as_ref().map(|m| m.items_in(HEALTH_CATEGORY)).unwrap_or_default();
 
         let global_zipf = Zipf::new(n_items, self.zipf_exponent).expect("validated config");
         let cluster_zipfs: Vec<Zipf> = clusters
@@ -147,7 +145,14 @@ impl SyntheticConfig {
                     if rng.gen::<f64>() < p.health_fraction {
                         health_pool[rng.gen_range(0..health_pool.len())]
                     } else {
-                        self.draw_regular(&mut rng, c, &clusters, &cluster_zipfs, &global_zipf, &perm)
+                        self.draw_regular(
+                            &mut rng,
+                            c,
+                            &clusters,
+                            &cluster_zipfs,
+                            &global_zipf,
+                            &perm,
+                        )
                     }
                 } else {
                     self.draw_regular(&mut rng, c, &clusters, &cluster_zipfs, &global_zipf, &perm)
@@ -411,10 +416,7 @@ mod tests {
         let mut diff = Vec::new();
         for a in 0..d.num_users() {
             for b in (a + 1)..d.num_users() {
-                let j = jaccard_index(
-                    d.records()[a].items(),
-                    d.records()[b].items(),
-                );
+                let j = jaccard_index(d.records()[a].items(), d.records()[b].items());
                 if labels[a] == labels[b] {
                     same.push(j);
                 } else {
@@ -464,7 +466,10 @@ mod tests {
             .interactions_per_user(40)
             .categories(CategoryPlan {
                 health_item_fraction: 0.067,
-                health_planting: Some(crate::HealthPlanting { num_users: 3, health_fraction: 0.68 }),
+                health_planting: Some(crate::HealthPlanting {
+                    num_users: 3,
+                    health_fraction: 0.68,
+                }),
             })
             .seed(21)
             .build()
@@ -489,11 +494,7 @@ mod tests {
         assert!(SyntheticConfig::builder().users(0).try_build().is_err());
         assert!(SyntheticConfig::builder().items(0).try_build().is_err());
         assert!(SyntheticConfig::builder().communities(0).try_build().is_err());
-        assert!(SyntheticConfig::builder()
-            .items(5)
-            .communities(6)
-            .try_build()
-            .is_err());
+        assert!(SyntheticConfig::builder().items(5).communities(6).try_build().is_err());
         assert!(SyntheticConfig::builder().topic_affinity(1.5).try_build().is_err());
         assert!(SyntheticConfig::builder().interactions_per_user(1).try_build().is_err());
         assert!(SyntheticConfig::builder().ipu_jitter(1.0).try_build().is_err());

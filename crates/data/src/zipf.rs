@@ -139,11 +139,7 @@ mod tests {
         }
         for (k, &count) in counts.iter().enumerate() {
             let emp = count as f64 / n as f64;
-            assert!(
-                (emp - z.pmf(k)).abs() < 0.01,
-                "rank {k}: empirical {emp} vs pmf {}",
-                z.pmf(k)
-            );
+            assert!((emp - z.pmf(k)).abs() < 0.01, "rank {k}: empirical {emp} vs pmf {}", z.pmf(k));
         }
     }
 

@@ -40,10 +40,7 @@ impl RdpAccountant {
     pub fn new(noise_multiplier: f64, rounds: u64, sampling_rate: f64) -> Self {
         assert!(noise_multiplier > 0.0, "noise multiplier must be positive");
         assert!(rounds > 0, "must account at least one round");
-        assert!(
-            sampling_rate > 0.0 && sampling_rate <= 1.0,
-            "sampling rate must be in (0, 1]"
-        );
+        assert!(sampling_rate > 0.0 && sampling_rate <= 1.0, "sampling rate must be in (0, 1]");
         RdpAccountant { noise_multiplier, rounds, sampling_rate }
     }
 
@@ -128,13 +125,10 @@ mod tests {
         // For q = 1: ε* = T/(2ι²) + sqrt(2 T ln(1/δ))/ι at the optimal α.
         let (sigma, rounds, delta) = (2.0f64, 50u64, 1e-6f64);
         let acc = RdpAccountant::new(sigma, rounds, 1.0);
-        let closed =
-            rounds as f64 / (2.0 * sigma * sigma) + (2.0 * rounds as f64 * (1.0 / delta).ln()).sqrt() / sigma;
+        let closed = rounds as f64 / (2.0 * sigma * sigma)
+            + (2.0 * rounds as f64 * (1.0 / delta).ln()).sqrt() / sigma;
         let got = acc.epsilon(delta);
-        assert!(
-            (got - closed).abs() / closed < 0.02,
-            "grid {got} vs closed-form {closed}"
-        );
+        assert!((got - closed).abs() / closed < 0.02, "grid {got} vs closed-form {closed}");
     }
 
     #[test]

@@ -87,10 +87,8 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
     let frac_of = |u: UserId| categories.fraction_in(data.user(u).items(), HEALTH_CATEGORY);
     let community_frac: f64 =
         predicted.iter().map(|&u| frac_of(u)).sum::<f64>() / predicted.len().max(1) as f64;
-    let overall_frac: f64 = (0..users as u32)
-        .map(|u| frac_of(UserId::new(u)))
-        .sum::<f64>()
-        / users as f64;
+    let overall_frac: f64 =
+        (0..users as u32).map(|u| frac_of(UserId::new(u))).sum::<f64>() / users as f64;
 
     let mut t = Table::new(
         format!("Figure 1 — CIA targeting health-vulnerable users ({scale} scale)"),

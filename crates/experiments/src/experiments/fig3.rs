@@ -16,14 +16,7 @@ pub fn tradeoff(
 ) -> Table {
     let mut t = Table::new(
         title,
-        &[
-            "Dataset",
-            "Protocol",
-            "Policy",
-            "Max AAC %",
-            "Random bound %",
-            "Utility",
-        ],
+        &["Dataset", "Protocol", "Policy", "Max AAC %", "Random bound %", "Utility"],
     );
     for &preset in presets {
         for protocol in [ProtocolKind::Fl, ProtocolKind::RandGossip, ProtocolKind::PersGossip] {

@@ -13,9 +13,7 @@ pub const EPSILONS: [Option<f64>; 5] = [None, Some(1000.0), Some(100.0), Some(10
 pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
     let params = ScaleParams::of(scale);
     let mut t = Table::new(
-        format!(
-            "Figure 5 — DP-SGD trade-off on MovieLens+GMF (delta=1e-6, clip=2, {scale} scale)"
-        ),
+        format!("Figure 5 — DP-SGD trade-off on MovieLens+GMF (delta=1e-6, clip=2, {scale} scale)"),
         &["Protocol", "epsilon", "noise multiplier", "Max AAC %", "Random bound %", "HR@20"],
     );
     for protocol in [ProtocolKind::Fl, ProtocolKind::RandGossip] {

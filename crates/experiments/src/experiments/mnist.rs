@@ -146,10 +146,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
     t.row(vec!["Communities (classes)".into(), NUM_CLASSES.to_string()]);
     t.row(vec!["Global model accuracy %".into(), pct(accuracy)]);
     t.row(vec!["CIA Max AAC %".into(), pct(out.max_aac)]);
-    t.row(vec![
-        "Random bound %".into(),
-        pct(clients_per_class as f64 / num_clients as f64),
-    ]);
+    t.row(vec!["Random bound %".into(), pct(clients_per_class as f64 / num_clients as f64)]);
     vec![t]
 }
 
@@ -163,9 +160,6 @@ mod tests {
         let rows = &tables[0].rows;
         let acc: f64 = rows[3][1].parse().unwrap();
         let random: f64 = rows[4][1].parse().unwrap();
-        assert!(
-            acc >= 5.0 * random,
-            "MNIST CIA should be far above random: {acc} vs {random}"
-        );
+        assert!(acc >= 5.0 * random, "MNIST CIA should be far above random: {acc} vs {random}");
     }
 }

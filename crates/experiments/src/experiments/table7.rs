@@ -25,14 +25,12 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
         format!("Table VII — Max AAC across community sizes (FL, GMF, MovieLens, {scale} scale)"),
         &headers_ref,
     );
-    for (label, defense) in [
-        ("Full models", DefenseKind::None),
-        ("Share less", DefenseKind::ShareLess { tau: 0.3 }),
-    ] {
+    for (label, defense) in
+        [("Full models", DefenseKind::None), ("Share less", DefenseKind::ShareLess { tau: 0.3 })]
+    {
         let mut cells = vec![label.to_string()];
         for &k in &ks {
-            let mut spec =
-                RunSpec::new(Preset::MovieLens, ModelKind::Gmf, ProtocolKind::Fl, scale);
+            let mut spec = RunSpec::new(Preset::MovieLens, ModelKind::Gmf, ProtocolKind::Fl, scale);
             spec.seed = seed;
             spec.defense = defense;
             spec.k_override = Some(k);

@@ -17,10 +17,16 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
     let setup = build_setup(Preset::MovieLens, scale, None, seed);
     let params = ScaleParams::of(scale);
     let users = setup.data.num_users();
-    let spec = GmfSpec::new(setup.data.num_items(), params.dim, GmfHyper { lr: 0.1, ..GmfHyper::default() });
+    let spec = GmfSpec::new(
+        setup.data.num_items(),
+        params.dim,
+        GmfHyper { lr: 0.1, ..GmfHyper::default() },
+    );
 
     let mut t = Table::new(
-        format!("Table VIII — MIA as a community-inference proxy (FL, GMF, MovieLens, {scale} scale)"),
+        format!(
+            "Table VIII — MIA as a community-inference proxy (FL, GMF, MovieLens, {scale} scale)"
+        ),
         &["Attack", "rho", "MIA precision %", "Max AAC %"],
     );
 
@@ -41,12 +47,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
             .collect();
         let mut attack = MiaCommunityAttack::new(
             MiaConfig {
-                cia: CiaConfig {
-                    k: setup.k,
-                    beta: 0.99,
-                    eval_every: params.fl_eval_every,
-                    seed,
-                },
+                cia: CiaConfig { k: setup.k, beta: 0.99, eval_every: params.fl_eval_every, seed },
                 rho,
             },
             spec.clone(),

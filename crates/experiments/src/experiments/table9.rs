@@ -50,8 +50,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
     }
     let i_classifier = start.elapsed().as_secs_f64() / iters as f64;
 
-    let d_max =
-        setup.split.train_sets().iter().map(Vec::len).max().unwrap_or(0) as f64;
+    let d_max = setup.split.train_sets().iter().map(Vec::len).max().unwrap_or(0) as f64;
     let model = CostModel {
         t_model,
         i_model,
@@ -103,8 +102,7 @@ mod tests {
     fn smoke_complexity_is_measured_and_ordered() {
         let tables = run(Scale::Smoke, 3);
         assert_eq!(tables.len(), 2);
-        let secs: Vec<f64> =
-            tables[1].rows.iter().map(|r| r[2].parse::<f64>().unwrap()).collect();
+        let secs: Vec<f64> = tables[1].rows.iter().map(|r| r[2].parse::<f64>().unwrap()).collect();
         // CIA <= MIA always (|V_target| <= D_max by construction).
         assert!(secs[0] <= secs[1] + 1e-9, "cia {} > mia {}", secs[0], secs[1]);
         assert!(secs.iter().all(|s| *s >= 0.0));

@@ -70,12 +70,8 @@ mod tests {
 
     #[test]
     fn smoke_coalition_run() {
-        let mut spec = RunSpec::new(
-            Preset::MovieLens,
-            ModelKind::Gmf,
-            ProtocolKind::RandGossip,
-            Scale::Smoke,
-        );
+        let mut spec =
+            RunSpec::new(Preset::MovieLens, ModelKind::Gmf, ProtocolKind::RandGossip, Scale::Smoke);
         spec.colluders = 4;
         let r = run_recsys(&spec);
         assert!((0.0..=1.0).contains(&r.attack.max_aac));

@@ -263,10 +263,8 @@ impl<P: Participant> FedAvg<P> {
             loss: f32,
             sampled: bool,
         }
-        let mut slots: Vec<Slot> = sampled
-            .iter()
-            .map(|&s| Slot { snapshot: None, loss: 0.0, sampled: s })
-            .collect();
+        let mut slots: Vec<Slot> =
+            sampled.iter().map(|&s| Slot { snapshot: None, loss: 0.0, sampled: s }).collect();
         let global = &self.global_agg;
         let cfg = self.cfg;
         let transform = self.transform.as_deref();
@@ -388,7 +386,9 @@ mod tests {
             .train_sets()
             .iter()
             .enumerate()
-            .map(|(u, items)| spec.build_client(UserId::new(u as u32), items.clone(), policy, u as u64))
+            .map(|(u, items)| {
+                spec.build_client(UserId::new(u as u32), items.clone(), policy, u as u64)
+            })
             .collect();
         FedAvg::new(clients, FedAvgConfig { rounds, seed: 9, ..Default::default() })
     }
@@ -422,12 +422,8 @@ mod tests {
         assert!(rec.models.iter().all(|&(_, _, has_emb)| has_emb));
         // User-id order within each round.
         for r in 0..3 {
-            let round_models: Vec<u32> = rec
-                .models
-                .iter()
-                .filter(|&&(t, _, _)| t == r)
-                .map(|&(_, u, _)| u)
-                .collect();
+            let round_models: Vec<u32> =
+                rec.models.iter().filter(|&&(t, _, _)| t == r).map(|&(_, u, _)| u).collect();
             assert_eq!(round_models, (0..10).collect::<Vec<u32>>());
         }
         assert_eq!(sim.round(), 3);
@@ -468,7 +464,12 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(u, items)| {
-                spec.build_client(UserId::new(u as u32), items.clone(), SharingPolicy::Full, u as u64)
+                spec.build_client(
+                    UserId::new(u as u32),
+                    items.clone(),
+                    SharingPolicy::Full,
+                    u as u64,
+                )
             })
             .collect();
         let mut sim = FedAvg::new(

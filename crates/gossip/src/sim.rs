@@ -1,10 +1,10 @@
 //! The round-synchronous gossip learning engine.
 
 use crate::graph::{sample_exp_interval, ViewTable};
+use cia_data::UserId;
 use cia_models::parallel::par_zip_mut;
 use cia_models::params::weighted_mean;
 use cia_models::{Participant, SharedModel, UpdateTransform};
-use cia_data::UserId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -258,12 +258,8 @@ impl<P: Participant> GossipSim<P> {
         self.views.restore_views(state.views);
         self.round = state.round;
         self.refresh_at = state.refresh_at;
-        for (((c, inbox), heard), prev) in self
-            .ctl
-            .iter_mut()
-            .zip(state.inboxes)
-            .zip(state.heard)
-            .zip(state.prev_sent)
+        for (((c, inbox), heard), prev) in
+            self.ctl.iter_mut().zip(state.inboxes).zip(state.heard).zip(state.prev_sent)
         {
             c.inbox = inbox;
             c.heard = heard;
@@ -315,9 +311,8 @@ impl<P: Participant> GossipSim<P> {
         let cfg = self.cfg;
         let transform = self.transform.as_deref();
         let awake: Vec<bool> = self.ctl.iter().map(|c| c.awake).collect();
-        let destinations: Vec<u32> = (0..n)
-            .map(|u| self.views.random_neighbor(u as u32, &mut rng))
-            .collect();
+        let destinations: Vec<u32> =
+            (0..n).map(|u| self.views.random_neighbor(u as u32, &mut rng)).collect();
         let mut outgoing: Vec<Option<SharedModel>> = {
             let nodes = &self.nodes;
             let ctl = &mut self.ctl;
@@ -384,8 +379,7 @@ impl<P: Participant> GossipSim<P> {
         });
 
         let awake_count = awake.iter().filter(|&&a| a).count();
-        let loss_sum: f32 =
-            self.ctl.iter().filter(|c| c.awake).map(|c| c.loss).sum();
+        let loss_sum: f32 = self.ctl.iter().filter(|c| c.awake).map(|c| c.loss).sum();
         let stats = GossipRoundStats {
             round: t,
             awake: awake_count,
@@ -422,8 +416,7 @@ fn apply_gossip_transform(
     current[emb_len..].copy_from_slice(&snap.agg);
 
     let reference = prev_sent.get_or_insert_with(|| current.clone());
-    let mut update: Vec<f32> =
-        current.iter().zip(reference.iter()).map(|(c, r)| c - r).collect();
+    let mut update: Vec<f32> = current.iter().zip(reference.iter()).map(|(c, r)| c - r).collect();
     transform.transform(&mut update, rng);
 
     if let Some(emb) = &mut snap.owner_emb {
@@ -481,23 +474,13 @@ mod tests {
             dist
         }
         fn snapshot(&self, round: u64) -> SharedModel {
-            SharedModel {
-                owner: self.user,
-                round,
-                owner_emb: None,
-                agg: self.params.clone(),
-            }
+            SharedModel { owner: self.user, round, owner_emb: None, agg: self.params.clone() }
         }
         fn num_examples(&self) -> usize {
             1
         }
         fn evaluate_model(&self, model: &SharedModel) -> f32 {
-            -model
-                .agg
-                .iter()
-                .zip(&self.target)
-                .map(|(a, t)| (a - t) * (a - t))
-                .sum::<f32>()
+            -model.agg.iter().zip(&self.target).map(|(a, t)| (a - t) * (a - t)).sum::<f32>()
         }
     }
 
@@ -553,10 +536,8 @@ mod tests {
 
     #[test]
     fn partial_wake_fraction_accumulates_inboxes() {
-        let mut s = sim(
-            30,
-            GossipConfig { rounds: 10, wake_fraction: 0.5, seed: 1, ..Default::default() },
-        );
+        let mut s =
+            sim(30, GossipConfig { rounds: 10, wake_fraction: 0.5, seed: 1, ..Default::default() });
         let mut rec = Recorder::default();
         s.run(&mut rec);
         for st in &rec.stats {
@@ -709,7 +690,8 @@ mod tests {
         // over 12 rounds every available node re-samples its view at least
         // once with overwhelming probability — while node 5's view must
         // stay exactly its initial one.
-        let cfg = GossipConfig { rounds: 12, view_refresh_rate: 1.0, seed: 9, ..Default::default() };
+        let cfg =
+            GossipConfig { rounds: 12, view_refresh_rate: 1.0, seed: 9, ..Default::default() };
         let mut s = sim(16, cfg);
         let initial: Vec<Vec<u32>> = (0..16).map(|u| s.view_of(u).to_vec()).collect();
         s.run(&mut FiveOffline);

@@ -137,15 +137,7 @@ impl GmfSpec {
         let mut user_emb = vec![0.0f32; self.dim];
         init_uniform(&mut user_emb, self.hyper.init_scale, &mut rng);
         let agg = self.init_agg(&mut rng);
-        GmfClient {
-            spec: self.clone(),
-            user,
-            user_emb,
-            agg,
-            train_items,
-            policy,
-            ref_items: None,
-        }
+        GmfClient { spec: self.clone(), user, user_emb, agg, train_items, policy, ref_items: None }
     }
 
     #[inline]
@@ -305,10 +297,7 @@ impl GmfClient {
     pub fn score_candidates(&self, items: &[u32]) -> Vec<f32> {
         let h = self.spec.h_slice(&self.agg);
         with_user_h(&self.user_emb, h, |w| {
-            items
-                .iter()
-                .map(|&j| dot(w, self.spec.item_slice(&self.agg, j)))
-                .collect()
+            items.iter().map(|&j| dot(w, self.spec.item_slice(&self.agg, j))).collect()
         })
     }
 
@@ -429,8 +418,7 @@ impl Participant for GmfClient {
         );
         let stride = (spec.num_items() / 64).max(1);
         let probe: Vec<u32> = (0..spec.num_items()).step_by(stride as usize).collect();
-        let off =
-            RelevanceScorer::mean_relevance(spec, Some(&self.user_emb), &model.agg, &probe);
+        let off = RelevanceScorer::mean_relevance(spec, Some(&self.user_emb), &model.agg, &probe);
         on - off
     }
 
@@ -579,12 +567,8 @@ mod tests {
     #[test]
     fn share_less_snapshot_hides_user_embedding() {
         let s = spec();
-        let c = s.build_client(
-            UserId::new(2),
-            vec![0, 1],
-            SharingPolicy::ShareLess { tau: 0.5 },
-            11,
-        );
+        let c =
+            s.build_client(UserId::new(2), vec![0, 1], SharingPolicy::ShareLess { tau: 0.5 }, 11);
         let snap = c.snapshot(3);
         assert!(snap.owner_emb.is_none());
         assert_eq!(snap.round, 3);
@@ -596,7 +580,8 @@ mod tests {
     fn share_less_regularizer_pulls_items_towards_reference() {
         let s = GmfSpec::new(10, 4, GmfHyper { lr: 0.05, ..GmfHyper::default() });
         let mk = |tau: f32, seed: u64| {
-            let policy = if tau > 0.0 { SharingPolicy::ShareLess { tau } } else { SharingPolicy::Full };
+            let policy =
+                if tau > 0.0 { SharingPolicy::ShareLess { tau } } else { SharingPolicy::Full };
             let mut c = s.build_client(UserId::new(0), vec![0, 1, 2], policy, seed);
             let reference = c.agg.clone();
             c.absorb_agg(&reference);

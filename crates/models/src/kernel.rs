@@ -241,8 +241,7 @@ mod tests {
         for n in [0, 1, 7, 8, 9, 16, 31, 100] {
             let a = seq(n, 0.1);
             let b = seq(n, 1.7);
-            let reference: f64 =
-                a.iter().zip(&b).map(|(x, y)| *x as f64 * *y as f64).sum();
+            let reference: f64 = a.iter().zip(&b).map(|(x, y)| *x as f64 * *y as f64).sum();
             assert!(
                 (dot(&a, &b) as f64 - reference).abs() < 1e-4,
                 "len {n}: {} vs {reference}",
@@ -257,12 +256,8 @@ mod tests {
             let a = seq(n, 0.3);
             let b = seq(n, 2.1);
             let c = seq(n, 4.4);
-            let reference: f64 = a
-                .iter()
-                .zip(&b)
-                .zip(&c)
-                .map(|((x, y), z)| *x as f64 * *y as f64 * *z as f64)
-                .sum();
+            let reference: f64 =
+                a.iter().zip(&b).zip(&c).map(|((x, y), z)| *x as f64 * *y as f64 * *z as f64).sum();
             assert!((dot3(&a, &b, &c) as f64 - reference).abs() < 1e-4, "len {n}");
         }
     }
@@ -289,8 +284,7 @@ mod tests {
         let mut v = seq(21, 0.5);
         // Same `1 - β` rounding as the kernel, so equality is exact.
         let omb = 1.0f32 - 0.9;
-        let expected: Vec<f32> =
-            v.iter().zip(&x).map(|(a, b)| 0.9 * a + omb * b).collect();
+        let expected: Vec<f32> = v.iter().zip(&x).map(|(a, b)| 0.9 * a + omb * b).collect();
         ema(&mut v, 0.9, &x);
         assert_eq!(v, expected);
     }

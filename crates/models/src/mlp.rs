@@ -322,7 +322,11 @@ impl Mlp {
     /// writes dL/dlogits into the provided buffer and returns the loss.
     /// Every layer runs through the [`kernel`] gemv/ger primitives and no
     /// buffer is allocated inside the sample loop.
-    fn train_batch(&mut self, xs: &[&[f32]], head: impl Fn(&[f32], usize, &mut [f32]) -> f32) -> f32 {
+    fn train_batch(
+        &mut self,
+        xs: &[&[f32]],
+        head: impl Fn(&[f32], usize, &mut [f32]) -> f32,
+    ) -> f32 {
         let spec = &self.spec;
         let n_layers = spec.layers.len() - 1;
         // The scratch moves out so `self.params` stays borrowable.
@@ -342,7 +346,13 @@ impl Mlp {
                 let biases = &self.params[off + n_in * n_out..off + n_in * n_out + n_out];
                 let (prev_part, next_part) = scratch.acts.split_at_mut(scratch.act_off[li + 1]);
                 let prev = &prev_part[scratch.act_off[li]..];
-                kernel::gemv(&mut next_part[..n_out], weights, prev, Some(biases), li + 1 < n_layers);
+                kernel::gemv(
+                    &mut next_part[..n_out],
+                    weights,
+                    prev,
+                    Some(biases),
+                    li + 1 < n_layers,
+                );
             }
 
             let out_off = scratch.act_off[n_layers];
@@ -424,7 +434,9 @@ impl MlpClient {
         }
         let hits = samples
             .iter()
-            .filter(|&&s| self.model.predict_class(self.data.image(s)) == self.data.label(s) as usize)
+            .filter(|&&s| {
+                self.model.predict_class(self.data.image(s)) == self.data.label(s) as usize
+            })
             .count();
         hits as f64 / samples.len() as f64
     }
@@ -471,12 +483,7 @@ impl Participant for MlpClient {
     }
 
     fn snapshot(&self, round: u64) -> SharedModel {
-        SharedModel {
-            owner: self.user,
-            round,
-            owner_emb: None,
-            agg: self.model.params.clone(),
-        }
+        SharedModel { owner: self.user, round, owner_emb: None, agg: self.model.params.clone() }
     }
 
     fn num_examples(&self) -> usize {
@@ -508,12 +515,8 @@ mod tests {
         // XOR requires the hidden layer — a solid end-to-end backprop check.
         let spec = MlpSpec::new(vec![2, 8, 1]);
         let mut mlp = Mlp::new(spec, MlpHyper { lr: 0.5, weight_decay: 0.0, batch_size: 4 }, 3);
-        let xs: Vec<Vec<f32>> = vec![
-            vec![0.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-        ];
+        let xs: Vec<Vec<f32>> =
+            vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
         let ys = [0.0f32, 1.0, 1.0, 0.0];
         let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
         let mut last = f32::MAX;
@@ -530,7 +533,8 @@ mod tests {
     #[test]
     fn classification_gradient_check() {
         let spec = MlpSpec::new(vec![3, 4, 2]);
-        let mut mlp = Mlp::new(spec.clone(), MlpHyper { lr: 0.0, weight_decay: 0.0, batch_size: 1 }, 5);
+        let mut mlp =
+            Mlp::new(spec.clone(), MlpHyper { lr: 0.0, weight_decay: 0.0, batch_size: 1 }, 5);
         let x = [0.3f32, -0.2, 0.9];
         let label = 1usize;
 
@@ -555,10 +559,7 @@ mod tests {
             let mut pm = before.clone();
             pm[pi] -= eps;
             let num = (loss_of(&pp) - loss_of(&pm)) / (2.0 * eps as f64);
-            assert!(
-                (num - ana).abs() < 2e-2,
-                "param {pi}: numeric {num} vs analytic {ana}"
-            );
+            assert!((num - ana).abs() < 2e-2, "param {pi}: numeric {num} vs analytic {ana}");
         }
     }
 

@@ -423,8 +423,7 @@ impl Participant for PrmeClient {
         );
         let stride = (spec.num_items() / 64).max(1);
         let probe: Vec<u32> = (0..spec.num_items()).step_by(stride as usize).collect();
-        let off =
-            RelevanceScorer::mean_relevance(spec, Some(&self.user_emb), &model.agg, &probe);
+        let off = RelevanceScorer::mean_relevance(spec, Some(&self.user_emb), &model.agg, &probe);
         on - off
     }
 
@@ -517,8 +516,8 @@ mod tests {
             let dp_neg = PrmeSpec::sq_dist(user, s.pref(&c.agg, neg));
             let ds_pos = PrmeSpec::sq_dist(s.seq(&c.agg, l), s.seq(&c.agg, pos));
             let ds_neg = PrmeSpec::sq_dist(s.seq(&c.agg, l), s.seq(&c.agg, neg));
-            let z = alpha * dp_neg + (1.0 - alpha) * ds_neg
-                - (alpha * dp_pos + (1.0 - alpha) * ds_pos);
+            let z =
+                alpha * dp_neg + (1.0 - alpha) * ds_neg - (alpha * dp_pos + (1.0 - alpha) * ds_pos);
             -(crate::params::sigmoid(z) as f64).ln()
         };
 

@@ -86,7 +86,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 i += 2;
             }
             "--checkpoint-dir" => {
-                parsed.opts.checkpoint_dir = Some(PathBuf::from(value(args, i, "--checkpoint-dir")?));
+                parsed.opts.checkpoint_dir =
+                    Some(PathBuf::from(value(args, i, "--checkpoint-dir")?));
                 i += 2;
             }
             "--checkpoint-every" => {
@@ -194,7 +195,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 fn cmd_list(args: &Args) -> Result<(), String> {
     let suite = load_suite(args)?;
     let scenarios = suite.expanded()?;
-    println!("suite: {} ({} scenarios from {} entries)", suite.name, scenarios.len(), suite.entries.len());
+    println!(
+        "suite: {} ({} scenarios from {} entries)",
+        suite.name,
+        scenarios.len(),
+        suite.entries.len()
+    );
     for s in &scenarios {
         let dynamics = if s.dynamics.is_static() {
             "static".to_string()
@@ -203,8 +209,7 @@ fn cmd_list(args: &Args) -> Result<(), String> {
             if s.dynamics.leave_prob > 0.0 {
                 parts.push(format!(
                     "churn {:.0}%",
-                    100.0 * s.dynamics.leave_prob
-                        / (s.dynamics.leave_prob + s.dynamics.join_prob)
+                    100.0 * s.dynamics.leave_prob / (s.dynamics.leave_prob + s.dynamics.join_prob)
                 ));
             }
             if s.dynamics.straggler_fraction > 0.0 {
@@ -234,8 +239,7 @@ fn cmd_list(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_validate(path: &str) -> Result<(), String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let (evals, summaries) = validate_jsonl(&text)?;
     println!("{path}: OK ({evals} round_eval, {summaries} scenario_summary records)");
     Ok(())

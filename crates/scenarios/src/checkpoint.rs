@@ -20,8 +20,8 @@ use cia_models::SharedModel;
 use std::path::{Path, PathBuf};
 
 const MAGIC: u32 = 0x4349_4153; // "CIAS"
-// v2: `RoundPoint` gained `upper_bound_online`. Older checkpoints are
-// refused with a version error rather than silently misread.
+                                // v2: `RoundPoint` gained `upper_bound_online`. Older checkpoints are
+                                // refused with a version error rather than silently misread.
 const VERSION: u32 = 2;
 
 /// Protocol-side state, by protocol family.
@@ -189,10 +189,8 @@ impl Checkpoint {
         }
         let fingerprint = r.u64()?;
         if fingerprint != expect_fingerprint {
-            return Err(
-                "checkpoint belongs to a different scenario spec (fingerprint mismatch)"
-                    .to_string(),
-            );
+            return Err("checkpoint belongs to a different scenario spec (fingerprint mismatch)"
+                .to_string());
         }
         let round = r.u64()?;
         let emitted = r.u64()?;

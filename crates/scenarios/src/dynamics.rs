@@ -89,11 +89,7 @@ impl ParticipantDynamics {
 
     /// The sybil coalition's node ids (attack construction).
     pub fn sybil_members(&self) -> Vec<u32> {
-        self.sybil
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &s)| s.then_some(i as u32))
-            .collect()
+        self.sybil.iter().enumerate().filter_map(|(i, &s)| s.then_some(i as u32)).collect()
     }
 
     /// Participants currently online (reported in JSONL records).
@@ -116,8 +112,7 @@ impl ParticipantDynamics {
     pub fn apply(&mut self, round: u64, mask: &mut [bool]) {
         assert_eq!(mask.len(), self.online.len(), "one mask entry per participant");
         let spec = self.spec;
-        let mut rng =
-            StdRng::seed_from_u64(self.seed ^ round.wrapping_mul(0x9E6D_52A3_B1C4_85F7));
+        let mut rng = StdRng::seed_from_u64(self.seed ^ round.wrapping_mul(0x9E6D_52A3_B1C4_85F7));
         for (i, slot) in mask.iter_mut().enumerate() {
             if self.sybil[i] {
                 // Sybils are adversary-operated: always online, never

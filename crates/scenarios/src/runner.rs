@@ -182,10 +182,7 @@ struct Ctx<'a> {
 
 impl Ctx<'_> {
     fn checkpoint_path(&self) -> Option<PathBuf> {
-        self.opts
-            .checkpoint_dir
-            .as_ref()
-            .map(|dir| Checkpoint::path_for(dir, &self.spec.name))
+        self.opts.checkpoint_dir.as_ref().map(|dir| Checkpoint::path_for(dir, &self.spec.name))
     }
 
     fn completion_marker_path(&self) -> Option<PathBuf> {
@@ -218,7 +215,11 @@ impl Ctx<'_> {
 }
 
 fn gmf_spec(setup: &RecsysSetup) -> GmfSpec {
-    GmfSpec::new(setup.data.num_items(), setup.params.dim, GmfHyper { lr: 0.1, ..GmfHyper::default() })
+    GmfSpec::new(
+        setup.data.num_items(),
+        setup.params.dim,
+        GmfHyper { lr: 0.1, ..GmfHyper::default() },
+    )
 }
 
 fn prme_spec(setup: &RecsysSetup) -> PrmeSpec {
@@ -229,7 +230,11 @@ fn prme_spec(setup: &RecsysSetup) -> PrmeSpec {
     )
 }
 
-fn run_gmf(ctx: &Ctx, setup: &RecsysSetup, sink: &mut dyn Write) -> Result<ScenarioOutcome, String> {
+fn run_gmf(
+    ctx: &Ctx,
+    setup: &RecsysSetup,
+    sink: &mut dyn Write,
+) -> Result<ScenarioOutcome, String> {
     let model_spec = gmf_spec(setup);
     let policy = ctx.spec.defense.policy();
     let clients: Vec<GmfClient> = setup
@@ -259,7 +264,11 @@ fn run_gmf(ctx: &Ctx, setup: &RecsysSetup, sink: &mut dyn Write) -> Result<Scena
     run_protocol(ctx, setup, model_spec, clients, utility, "HR@20", sink)
 }
 
-fn run_prme(ctx: &Ctx, setup: &RecsysSetup, sink: &mut dyn Write) -> Result<ScenarioOutcome, String> {
+fn run_prme(
+    ctx: &Ctx,
+    setup: &RecsysSetup,
+    sink: &mut dyn Write,
+) -> Result<ScenarioOutcome, String> {
     let model_spec = prme_spec(setup);
     let policy = ctx.spec.defense.policy();
     let clients: Vec<PrmeClient> = setup
@@ -840,16 +849,13 @@ pub fn validate_jsonl(input: &str) -> Result<(usize, usize), String> {
                 v.get("round")
                     .and_then(Json::as_u64)
                     .ok_or_else(|| fail("missing integral `round`".to_string()))?;
-                for key in
-                    ["aac", "best10", "upper_bound", "upper_bound_online", "random_bound"]
-                {
+                for key in ["aac", "best10", "upper_bound", "upper_bound_online", "random_bound"] {
                     unit(key)?;
                 }
                 // The online bound counts a subset of the members the static
                 // bound counts; a violation means a producer bug.
                 let upper = v.get("upper_bound").and_then(Json::as_f64).expect("checked");
-                let online =
-                    v.get("upper_bound_online").and_then(Json::as_f64).expect("checked");
+                let online = v.get("upper_bound_online").and_then(Json::as_f64).expect("checked");
                 if online > upper + 1e-9 {
                     return Err(fail(format!(
                         "`upper_bound_online` {online} exceeds `upper_bound` {upper}"
@@ -872,8 +878,7 @@ pub fn validate_jsonl(input: &str) -> Result<(usize, usize), String> {
                     unit(key)?;
                 }
                 let upper = v.get("upper_bound").and_then(Json::as_f64).expect("checked");
-                let online =
-                    v.get("upper_bound_online").and_then(Json::as_f64).expect("checked");
+                let online = v.get("upper_bound_online").and_then(Json::as_f64).expect("checked");
                 if online > upper + 1e-9 {
                     return Err(fail(format!(
                         "`upper_bound_online` {online} exceeds `upper_bound` {upper}"

@@ -429,8 +429,17 @@ impl ScenarioSpec {
         check_keys(
             v,
             &[
-                "name", "preset", "model", "protocol", "defense", "colluders", "beta", "k",
-                "scale", "seed", "dynamics",
+                "name",
+                "preset",
+                "model",
+                "protocol",
+                "defense",
+                "colluders",
+                "beta",
+                "k",
+                "scale",
+                "seed",
+                "dynamics",
             ],
             &format!("scenario `{name}`"),
         )?;
@@ -467,9 +476,10 @@ impl ScenarioSpec {
         let int_field = |obj: &Json, key: &str, label: &str| -> Result<Option<u64>, String> {
             match obj.get(key) {
                 None => Ok(None),
-                Some(x) => x.as_u64().map(Some).ok_or_else(|| {
-                    fail(&format!("{label}`{key}` must be an integer below 2^53"))
-                }),
+                Some(x) => x
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| fail(&format!("{label}`{key}` must be an integer below 2^53"))),
             }
         };
         let num_field = |obj: &Json, key: &str, label: &str| -> Result<Option<f64>, String> {
@@ -498,9 +508,7 @@ impl ScenarioSpec {
             Some(d) => {
                 let kind = match d.get("kind") {
                     None => "none",
-                    Some(x) => {
-                        x.as_str().ok_or_else(|| fail("defense `kind` must be a string"))?
-                    }
+                    Some(x) => x.as_str().ok_or_else(|| fail("defense `kind` must be a string"))?,
                 };
                 match kind {
                     "none" => DefenseKind::None,
@@ -587,10 +595,7 @@ fn check_keys(v: &Json, allowed: &[&str], ctx: &str) -> Result<(), String> {
     if let Json::Obj(pairs) = v {
         for (k, _) in pairs {
             if !allowed.contains(&k.as_str()) {
-                return Err(format!(
-                    "{ctx}: unknown key `{k}` (allowed: {})",
-                    allowed.join(", ")
-                ));
+                return Err(format!("{ctx}: unknown key `{k}` (allowed: {})", allowed.join(", ")));
             }
         }
     }
@@ -727,7 +732,9 @@ impl SweepField {
             SweepField::DefenseEpsilon => match &mut spec.defense {
                 DefenseKind::Dp { epsilon } => *epsilon = Some(value),
                 _ => {
-                    return Err("sweeping defense.epsilon needs a DP defense on the base".to_string())
+                    return Err(
+                        "sweeping defense.epsilon needs a DP defense on the base".to_string()
+                    )
                 }
             },
         }
@@ -782,9 +789,7 @@ impl SuiteEntry {
                 }
                 for &v in values {
                     let mut spec = base.clone();
-                    field
-                        .apply(&mut spec, v)
-                        .map_err(|e| format!("sweep `{}`: {e}", base.name))?;
+                    field.apply(&mut spec, v).map_err(|e| format!("sweep `{}`: {e}", base.name))?;
                     spec.name = sweep_name(&base.name, v);
                     spec.validate()?;
                     out.push(spec);
@@ -870,9 +875,7 @@ impl SuiteSpec {
         check_keys(&v, &["suite", "scale", "seed", "scenarios"], "suite")?;
         let name = match v.get("suite") {
             None => "unnamed".to_string(),
-            Some(x) => {
-                x.as_str().ok_or("suite: `suite` must be a string")?.to_string()
-            }
+            Some(x) => x.as_str().ok_or("suite: `suite` must be a string")?.to_string(),
         };
         let default_scale = match v.get("scale") {
             None => Scale::Smoke,
@@ -885,10 +888,8 @@ impl SuiteSpec {
             None => 42,
             Some(x) => x.as_u64().ok_or("suite: `seed` must be an integer below 2^53")?,
         };
-        let raw = v
-            .get("scenarios")
-            .and_then(Json::as_arr)
-            .ok_or("suite needs a `scenarios` array")?;
+        let raw =
+            v.get("scenarios").and_then(Json::as_arr).ok_or("suite needs a `scenarios` array")?;
         if raw.is_empty() {
             return Err("suite has no scenarios".to_string());
         }
@@ -919,17 +920,14 @@ fn parse_entry(v: &Json, default_scale: Scale, default_seed: u64) -> Result<Suit
     let Some(sweep) = v.get("sweep") else {
         return Ok(SuiteEntry::One(ScenarioSpec::from_json(v, default_scale, default_seed)?));
     };
-    let ctx = format!(
-        "scenario `{}` sweep",
-        v.get("name").and_then(Json::as_str).unwrap_or("?")
-    );
+    let ctx = format!("scenario `{}` sweep", v.get("name").and_then(Json::as_str).unwrap_or("?"));
     check_keys(sweep, &["field", "values"], &ctx)?;
     let field = sweep
         .get("field")
         .and_then(Json::as_str)
         .ok_or_else(|| format!("{ctx}: needs a string `field`"))?;
-    let field = SweepField::parse(field)
-        .ok_or_else(|| format!("{ctx}: unknown field `{field}`"))?;
+    let field =
+        SweepField::parse(field).ok_or_else(|| format!("{ctx}: unknown field `{field}`"))?;
     let raw_values = sweep
         .get("values")
         .and_then(Json::as_arr)
@@ -1075,10 +1073,7 @@ pub fn pers_gossip_churn_suite(scale: Scale, seed: u64) -> SuiteSpec {
     rand_churn.seed = seed;
     rand_churn.dynamics = churn_dynamics();
 
-    SuiteSpec::flat(
-        format!("pers-gossip-churn-{scale}"),
-        vec![pers_static, pers_churn, rand_churn],
-    )
+    SuiteSpec::flat(format!("pers-gossip-churn-{scale}"), vec![pers_static, pers_churn, rand_churn])
 }
 
 /// Every built-in suite name accepted by [`named_suite`] (and the CLI's
@@ -1244,7 +1239,8 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_specs() {
-        let mut s = ScenarioSpec::new(Preset::MovieLens, ModelKind::Prme, ProtocolKind::Fl, Scale::Smoke);
+        let mut s =
+            ScenarioSpec::new(Preset::MovieLens, ModelKind::Prme, ProtocolKind::Fl, Scale::Smoke);
         assert!(s.validate().unwrap_err().contains("PRME"));
         s.model = ModelKind::Gmf;
         s.dynamics.sybils = 3;
@@ -1261,7 +1257,8 @@ mod tests {
 
     #[test]
     fn fingerprint_tracks_spec_changes() {
-        let a = ScenarioSpec::new(Preset::MovieLens, ModelKind::Gmf, ProtocolKind::Fl, Scale::Smoke);
+        let a =
+            ScenarioSpec::new(Preset::MovieLens, ModelKind::Gmf, ProtocolKind::Fl, Scale::Smoke);
         let mut b = a.clone();
         assert_eq!(a.fingerprint(), b.fingerprint());
         b.seed = 43;

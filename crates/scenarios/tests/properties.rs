@@ -4,15 +4,15 @@
 //! encode/decode, corrupted fingerprints are always rejected, and no
 //! mangled input ever panics the decoder.
 
+use cia_core::{CiaAttackState, MomentumState, PlacementsState, RoundPoint};
 use cia_data::presets::{Preset, Scale};
+use cia_data::UserId;
+use cia_gossip::GossipSimState;
+use cia_models::SharedModel;
 use cia_scenarios::checkpoint::{AttackState, Checkpoint, ProtocolState};
 use cia_scenarios::dynamics::{DynamicsState, ParticipantDynamics};
 use cia_scenarios::spec::{DefenseKind, DynamicsSpec, ModelKind, ProtocolKind, ScenarioSpec};
 use cia_scenarios::{SuiteEntry, SuiteSpec};
-use cia_core::{CiaAttackState, MomentumState, PlacementsState, RoundPoint};
-use cia_data::UserId;
-use cia_gossip::GossipSimState;
-use cia_models::SharedModel;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -129,7 +129,9 @@ fn build_checkpoint(seed: u64) -> Checkpoint {
             round: rng.gen_range(0u64..50),
             refresh_at: (0..n).map(|_| rng.gen_range(0u64..80)).collect(),
             views: (0..n)
-                .map(|_| (0..rng.gen_range(1usize..4)).map(|_| rng.gen_range(0u32..n as u32)).collect())
+                .map(|_| {
+                    (0..rng.gen_range(1usize..4)).map(|_| rng.gen_range(0u32..n as u32)).collect()
+                })
                 .collect(),
             inboxes,
             heard: (0..n)
@@ -139,9 +141,7 @@ fn build_checkpoint(seed: u64) -> Checkpoint {
                         .collect()
                 })
                 .collect(),
-            prev_sent: (0..n)
-                .map(|_| rng.gen_bool(0.5).then(|| vec_f32(&mut rng, dim)))
-                .collect(),
+            prev_sent: (0..n).map(|_| rng.gen_bool(0.5).then(|| vec_f32(&mut rng, dim))).collect(),
         })
     };
     let history_len = rng.gen_range(0usize..5);
@@ -178,9 +178,7 @@ fn build_checkpoint(seed: u64) -> Checkpoint {
         clients,
         protocol,
         attack,
-        adversary_embs: (0..n)
-            .map(|_| rng.gen_bool(0.5).then(|| vec_f32(&mut rng, dim)))
-            .collect(),
+        adversary_embs: (0..n).map(|_| rng.gen_bool(0.5).then(|| vec_f32(&mut rng, dim))).collect(),
         dynamics: DynamicsState {
             online: (0..n).map(|_| rng.gen_bool(0.8)).collect(),
             straggler_until: (0..n).map(|_| rng.gen_range(0u64..60)).collect(),

@@ -33,8 +33,8 @@ struct TempDir(PathBuf);
 
 impl TempDir {
     fn new(tag: &str) -> Self {
-        let dir = std::env::temp_dir()
-            .join(format!("cia-scenarios-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("cia-scenarios-test-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         TempDir(dir)
     }
@@ -57,8 +57,7 @@ fn resume_matches_uninterrupted(
 
     // Uninterrupted reference run.
     let mut straight_out = Vec::new();
-    let straight =
-        run_scenario(&spec, "t", &RunOptions::default(), &mut straight_out).unwrap();
+    let straight = run_scenario(&spec, "t", &RunOptions::default(), &mut straight_out).unwrap();
 
     // Killed run: checkpoints every `every` rounds, stops mid-flight…
     let dir = TempDir::new(tag);
@@ -80,13 +79,8 @@ fn resume_matches_uninterrupted(
 
     // …and resumes to completion.
     let mut resumed_out = Vec::new();
-    let resumed = run_scenario(
-        &spec,
-        "t",
-        &RunOptions { resume: true, ..ckpt },
-        &mut resumed_out,
-    )
-    .unwrap();
+    let resumed =
+        run_scenario(&spec, "t", &RunOptions { resume: true, ..ckpt }, &mut resumed_out).unwrap();
     assert!(resumed.completed);
 
     // The resumed run must land on exactly the uninterrupted metrics.
@@ -116,11 +110,7 @@ fn resume_matches_uninterrupted(
     let skipped = run_scenario(
         &spec,
         "t",
-        &RunOptions {
-            checkpoint_dir: Some(dir.0.clone()),
-            resume: true,
-            ..RunOptions::default()
-        },
+        &RunOptions { checkpoint_dir: Some(dir.0.clone()), resume: true, ..RunOptions::default() },
         &mut extra_out,
     )
     .unwrap();
@@ -172,11 +162,7 @@ fn resume_refuses_a_different_spec() {
     let err = run_scenario(
         &tampered,
         "t",
-        &RunOptions {
-            checkpoint_dir: Some(dir.0.clone()),
-            resume: true,
-            ..RunOptions::default()
-        },
+        &RunOptions { checkpoint_dir: Some(dir.0.clone()), resume: true, ..RunOptions::default() },
         &mut Vec::new(),
     )
     .unwrap_err();

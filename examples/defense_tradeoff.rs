@@ -11,10 +11,7 @@ use community_inference::experiments::{
 
 fn main() {
     println!("MovieLens-like, FL + GMF ({} scale).\n", Scale::Small);
-    println!(
-        "{:<28} {:>9} {:>9} {:>12}",
-        "defense", "Max AAC", "HR@20", "vs random"
-    );
+    println!("{:<28} {:>9} {:>9} {:>12}", "defense", "Max AAC", "HR@20", "vs random");
     let cases: Vec<(String, DefenseKind)> = vec![
         ("no defense".into(), DefenseKind::None),
         ("Share-less (tau=0.3)".into(), DefenseKind::ShareLess { tau: 0.3 }),

@@ -47,10 +47,8 @@ fn run(colluders: usize, beta: f32) -> AttackOutcome {
         truths,
         owners,
     );
-    let mut sim = GossipSim::new(
-        clients,
-        GossipConfig { rounds: 300, seed: 11, ..Default::default() },
-    );
+    let mut sim =
+        GossipSim::new(clients, GossipConfig { rounds: 300, seed: 11, ..Default::default() });
     sim.run(&mut attack);
     attack.outcome()
 }

@@ -63,15 +63,8 @@ fn main() {
         println!("{:>5} | {:>5.1}% {bar}", p.round, p.aac * 100.0);
     }
     println!();
-    println!(
-        "Max AAC        : {:.1}% (round {})",
-        outcome.max_aac * 100.0,
-        outcome.max_round
-    );
+    println!("Max AAC        : {:.1}% (round {})", outcome.max_aac * 100.0, outcome.max_round);
     println!("Best 10% AAC   : {:.1}%", outcome.best10_aac * 100.0);
     println!("Random guessing: {:.1}%", outcome.random_bound * 100.0);
-    println!(
-        "The attack is {:.1}x better than random guessing.",
-        outcome.advantage_over_random()
-    );
+    println!("The attack is {:.1}x better than random guessing.", outcome.advantage_over_random());
 }

@@ -180,8 +180,7 @@ fn accountant_and_mechanism_compose() {
     let eps = dp.epsilon(20, 1.0, 1e-6);
     assert!(eps <= 10.0 && eps > 5.0, "calibrated eps {eps}");
     // The accountant is consistent with the mechanism's own report.
-    let direct =
-        RdpAccountant::new(dp.config().noise_multiplier as f64, 20, 1.0).epsilon(1e-6);
+    let direct = RdpAccountant::new(dp.config().noise_multiplier as f64, 20, 1.0).epsilon(1e-6);
     assert!((direct - eps).abs() < 1e-9);
 }
 
@@ -215,8 +214,7 @@ fn prme_pipeline_runs_in_gossip() {
         })
         .collect();
     let evaluator = ItemSetEvaluator::new(spec, split.train_sets().to_vec(), false);
-    let truths: Vec<_> =
-        (0..20u32).map(|u| truth.community_of(UserId::new(u)).to_vec()).collect();
+    let truths: Vec<_> = (0..20u32).map(|u| truth.community_of(UserId::new(u)).to_vec()).collect();
     let mut attack = GlCiaAllPlacements::new(
         CiaConfig { k: 3, beta: 0.9, eval_every: 10, seed: 0 },
         evaluator,

@@ -120,10 +120,8 @@ fn zero_noise_dp_equals_pure_clipping_behavior() {
     // attack effective.
     let (spec, clients, train_sets) = tiny_clients(12, 7);
     let mut attack = attack_for(&spec, &train_sets, 12, 2);
-    let mut sim = FedAvg::new(
-        clients,
-        FedAvgConfig { rounds: 8, local_epochs: 2, ..Default::default() },
-    );
+    let mut sim =
+        FedAvg::new(clients, FedAvgConfig { rounds: 8, local_epochs: 2, ..Default::default() });
     sim.set_update_transform(Box::new(DpMechanism::new(DpConfig {
         clip: 100.0, // effectively no clipping
         noise_multiplier: 0.0,

@@ -41,11 +41,7 @@ struct Sample {
 #[derive(Clone, Copy)]
 enum Mode {
     Test,
-    Measure {
-        sample_size: usize,
-        warm_up: Duration,
-        measurement: Duration,
-    },
+    Measure { sample_size: usize, warm_up: Duration, measurement: Duration },
 }
 
 impl Bencher {
@@ -186,9 +182,7 @@ impl Criterion {
                     fmt_ns(s.max_ns)
                 );
                 if let Ok(path) = std::env::var("CRITERION_JSON") {
-                    if let Ok(mut file) =
-                        OpenOptions::new().create(true).append(true).open(&path)
-                    {
+                    if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(&path) {
                         let _ = writeln!(
                             file,
                             "{{\"name\": \"{name}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}}}",
@@ -234,11 +228,8 @@ impl BenchmarkGroup<'_> {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
         let full = format!("{}/{name}", self.prefix);
         // Temporarily install the group's timing config.
-        let saved = (
-            self.criterion.sample_size,
-            self.criterion.warm_up,
-            self.criterion.measurement,
-        );
+        let saved =
+            (self.criterion.sample_size, self.criterion.warm_up, self.criterion.measurement);
         self.criterion.sample_size = self.sample_size;
         self.criterion.warm_up = self.warm_up;
         self.criterion.measurement = self.measurement;

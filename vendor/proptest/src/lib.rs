@@ -94,7 +94,7 @@ macro_rules! impl_tuple_strategy {
         }
     )*};
 }
-impl_tuple_strategy!((A, B) (A, B, C) (A, B, C, D));
+impl_tuple_strategy!((A, B)(A, B, C)(A, B, C, D));
 
 /// Types with a default "anything goes" strategy.
 pub trait Arbitrary: Sized {
@@ -150,7 +150,7 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 
 /// Collection strategies.
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use std::collections::BTreeSet;
     use std::ops::{Range, RangeInclusive};
 
@@ -424,8 +424,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "failed at case")]
     fn failures_panic_with_case_info() {
-        super::run_cases("always_fails", |_| {
-            Err(super::TestCaseError::fail("boom".to_string()))
-        });
+        super::run_cases("always_fails", |_| Err(super::TestCaseError::fail("boom".to_string())));
     }
 }
