@@ -343,6 +343,47 @@ fn bench_ground_truth(c: &mut Criterion) {
     });
 }
 
+fn bench_paper_scale(c: &mut Criterion) {
+    // Paper-scale (943 users × 1682 items, Table I) end-to-end round cost.
+    // Gated behind CIA_BENCH_PAPER_SCALE — `scripts/bench_kernels.sh
+    // --scale paper` sets it — so the `cargo bench -- --test` smoke gate
+    // (and CI) never pays for 943-client rounds.
+    if std::env::var_os("CIA_BENCH_PAPER_SCALE").is_none() {
+        return;
+    }
+    let data = Preset::MovieLens.generate(Scale::Paper, 3);
+    let split = LeaveOneOut::new(&data, 100, 3).unwrap();
+    let spec = GmfSpec::new(data.num_items(), 8, GmfHyper::default());
+    let clients = || -> Vec<_> {
+        split
+            .train_sets()
+            .iter()
+            .enumerate()
+            .map(|(u, items)| {
+                spec.build_client(
+                    UserId::new(u as u32),
+                    items.clone(),
+                    SharingPolicy::Full,
+                    u as u64,
+                )
+            })
+            .collect()
+    };
+    // The paper's FL setting: 2 local epochs per round (ScaleParams::Paper).
+    c.bench_function("fedavg_round_paper_943x1682", |b| {
+        let mut sim = FedAvg::new(
+            clients(),
+            FedAvgConfig { rounds: u64::MAX, local_epochs: 2, ..Default::default() },
+        );
+        b.iter(|| sim.step(&mut NullObserver));
+    });
+    c.bench_function("gossip_round_paper_943x1682", |b| {
+        let mut sim =
+            GossipSim::new(clients(), GossipConfig { rounds: u64::MAX, ..Default::default() });
+        b.iter(|| sim.step(&mut NullGossipObserver));
+    });
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -354,6 +395,6 @@ criterion_group! {
     name = benches;
     config = config();
     targets = bench_kernels, bench_scoring, bench_momentum_and_dp, bench_mlp_train,
-              bench_protocol_rounds, bench_attack_eval, bench_ground_truth
+              bench_protocol_rounds, bench_attack_eval, bench_ground_truth, bench_paper_scale
 }
 criterion_main!(benches);

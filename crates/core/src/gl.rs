@@ -137,6 +137,28 @@ impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
         self.momentum.iter().flatten().count()
     }
 
+    /// The node ids the coalition currently controls, ascending.
+    pub fn members(&self) -> Vec<u32> {
+        self.members.iter().enumerate().filter_map(|(i, &m)| m.then_some(i as u32)).collect()
+    }
+
+    /// Reassigns the coalition's controlled node ids mid-run (adaptive sybil
+    /// placement). Only the delivery filter changes: the sender-keyed
+    /// momentum table, the tracker history and the evaluator state all
+    /// survive, so members retained across the relocation keep every
+    /// observation and the score EMAs never reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty membership or an out-of-range node id.
+    pub fn set_members(&mut self, members: &[u32]) {
+        assert!(!members.is_empty(), "coalition needs at least one member");
+        self.members.iter_mut().for_each(|m| *m = false);
+        for &m in members {
+            self.members[m as usize] = true;
+        }
+    }
+
     fn evaluate(&mut self, round: u64) {
         if self.momentum.iter().all(Option::is_none) {
             self.tracker.record(round, &[0.0], &[0.0]);
@@ -629,6 +651,42 @@ mod tests {
         // actually separate by the end.
         let last = history.last().unwrap();
         assert!(last.upper_bound_online < last.upper_bound);
+    }
+
+    #[test]
+    fn set_members_moves_the_delivery_filter_but_keeps_momentum() {
+        use cia_models::Participant;
+        let s = setup(12, 2, 3);
+        let evaluator = ItemSetEvaluator::new(s.spec.clone(), s.train_sets.clone(), false);
+        let owners: Vec<Option<UserId>> =
+            (0..s.users).map(|u| Some(UserId::new(u as u32))).collect();
+        let mut coal = GlCiaCoalition::new(
+            CiaConfig { k: 2, beta: 0.9, eval_every: 1, seed: 0 },
+            evaluator,
+            s.users,
+            &[0, 6],
+            s.truths.clone(),
+            owners,
+        );
+        assert_eq!(coal.members(), vec![0, 6]);
+        // Observations land at the initial placement…
+        for sender in 1..4 {
+            let snap = s.clients[sender].snapshot(0);
+            coal.on_delivery(0, UserId::new(0), &snap);
+        }
+        assert_eq!(coal.senders_seen(), 3);
+        // …and survive the relocation: retained member 0 leaves, 3 and 9
+        // take over, the sender-keyed momentum table is untouched.
+        coal.set_members(&[3, 9]);
+        assert_eq!(coal.members(), vec![3, 9]);
+        assert_eq!(coal.senders_seen(), 3, "relocation must not drop momentum state");
+        // Deliveries to the old placement are no longer observed; the new
+        // one is.
+        let snap = s.clients[5].snapshot(1);
+        coal.on_delivery(1, UserId::new(0), &snap);
+        assert_eq!(coal.senders_seen(), 3);
+        coal.on_delivery(1, UserId::new(9), &snap);
+        assert_eq!(coal.senders_seen(), 4);
     }
 
     #[test]

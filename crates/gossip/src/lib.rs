@@ -22,5 +22,5 @@ mod sim;
 pub use graph::{sample_exp_interval, ViewTable};
 pub use sim::{
     GossipConfig, GossipObserver, GossipProtocol, GossipRoundStats, GossipSim, GossipSimState,
-    NullGossipObserver,
+    NullGossipObserver, TrafficCounters,
 };

@@ -134,6 +134,28 @@ pub struct GossipSimState {
     pub heard: Vec<Vec<(u32, f32)>>,
     /// DP reference vectors (last sent `[emb | agg]` per node).
     pub prev_sent: Vec<Option<Vec<f32>>>,
+    /// Accumulated per-node traffic counters.
+    pub traffic: TrafficCounters,
+}
+
+/// Passive per-node traffic counters the simulation accumulates every round.
+/// They never influence the protocol — they exist so observers with a
+/// network vantage point (e.g. the adaptive sybil-placement engine in
+/// `cia-scenarios`) can rank positions by observed traffic instead of
+/// guessing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficCounters {
+    /// Models delivered to each node since round 0.
+    pub received: Vec<u64>,
+    /// Accumulated in-degree of the communication graph: each round, every
+    /// out-view containing the node adds one (view-membership frequency).
+    pub view_in_degree: Vec<u64>,
+}
+
+impl TrafficCounters {
+    fn zeroed(n: usize) -> Self {
+        TrafficCounters { received: vec![0; n], view_in_degree: vec![0; n] }
+    }
 }
 
 /// Per-node bookkeeping.
@@ -156,6 +178,7 @@ pub struct GossipSim<P: Participant> {
     refresh_at: Vec<u64>,
     cfg: GossipConfig,
     transform: Option<Box<dyn UpdateTransform>>,
+    traffic: TrafficCounters,
     round: u64,
 }
 
@@ -191,7 +214,8 @@ impl<P: Participant> GossipSim<P> {
                 loss: 0.0,
             })
             .collect();
-        GossipSim { nodes, ctl, views, refresh_at, cfg, transform: None, round: 0 }
+        let traffic = TrafficCounters::zeroed(nodes.len());
+        GossipSim { nodes, ctl, views, refresh_at, cfg, transform: None, traffic, round: 0 }
     }
 
     /// Installs a local update transform (DP-SGD) applied to every outgoing
@@ -220,6 +244,12 @@ impl<P: Participant> GossipSim<P> {
         self.views.view_of(u)
     }
 
+    /// The accumulated per-node traffic counters (observed-traffic vantage
+    /// point for placement decisions; purely passive).
+    pub fn traffic(&self) -> &TrafficCounters {
+        &self.traffic
+    }
+
     /// Mutable access to the nodes (checkpoint resume restores each
     /// participant's private state in place).
     pub fn nodes_mut(&mut self) -> &mut [P] {
@@ -237,6 +267,7 @@ impl<P: Participant> GossipSim<P> {
             refresh_at: self.refresh_at.clone(),
             views: self.views.views().to_vec(),
             inboxes: self.ctl.iter().map(|c| c.inbox.clone()).collect(),
+            traffic: self.traffic.clone(),
             heard: self.ctl.iter().map(|c| c.heard.clone()).collect(),
             prev_sent: self.ctl.iter().map(|c| c.prev_sent.clone()).collect(),
         }
@@ -265,6 +296,9 @@ impl<P: Participant> GossipSim<P> {
             c.heard = heard;
             c.prev_sent = prev;
         }
+        assert_eq!(state.traffic.received.len(), n, "one received counter per node");
+        assert_eq!(state.traffic.view_in_degree.len(), n, "one in-degree counter per node");
+        self.traffic = state.traffic;
     }
 
     /// Runs one gossip round: refresh views, send, route, aggregate, train.
@@ -294,6 +328,14 @@ impl<P: Participant> GossipSim<P> {
                 }
                 self.refresh_at[u as usize] =
                     t + sample_exp_interval(self.cfg.view_refresh_rate, &mut rng);
+            }
+        }
+
+        // Traffic accounting: the in-degree of the graph the round's sends
+        // will be routed over (after refreshes, before sending).
+        for u in 0..n as u32 {
+            for &v in self.views.view_of(u) {
+                self.traffic.view_in_degree[v as usize] += 1;
             }
         }
 
@@ -341,6 +383,7 @@ impl<P: Participant> GossipSim<P> {
                 let dest = destinations[u];
                 observer.on_delivery(t, UserId::new(dest), &snap);
                 self.ctl[dest as usize].inbox.push(snap);
+                self.traffic.received[dest as usize] += 1;
                 deliveries += 1;
             }
         }
@@ -700,6 +743,32 @@ mod tests {
             .filter(|&u| u != 5 && s.view_of(u) != initial[u as usize].as_slice())
             .count();
         assert!(changed > 10, "only {changed} available nodes refreshed");
+    }
+
+    #[test]
+    fn traffic_counters_account_for_every_delivery_and_view_slot() {
+        let rounds = 6;
+        let mut s = sim(20, GossipConfig { rounds, seed: 3, ..Default::default() });
+        let mut rec = Recorder::default();
+        s.run(&mut rec);
+        let traffic = s.traffic();
+        // Every routed delivery is counted exactly once.
+        let received: u64 = traffic.received.iter().sum();
+        assert_eq!(received as usize, rec.deliveries.len());
+        for (u, &count) in traffic.received.iter().enumerate() {
+            let delivered = rec.deliveries.iter().filter(|&&(_, recv, _)| recv == u as u32).count();
+            assert_eq!(count as usize, delivered, "node {u}");
+        }
+        // Each round accumulates exactly out_degree view slots per node.
+        let in_degree: u64 = traffic.view_in_degree.iter().sum();
+        assert_eq!(in_degree, rounds * 20 * s.config().out_degree as u64);
+        // And the counters survive a checkpoint roundtrip.
+        let state = s.export_state();
+        assert_eq!(&state.traffic, traffic);
+        let mut fresh = sim(20, GossipConfig { rounds, seed: 3, ..Default::default() });
+        let traffic = traffic.clone();
+        fresh.restore_state(state);
+        assert_eq!(fresh.traffic(), &traffic);
     }
 
     #[test]

@@ -220,6 +220,13 @@ fn cmd_list(args: &Args) -> Result<(), String> {
             }
             if s.dynamics.sybils > 0 {
                 parts.push(format!("{} sybils", s.dynamics.sybils));
+                if s.dynamics.placement.is_adaptive() {
+                    parts.push(format!(
+                        "{} placement after {} warm-up rounds",
+                        s.dynamics.placement.name(),
+                        s.dynamics.placement_warmup
+                    ));
+                }
             }
             parts.join(", ")
         };

@@ -15,14 +15,18 @@
 
 use cia_core::{CiaAttackState, MomentumState, PlacementsState, RoundPoint};
 use cia_data::UserId;
-use cia_gossip::GossipSimState;
+use cia_gossip::{GossipSimState, TrafficCounters};
 use cia_models::SharedModel;
 use std::path::{Path, PathBuf};
 
-const MAGIC: u32 = 0x4349_4153; // "CIAS"
-                                // v2: `RoundPoint` gained `upper_bound_online`. Older checkpoints are
-                                // refused with a version error rather than silently misread.
-const VERSION: u32 = 2;
+// The magic spells "CIAS".
+const MAGIC: u32 = 0x4349_4153;
+// v3: gossip state gained per-node traffic counters and the checkpoint an
+// adaptive sybil-placement section (relocation phase, membership, warm-up
+// delivery log). v2 added `upper_bound_online` to `RoundPoint`. Checkpoints
+// from older versions are refused with a version error rather than silently
+// misread.
+const VERSION: u32 = 3;
 
 /// Protocol-side state, by protocol family.
 #[derive(Debug, Clone)]
@@ -65,6 +69,9 @@ pub struct Checkpoint {
     pub adversary_embs: Vec<Option<Vec<f32>>>,
     /// Dynamics-layer state.
     pub dynamics: crate::dynamics::DynamicsState,
+    /// Adaptive sybil-placement state (inert/default for FL runs and static
+    /// placements).
+    pub placement: crate::placement::PlacementState,
 }
 
 impl Checkpoint {
@@ -128,6 +135,8 @@ impl Checkpoint {
                 for prev in &state.prev_sent {
                     w.opt_f32s(prev.as_deref());
                 }
+                w.u64s(&state.traffic.received);
+                w.u64s(&state.traffic.view_in_degree);
             }
         }
         match &self.attack {
@@ -167,6 +176,12 @@ impl Checkpoint {
         w.u64(self.dynamics.straggler_until.len() as u64);
         for &t in &self.dynamics.straggler_until {
             w.u64(t);
+        }
+        w.u8(u8::from(self.placement.relocated));
+        w.u32s(&self.placement.members);
+        w.u64(self.placement.seen.len() as u64);
+        for log in &self.placement.seen {
+            w.u32s(log);
         }
         w.buf
     }
@@ -240,6 +255,7 @@ impl Checkpoint {
                 for _ in 0..n {
                     prev_sent.push(r.opt_f32s()?);
                 }
+                let traffic = TrafficCounters { received: r.u64s()?, view_in_degree: r.u64s()? };
                 ProtocolState::Gl(GossipSimState {
                     round,
                     refresh_at,
@@ -247,6 +263,7 @@ impl Checkpoint {
                     inboxes,
                     heard,
                     prev_sent,
+                    traffic,
                 })
             }
             tag => return Err(format!("unknown protocol state tag {tag}")),
@@ -295,8 +312,26 @@ impl Checkpoint {
         for _ in 0..n {
             straggler_until.push(r.u64()?);
         }
+        let relocated = r.u8()? == 1;
+        let members = r.u32s()?;
+        let n = r.len()?;
+        let mut seen = Vec::with_capacity(n);
+        for _ in 0..n {
+            seen.push(r.u32s()?);
+        }
         if r.pos != bytes.len() {
             return Err("trailing bytes in checkpoint".to_string());
+        }
+        // The placement section feeds indexing (sybil tables, delivery
+        // logs); a corrupted id must be refused here, not panic at resume.
+        let population = clients.len();
+        if members.len() > population || members.iter().any(|&m| m as usize >= population) {
+            return Err("placement members out of range".to_string());
+        }
+        if (!seen.is_empty() && seen.len() != population)
+            || seen.iter().flatten().any(|&s| s as usize >= population)
+        {
+            return Err("placement delivery log malformed".to_string());
         }
         Ok(Checkpoint {
             fingerprint,
@@ -307,6 +342,7 @@ impl Checkpoint {
             attack,
             adversary_embs,
             dynamics: crate::dynamics::DynamicsState { online, straggler_until },
+            placement: crate::placement::PlacementState { relocated, members, seen },
         })
     }
 
@@ -364,6 +400,12 @@ impl Writer {
         self.u64(v.len() as u64);
         for &x in v {
             self.u32(x);
+        }
+    }
+    fn u64s(&mut self, v: &[u64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u64(x);
         }
     }
     fn opt_f32s(&mut self, v: Option<&[f32]>) {
@@ -445,6 +487,14 @@ impl Reader<'_> {
         }
         Ok(v)
     }
+    fn u64s(&mut self) -> Result<Vec<u64>, String> {
+        let n = self.len()?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.u64()?);
+        }
+        Ok(v)
+    }
     fn opt_f32s(&mut self) -> Result<Option<Vec<f32>>, String> {
         match self.u8()? {
             0 => Ok(None),
@@ -500,6 +550,7 @@ mod tests {
                 ],
                 heard: vec![vec![(1, 0.25)], vec![]],
                 prev_sent: vec![None, Some(vec![3.0])],
+                traffic: TrafficCounters { received: vec![4, 0], view_in_degree: vec![12, 11] },
             }),
             attack: AttackState::Cia(CiaAttackState {
                 momentum: vec![
@@ -518,6 +569,11 @@ mod tests {
             }),
             adversary_embs: vec![None, Some(vec![1.25, -0.5])],
             dynamics: DynamicsState { online: vec![true, false], straggler_until: vec![0, 17] },
+            placement: crate::placement::PlacementState {
+                relocated: false,
+                members: vec![0],
+                seen: vec![vec![1], vec![]],
+            },
         }
     }
 
@@ -531,6 +587,7 @@ mod tests {
         assert_eq!(back.clients, ck.clients);
         assert_eq!(back.adversary_embs, ck.adversary_embs);
         assert_eq!(back.dynamics, ck.dynamics);
+        assert_eq!(back.placement, ck.placement);
         match (&back.protocol, &ck.protocol) {
             (ProtocolState::Gl(a), ProtocolState::Gl(b)) => {
                 assert_eq!(a.refresh_at, b.refresh_at);
@@ -538,6 +595,7 @@ mod tests {
                 assert_eq!(a.inboxes, b.inboxes);
                 assert_eq!(a.heard, b.heard);
                 assert_eq!(a.prev_sent, b.prev_sent);
+                assert_eq!(a.traffic, b.traffic);
             }
             _ => panic!("protocol family changed"),
         }
@@ -567,5 +625,22 @@ mod tests {
         assert!(Checkpoint::decode(&bytes, 0xBAD).unwrap_err().contains("fingerprint"));
         assert!(Checkpoint::decode(&bytes[..10], 0xFEED).is_err());
         assert!(Checkpoint::decode(b"not a checkpoint", 0xFEED).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_placement_members() {
+        // A corrupted member id must be refused at decode time — it feeds
+        // sybil-table and delivery-log indexing at resume.
+        let mut ck = sample();
+        ck.placement.members = vec![7]; // population is 2
+        assert!(Checkpoint::decode(&ck.encode(), 0xFEED)
+            .unwrap_err()
+            .contains("placement members"));
+        let mut ck = sample();
+        ck.placement.seen = vec![vec![9], vec![]]; // sender 9 of 2
+        assert!(Checkpoint::decode(&ck.encode(), 0xFEED).unwrap_err().contains("delivery log"));
+        let mut ck = sample();
+        ck.placement.seen = vec![vec![1]]; // log length 1 for 2 nodes
+        assert!(Checkpoint::decode(&ck.encode(), 0xFEED).unwrap_err().contains("delivery log"));
     }
 }

@@ -92,6 +92,28 @@ impl ParticipantDynamics {
         self.sybil.iter().enumerate().filter_map(|(i, &s)| s.then_some(i as u32)).collect()
     }
 
+    /// Moves the always-online sybil coalition onto new node ids (adaptive
+    /// placement relocation). Former sybil nodes return to normal churn
+    /// starting from an online state — they were reachable while
+    /// adversary-operated — and the new positions are forced online
+    /// immediately.
+    ///
+    /// On checkpoint resume this must be re-applied *before*
+    /// [`ParticipantDynamics::restore_state`], so the restored online bitmap
+    /// (which already reflects post-relocation churn) wins.
+    pub fn set_sybil_members(&mut self, members: &[u32]) {
+        for (i, s) in self.sybil.iter_mut().enumerate() {
+            if *s {
+                self.online[i] = true;
+            }
+            *s = false;
+        }
+        for &m in members {
+            self.sybil[m as usize] = true;
+            self.online[m as usize] = true;
+        }
+    }
+
     /// Participants currently online (reported in JSONL records).
     pub fn online_count(&self) -> usize {
         self.online.iter().filter(|&&o| o).count()

@@ -13,6 +13,9 @@
 //!   [`defense_dynamics_grid_suite`], [`pers_gossip_churn_suite`]);
 //! * [`dynamics`] — the participant-dynamics layer, threaded through the
 //!   protocols' observer seams so the training loops never fork;
+//! * [`placement`] — adaptive traffic-aware sybil placement: a coalition
+//!   that observes traffic for a warm-up window, then relocates onto the
+//!   top-scoring positions ([`adaptive_sybils_suite`]);
 //! * [`runner`] — deterministic suite execution streaming one JSONL record
 //!   per (scenario, evaluation round), with checkpoint/resume of model,
 //!   momentum, tracker and dynamics state ([`checkpoint`]);
@@ -37,15 +40,18 @@
 pub mod checkpoint;
 pub mod dynamics;
 pub mod json;
+pub mod placement;
 pub mod runner;
 pub mod setup;
 pub mod spec;
 
 pub use dynamics::{DynamicsState, FlDynamics, GlDynamics, ParticipantDynamics};
+pub use placement::{PlacementEngine, PlacementObserver, PlacementState};
 pub use runner::{run_quiet, run_scenario, run_suite, RunOptions, RunResult, ScenarioOutcome};
 pub use setup::{build_setup, RecsysSetup};
 pub use spec::{
-    builtin_suite, defense_dynamics_grid_suite, named_suite, participation_sweep_suite,
-    pers_gossip_churn_suite, DefenseKind, DynamicsSpec, ModelKind, ProtocolKind, ScaleParams,
-    ScenarioSpec, SuiteEntry, SuiteSpec, SweepField, BUILTIN_SUITE_NAMES,
+    adaptive_sybils_suite, builtin_suite, defense_dynamics_grid_suite, named_suite,
+    participation_sweep_suite, pers_gossip_churn_suite, DefenseKind, DynamicsSpec, ModelKind,
+    PlacementStrategy, ProtocolKind, ScaleParams, ScenarioSpec, SuiteEntry, SuiteSpec, SweepField,
+    BUILTIN_SUITE_NAMES,
 };

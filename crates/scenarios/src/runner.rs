@@ -23,6 +23,7 @@
 use crate::checkpoint::{AttackState, Checkpoint, ProtocolState};
 use crate::dynamics::{FlDynamics, GlDynamics, ParticipantDynamics};
 use crate::json::{Json, ObjBuilder};
+use crate::placement::{PlacementEngine, PlacementObserver, PlacementState};
 use crate::setup::{build_setup, RecsysSetup};
 use crate::spec::{DefenseKind, ModelKind, ProtocolKind, ScenarioSpec, SuiteSpec};
 use cia_core::metrics::random_bound;
@@ -448,6 +449,7 @@ where
                 attack: AttackState::Cia(attack.export_state()),
                 adversary_embs: attack.evaluator().adversary_embeddings().to_vec(),
                 dynamics: dynamics.export_state(),
+                placement: PlacementState::default(),
             };
             save_checkpoint(ctx, &ck)?;
         }
@@ -614,6 +616,17 @@ where
             setup.owner_table(),
         ))
     };
+    // Adaptive sybil placement: passive traffic observation from the static
+    // positions during the warm-up window, one relocation at its end. A
+    // warm-up at or beyond the horizon can never fire — run the engine as
+    // static up front so the whole-run delivery log is never collected (the
+    // observable behavior is identical either way).
+    let strategy = if spec.dynamics.placement_warmup >= total {
+        crate::spec::PlacementStrategy::Static
+    } else {
+        spec.dynamics.placement
+    };
+    let mut placement = PlacementEngine::new(strategy, spec.dynamics.placement_warmup, members, n);
 
     let mut emitted: usize = 0;
     if ctx.opts.resume {
@@ -632,6 +645,13 @@ where
                 sim.restore_state(state);
                 attack.restore_state(ck.attack, &spec.name)?;
                 attack.restore_adversary_embeddings(ck.adversary_embs);
+                placement.restore_state(ck.placement);
+                if placement.relocated() {
+                    // Re-apply the relocation to the tables rebuilt from the
+                    // spec — before the dynamics state restore, whose online
+                    // bitmap already reflects post-relocation churn.
+                    apply_relocation(&mut attack, &mut dynamics, placement.members());
+                }
                 dynamics.restore_state(ck.dynamics);
                 emitted = ck.emitted as usize;
             }
@@ -640,8 +660,13 @@ where
 
     let rb = random_bound(setup.k, n.saturating_sub(1));
     while sim.round() < total {
+        if let Some(new_members) = placement.maybe_relocate(sim.round(), sim.traffic()) {
+            let new_members = new_members.to_vec();
+            apply_relocation(&mut attack, &mut dynamics, &new_members);
+        }
         let stats = {
-            let mut obs = GlDynamics { inner: &mut attack, dynamics: &mut dynamics };
+            let mut obs = PlacementObserver { inner: &mut attack, engine: &mut placement };
+            let mut obs = GlDynamics { inner: &mut obs, dynamics: &mut dynamics };
             sim.step(&mut obs)
         };
         let emitted_before = emitted;
@@ -670,6 +695,7 @@ where
                 attack: attack.export_state(),
                 adversary_embs: attack.adversary_embeddings(),
                 dynamics: dynamics.export_state(),
+                placement: placement.export_state(),
             };
             save_checkpoint(ctx, &ck)?;
         }
@@ -692,6 +718,20 @@ where
         skipped: false,
         elapsed: Duration::ZERO,
     })
+}
+
+/// Applies a coalition relocation: the attack engine's delivery filter and
+/// the dynamics layer's always-online sybil table move to the new ids
+/// together (sender-keyed momentum state survives untouched).
+fn apply_relocation<S: RelevanceScorer>(
+    attack: &mut GlAttack<S>,
+    dynamics: &mut ParticipantDynamics,
+    members: &[u32],
+) {
+    if let GlAttack::Coalition(a) = attack {
+        a.set_members(members);
+    }
+    dynamics.set_sybil_members(members);
 }
 
 fn partial_outcome(

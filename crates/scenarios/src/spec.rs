@@ -191,6 +191,55 @@ impl ScaleParams {
     }
 }
 
+/// How a sybil coalition chooses which node ids it controls.
+///
+/// The paper's coalition sits on evenly spaced ids for the whole run.
+/// Adaptive strategies model a strictly stronger adversary with a network
+/// vantage point: the coalition starts from the static placement, passively
+/// observes traffic for a warm-up window, then relocates its sybil
+/// identities onto the top-scoring positions before the attack proper
+/// begins. Momentum state for retained members survives the relocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// Evenly spaced node ids, fixed for the whole run (the paper's rule).
+    Static,
+    /// Relocate onto the nodes with the highest observed traffic
+    /// (accumulated view in-degree, ties broken by delivered-message count,
+    /// then by id).
+    Degree,
+    /// Relocate greedily to maximize the number of distinct senders the
+    /// coalition would have observed during the warm-up (max-coverage over
+    /// the delivery log, the observation analogue of the per-community
+    /// `upper_bound_online` coverage bound).
+    CoverageGreedy,
+}
+
+impl PlacementStrategy {
+    /// The canonical spelling used in spec documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementStrategy::Static => "static",
+            PlacementStrategy::Degree => "degree",
+            PlacementStrategy::CoverageGreedy => "coverage-greedy",
+        }
+    }
+
+    /// Parses `"static" | "degree" | "coverage-greedy"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<PlacementStrategy> {
+        match s.to_ascii_lowercase().as_str() {
+            "static" => Some(PlacementStrategy::Static),
+            "degree" => Some(PlacementStrategy::Degree),
+            "coverage-greedy" | "greedy" => Some(PlacementStrategy::CoverageGreedy),
+            _ => None,
+        }
+    }
+
+    /// Whether the strategy relocates after a warm-up window.
+    pub fn is_adaptive(self) -> bool {
+        !matches!(self, PlacementStrategy::Static)
+    }
+}
+
 /// How the participant population behaves over time. The default block is
 /// fully static — every scenario is a dynamics scenario, most with the
 /// identity dynamics.
@@ -217,6 +266,14 @@ pub struct DynamicsSpec {
     /// always online, never straggle, and pool their observations
     /// (Algorithm 2 line 14). Gossip protocols only.
     pub sybils: usize,
+    /// How the coalition chooses its node placements. Adaptive strategies
+    /// spend [`DynamicsSpec::placement_warmup`] rounds observing traffic
+    /// from the static positions, then relocate.
+    pub placement: PlacementStrategy,
+    /// Warm-up rounds of passive traffic observation before an adaptive
+    /// relocation. A window at or beyond the horizon never fires, degrading
+    /// the run to static placement.
+    pub placement_warmup: u64,
 }
 
 impl Default for DynamicsSpec {
@@ -229,6 +286,8 @@ impl Default for DynamicsSpec {
             straggler_mean_delay: 3.0,
             participation: 1.0,
             sybils: 0,
+            placement: PlacementStrategy::Static,
+            placement_warmup: 10,
         }
     }
 }
@@ -366,6 +425,20 @@ impl ScenarioSpec {
                 self.name
             ));
         }
+        if d.placement.is_adaptive() {
+            if d.sybils == 0 {
+                return Err(format!(
+                    "{}: adaptive sybil placement needs dynamics.sybils > 0",
+                    self.name
+                ));
+            }
+            if d.placement_warmup == 0 {
+                return Err(format!(
+                    "{}: adaptive placement needs a warm-up window of at least one round",
+                    self.name
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -393,6 +466,8 @@ impl ScenarioSpec {
             .num("straggler_mean_delay", d.straggler_mean_delay)
             .num("participation", d.participation)
             .num("sybils", d.sybils as f64)
+            .str("placement", d.placement.name())
+            .num("placement_warmup", d.placement_warmup as f64)
             .build();
         let mut b = ObjBuilder::new()
             .str("name", &self.name)
@@ -457,6 +532,8 @@ impl ScenarioSpec {
                     "straggler_mean_delay",
                     "participation",
                     "sybils",
+                    "placement",
+                    "placement_warmup",
                 ],
                 &format!("scenario `{name}` dynamics"),
             )?;
@@ -551,6 +628,18 @@ impl ScenarioSpec {
                     straggler_mean_delay: f("straggler_mean_delay", base.straggler_mean_delay)?,
                     participation: f("participation", base.participation)?,
                     sybils: int_field(d, "sybils", "dynamics ")?.unwrap_or(0) as usize,
+                    placement: match d.get("placement") {
+                        None => base.placement,
+                        Some(x) => {
+                            let s = x
+                                .as_str()
+                                .ok_or_else(|| fail("dynamics `placement` must be a string"))?;
+                            PlacementStrategy::parse(s)
+                                .ok_or_else(|| fail("unknown dynamics `placement`"))?
+                        }
+                    },
+                    placement_warmup: int_field(d, "placement_warmup", "dynamics ")?
+                        .unwrap_or(base.placement_warmup),
                 }
             }
         };
@@ -630,6 +719,8 @@ pub enum SweepField {
     StragglerMeanDelay,
     /// `dynamics.sybils` (integer).
     Sybils,
+    /// `dynamics.placement_warmup` (integer) — adaptive-placement bases.
+    PlacementWarmup,
     /// `colluders` (integer).
     Colluders,
     /// Momentum coefficient `beta`.
@@ -655,6 +746,7 @@ impl SweepField {
             SweepField::StragglerFraction => "dynamics.straggler_fraction",
             SweepField::StragglerMeanDelay => "dynamics.straggler_mean_delay",
             SweepField::Sybils => "dynamics.sybils",
+            SweepField::PlacementWarmup => "dynamics.placement_warmup",
             SweepField::Colluders => "colluders",
             SweepField::Beta => "beta",
             SweepField::K => "k",
@@ -677,6 +769,7 @@ impl SweepField {
                 "straggler_fraction" => Some(SweepField::StragglerFraction),
                 "straggler_mean_delay" => Some(SweepField::StragglerMeanDelay),
                 "sybils" => Some(SweepField::Sybils),
+                "placement_warmup" => Some(SweepField::PlacementWarmup),
                 _ => None,
             }
         }
@@ -717,6 +810,7 @@ impl SweepField {
             SweepField::StragglerFraction => d.straggler_fraction = value,
             SweepField::StragglerMeanDelay => d.straggler_mean_delay = value,
             SweepField::Sybils => d.sybils = as_count(value)?,
+            SweepField::PlacementWarmup => d.placement_warmup = as_count(value)? as u64,
             SweepField::Colluders => spec.colluders = as_count(value)?,
             SweepField::Beta => spec.beta = value as f32,
             SweepField::K => spec.k_override = Some(as_count(value)?),
@@ -1076,10 +1170,46 @@ pub fn pers_gossip_churn_suite(scale: Scale, seed: u64) -> SuiteSpec {
     SuiteSpec::flat(format!("pers-gossip-churn-{scale}"), vec![pers_static, pers_churn, rand_churn])
 }
 
+/// Adaptive sybil placement under churn: the same 4-node always-online
+/// Rand-Gossip coalition with static (evenly spaced), degree-ranked and
+/// coverage-greedy placement, everything else held equal. The adaptive cells
+/// spend the first 10 rounds in passive traffic observation, then relocate —
+/// the deliverable comparison is AAC(adaptive) ≥ AAC(static) at equal
+/// coalition size.
+pub fn adaptive_sybils_suite(scale: Scale, seed: u64) -> SuiteSpec {
+    let placements = [
+        ("placement-static", PlacementStrategy::Static),
+        ("placement-degree", PlacementStrategy::Degree),
+        ("placement-greedy", PlacementStrategy::CoverageGreedy),
+    ];
+    let scenarios = placements
+        .into_iter()
+        .map(|(name, placement)| {
+            let mut s = ScenarioSpec::new(
+                Preset::MovieLens,
+                ModelKind::Gmf,
+                ProtocolKind::RandGossip,
+                scale,
+            );
+            s.name = name.to_string();
+            s.seed = seed;
+            s.dynamics =
+                DynamicsSpec { sybils: 4, placement, placement_warmup: 10, ..churn_dynamics() };
+            s
+        })
+        .collect();
+    SuiteSpec::flat(format!("adaptive-sybils-{scale}"), scenarios)
+}
+
 /// Every built-in suite name accepted by [`named_suite`] (and the CLI's
 /// `--suite` flag).
-pub const BUILTIN_SUITE_NAMES: [&str; 4] =
-    ["builtin", "participation-sweep", "defense-dynamics-grid", "pers-gossip-churn"];
+pub const BUILTIN_SUITE_NAMES: [&str; 5] = [
+    "builtin",
+    "participation-sweep",
+    "defense-dynamics-grid",
+    "pers-gossip-churn",
+    "adaptive-sybils",
+];
 
 /// Looks up a built-in suite by name.
 pub fn named_suite(name: &str, scale: Scale, seed: u64) -> Option<SuiteSpec> {
@@ -1088,6 +1218,7 @@ pub fn named_suite(name: &str, scale: Scale, seed: u64) -> Option<SuiteSpec> {
         "participation-sweep" => Some(participation_sweep_suite(scale, seed)),
         "defense-dynamics-grid" => Some(defense_dynamics_grid_suite(scale, seed)),
         "pers-gossip-churn" => Some(pers_gossip_churn_suite(scale, seed)),
+        "adaptive-sybils" => Some(adaptive_sybils_suite(scale, seed)),
         _ => None,
     }
 }
@@ -1253,6 +1384,73 @@ mod tests {
         s.dynamics.leave_prob = 0.5;
         s.dynamics.join_prob = 0.0;
         assert!(s.validate().unwrap_err().contains("drains"));
+    }
+
+    #[test]
+    fn placement_fields_parse_validate_and_roundtrip() {
+        let doc = r#"{"suite": "t", "scenarios": [{"name": "x", "protocol": "rand-gossip",
+            "dynamics": {"sybils": 3, "placement": "coverage-greedy", "placement_warmup": 7}}]}"#;
+        let suite = SuiteSpec::parse(doc).unwrap();
+        let s = &suite.expanded().unwrap()[0];
+        assert_eq!(s.dynamics.placement, PlacementStrategy::CoverageGreedy);
+        assert_eq!(s.dynamics.placement_warmup, 7);
+        let reparsed = SuiteSpec::parse(&suite.to_json().render()).unwrap();
+        assert_eq!(reparsed, suite);
+        // Adaptive placement without a sybil coalition is rejected…
+        let doc = r#"{"suite": "t", "scenarios": [{"name": "x", "protocol": "rand-gossip",
+            "dynamics": {"placement": "degree"}}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("sybils"));
+        // …as are a zero-round warm-up, an unknown strategy and a mistyped
+        // field.
+        let doc = r#"{"suite": "t", "scenarios": [{"name": "x", "protocol": "rand-gossip",
+            "dynamics": {"sybils": 2, "placement": "degree", "placement_warmup": 0}}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("warm-up"));
+        let doc = r#"{"suite": "t", "scenarios": [{"name": "x", "protocol": "rand-gossip",
+            "dynamics": {"sybils": 2, "placement": "closest"}}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("placement"));
+        let doc = r#"{"suite": "t", "scenarios": [{"name": "x", "protocol": "rand-gossip",
+            "dynamics": {"sybils": 2, "placement": 3}}]}"#;
+        assert!(SuiteSpec::parse(doc).unwrap_err().contains("string"));
+        // Static placement stays the default and is fingerprint-visible.
+        let a = ScenarioSpec::new(
+            Preset::MovieLens,
+            ModelKind::Gmf,
+            ProtocolKind::RandGossip,
+            Scale::Smoke,
+        );
+        let mut b = a.clone();
+        b.dynamics.sybils = 2;
+        b.dynamics.placement = PlacementStrategy::Degree;
+        assert_eq!(a.dynamics.placement, PlacementStrategy::Static);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn placement_warmup_is_sweepable() {
+        let doc = r#"{"suite": "t", "scenarios": [{"name": "w{}", "protocol": "rand-gossip",
+            "dynamics": {"sybils": 2, "placement": "degree"},
+            "sweep": {"field": "dynamics.placement_warmup", "values": [5, 15]}}]}"#;
+        let scenarios = SuiteSpec::parse(doc).unwrap().expanded().unwrap();
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].dynamics.placement_warmup, 5);
+        assert_eq!(scenarios[1].dynamics.placement_warmup, 15);
+        assert_eq!(SweepField::parse("placement_warmup"), Some(SweepField::PlacementWarmup));
+        assert!(SweepField::parse("dynamics.placement").is_none(), "the strategy is not numeric");
+    }
+
+    #[test]
+    fn adaptive_sybils_suite_holds_everything_but_placement_equal() {
+        let scenarios = adaptive_sybils_suite(Scale::Smoke, 11).expanded().unwrap();
+        assert_eq!(scenarios.len(), 3);
+        let base = &scenarios[0];
+        assert_eq!(base.dynamics.placement, PlacementStrategy::Static);
+        for s in &scenarios[1..] {
+            assert!(s.dynamics.placement.is_adaptive());
+            let mut twin = s.clone();
+            twin.name = base.name.clone();
+            twin.dynamics.placement = base.dynamics.placement;
+            assert_eq!(&twin, base, "{} differs from static beyond the placement", s.name);
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! To regenerate after an *intentional* schema change:
 //!
 //! ```text
-//! for s in builtin participation-sweep defense-dynamics-grid pers-gossip-churn; do
+//! for s in builtin participation-sweep defense-dynamics-grid \
+//!          pers-gossip-churn adaptive-sybils; do
 //!   cargo run --release -q -p cia-scenarios --bin scenario -- \
 //!     run --suite $s --scale smoke --seed 42 --no-timing \
 //!     --out crates/scenarios/tests/golden/$s-smoke.jsonl
@@ -62,3 +63,4 @@ golden_test!(builtin_suite_matches_golden, "builtin");
 golden_test!(participation_sweep_matches_golden, "participation-sweep");
 golden_test!(defense_dynamics_grid_matches_golden, "defense-dynamics-grid");
 golden_test!(pers_gossip_churn_matches_golden, "pers-gossip-churn");
+golden_test!(adaptive_sybils_matches_golden, "adaptive-sybils");

@@ -7,11 +7,14 @@
 use cia_core::{CiaAttackState, MomentumState, PlacementsState, RoundPoint};
 use cia_data::presets::{Preset, Scale};
 use cia_data::UserId;
-use cia_gossip::GossipSimState;
+use cia_gossip::{GossipSimState, TrafficCounters};
 use cia_models::SharedModel;
 use cia_scenarios::checkpoint::{AttackState, Checkpoint, ProtocolState};
 use cia_scenarios::dynamics::{DynamicsState, ParticipantDynamics};
-use cia_scenarios::spec::{DefenseKind, DynamicsSpec, ModelKind, ProtocolKind, ScenarioSpec};
+use cia_scenarios::placement::PlacementState;
+use cia_scenarios::spec::{
+    DefenseKind, DynamicsSpec, ModelKind, PlacementStrategy, ProtocolKind, ScenarioSpec,
+};
 use cia_scenarios::{SuiteEntry, SuiteSpec};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -67,10 +70,20 @@ fn build_spec(
         straggler_mean_delay: 1.0 + tau * 5.0,
         participation: participation.clamp(0.05, 1.0),
         sybils: 0,
+        ..DynamicsSpec::default()
     };
     if protocol.is_gossip() {
         match coalition_pick % 3 {
-            1 => spec.dynamics.sybils = 2 + (coalition_pick / 3) as usize % 4,
+            1 => {
+                spec.dynamics.sybils = 2 + (coalition_pick / 3) as usize % 4;
+                // Sybil specs may also carry an adaptive placement.
+                spec.dynamics.placement = match coalition_pick % 5 {
+                    0 => PlacementStrategy::Degree,
+                    1 => PlacementStrategy::CoverageGreedy,
+                    _ => PlacementStrategy::Static,
+                };
+                spec.dynamics.placement_warmup = 1 + u64::from(coalition_pick) % 40;
+            }
             2 => spec.colluders = 2 + (coalition_pick / 3) as usize % 4,
             _ => {}
         }
@@ -142,6 +155,10 @@ fn build_checkpoint(seed: u64) -> Checkpoint {
                 })
                 .collect(),
             prev_sent: (0..n).map(|_| rng.gen_bool(0.5).then(|| vec_f32(&mut rng, dim))).collect(),
+            traffic: TrafficCounters {
+                received: (0..n).map(|_| rng.gen_range(0u64..200)).collect(),
+                view_in_degree: (0..n).map(|_| rng.gen_range(0u64..2000)).collect(),
+            },
         })
     };
     let history_len = rng.gen_range(0usize..5);
@@ -182,6 +199,35 @@ fn build_checkpoint(seed: u64) -> Checkpoint {
         dynamics: DynamicsState {
             online: (0..n).map(|_| rng.gen_bool(0.8)).collect(),
             straggler_until: (0..n).map(|_| rng.gen_range(0u64..60)).collect(),
+        },
+        placement: if rng.gen_bool(0.5) {
+            PlacementState::default()
+        } else {
+            let relocated = rng.gen_bool(0.5);
+            let mut members: Vec<u32> = (0..n as u32).collect();
+            for i in (1..members.len()).rev() {
+                members.swap(i, rng.gen_range(0usize..=i));
+            }
+            members.truncate(rng.gen_range(1usize..=n.min(3)));
+            members.sort_unstable();
+            PlacementState {
+                relocated,
+                members,
+                seen: if relocated {
+                    Vec::new()
+                } else {
+                    (0..n)
+                        .map(|_| {
+                            let mut log: Vec<u32> = (0..rng.gen_range(0usize..4))
+                                .map(|_| rng.gen_range(0u32..n as u32))
+                                .collect();
+                            log.sort_unstable();
+                            log.dedup();
+                            log
+                        })
+                        .collect()
+                },
+            }
         },
     }
 }
@@ -284,6 +330,7 @@ proptest! {
             straggler_mean_delay: 2.5,
             participation,
             sybils,
+            ..DynamicsSpec::default()
         };
         let total = split + 8;
         let mut straight = ParticipantDynamics::new(&spec, n, seed);

@@ -145,6 +145,35 @@ fn sweep_expanded_scenario_resumes_exactly() {
 }
 
 #[test]
+fn adaptive_run_killed_at_the_relocation_boundary_resumes_exactly() {
+    // placement-degree, killed at round 10 — exactly the end of the warm-up
+    // window, before the relocation fires. The resumed process must replay
+    // the identical relocation from the checkpointed traffic counters and
+    // warm-up delivery log.
+    resume_matches_uninterrupted(
+        cia_scenarios::adaptive_sybils_suite(Scale::Smoke, 42),
+        1,
+        10,
+        5,
+        "adaptive-boundary",
+    );
+}
+
+#[test]
+fn adaptive_run_killed_after_the_relocation_resumes_exactly() {
+    // placement-greedy, killed at round 20 — the relocation happened in the
+    // first segment; the resume must re-apply the relocated membership to
+    // the attack engine and the dynamics sybil table.
+    resume_matches_uninterrupted(
+        cia_scenarios::adaptive_sybils_suite(Scale::Smoke, 42),
+        2,
+        20,
+        10,
+        "adaptive-post",
+    );
+}
+
+#[test]
 fn resume_refuses_a_different_spec() {
     let suite = builtin_suite(Scale::Smoke, 42);
     let spec = suite.expanded().unwrap()[0].clone();

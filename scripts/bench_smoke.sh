@@ -7,14 +7,24 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# ci.sh runs fmt-check and the workspace tests as its own (earlier) steps;
+# it sets CIA_SKIP_REDUNDANT_GATES=1 so a CI run does not pay for them twice.
+# Standalone invocations keep the full gate.
+if [ "${CIA_SKIP_REDUNDANT_GATES:-0}" != 1 ]; then
+    echo "== cargo fmt --all --check"
+    cargo fmt --all --check
+fi
+
 echo "== cargo bench -- --test (every benchmark body, one iteration)"
 cargo bench -p cia-bench -- --test
 
 echo "== scenario engine smoke (suites + sweeps + grid cell + schema + resume)"
 scripts/scenario_smoke.sh
 
-echo "== cargo test --workspace -q"
-cargo test --workspace -q
+if [ "${CIA_SKIP_REDUNDANT_GATES:-0}" != 1 ]; then
+    echo "== cargo test --workspace -q"
+    cargo test --workspace -q
+fi
 
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
