@@ -554,7 +554,7 @@ mod tests {
             .filter(|(_, v)| !v.is_nan())
             .map(|(u, &v)| (v, u as u32))
             .collect();
-        from_scores.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then_with(|| a.1.cmp(&b.1)));
+        from_scores.sort_by(crate::metrics::rank_desc);
         let pred_scores: Vec<u32> = from_scores.into_iter().take(s.k).map(|(_, u)| u).collect();
 
         let mut from_params: Vec<(f32, u32)> = coal
@@ -565,7 +565,7 @@ mod tests {
             .filter(|(u, _)| *u != adversary)
             .map(|(u, m)| (coal.evaluator.relevance_one(m.emb(), m.agg(), adversary as usize), u))
             .collect();
-        from_params.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then_with(|| a.1.cmp(&b.1)));
+        from_params.sort_by(crate::metrics::rank_desc);
         let pred_params: Vec<u32> = from_params.into_iter().take(s.k).map(|(_, u)| u).collect();
 
         assert_eq!(pred_scores, pred_params);
@@ -651,6 +651,59 @@ mod tests {
         // actually separate by the end.
         let last = history.last().unwrap();
         assert!(last.upper_bound_online < last.upper_bound);
+    }
+
+    #[test]
+    fn nan_scores_rank_last_instead_of_panicking() {
+        // A DP-destroyed model can carry NaN parameters, making every
+        // relevance score NaN. Ranking must route through the NaN-mapping
+        // `metrics::rank_desc` (a bare `partial_cmp().unwrap()` panics) and
+        // sink the destroyed sender below every finite-scored one.
+        use cia_models::Participant;
+        let s = setup(12, 2, 3);
+        let evaluator = ItemSetEvaluator::new(s.spec.clone(), s.train_sets.clone(), false);
+        let owners: Vec<Option<UserId>> =
+            (0..s.users).map(|u| Some(UserId::new(u as u32))).collect();
+        let mut coal = GlCiaCoalition::new(
+            CiaConfig { k: 2, beta: 0.9, eval_every: 1, seed: 0 },
+            evaluator,
+            s.users,
+            &[0],
+            s.truths.clone(),
+            owners,
+        );
+        // Healthy senders 1..4, then a destroyed model from sender 5.
+        for sender in 1..4 {
+            let snap = s.clients[sender].snapshot(0);
+            coal.on_delivery(0, UserId::new(0), &snap);
+        }
+        let mut destroyed = s.clients[5].snapshot(0);
+        destroyed.agg.fill(f32::NAN);
+        if let Some(emb) = &mut destroyed.owner_emb {
+            emb.fill(f32::NAN);
+        }
+        coal.on_delivery(0, UserId::new(0), &destroyed);
+        // `last_agg` now carries NaN parameters too; evaluation must still
+        // complete (no panic) and report finite bounds.
+        coal.on_round_end(&GossipRoundStats { round: 0, awake: 12, deliveries: 4, mean_loss: 0.0 });
+        let p = &coal.history()[0];
+        assert!(p.upper_bound.is_finite());
+        // The all-placements engine must tolerate NaN score EMAs the same
+        // way.
+        let evaluator = ItemSetEvaluator::new(s.spec.clone(), s.train_sets.clone(), false);
+        let mut all = GlCiaAllPlacements::new(
+            CiaConfig { k: 2, beta: 0.9, eval_every: 1, seed: 0 },
+            evaluator,
+            s.users,
+            s.truths.clone(),
+        );
+        for sender in 1..6 {
+            let snap = s.clients[sender].snapshot(0);
+            all.on_delivery(0, UserId::new(0), &snap);
+        }
+        all.on_delivery(0, UserId::new(0), &destroyed);
+        all.on_round_end(&GossipRoundStats { round: 0, awake: 12, deliveries: 6, mean_loss: 0.0 });
+        assert!(!all.history().is_empty());
     }
 
     #[test]

@@ -3,8 +3,26 @@
 //! The simulations are round-synchronous, so all parallelism is simple
 //! fork-join over per-user work; no async runtime is warranted.
 
-/// Number of worker threads to use (available parallelism, capped at 16).
+/// Number of worker threads to use.
+///
+/// The `CIA_THREADS` environment variable pins the count explicitly (CI and
+/// golden-transcript jobs set `CIA_THREADS=2` so runs are reproducible and
+/// cheap regardless of the host); `1` disables worker spawning entirely.
+/// Unset — or set to `0` or garbage — falls back to available parallelism,
+/// capped at 16. Every helper in this module produces results that are
+/// byte-identical for *any* thread count (fixed work assignment, ordered
+/// reduction), so the variable only affects wall-clock time.
+///
+/// The variable is re-read on every call (a few times per protocol round —
+/// negligible) so tests can flip it at runtime.
 pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("CIA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(64);
+            }
+        }
+    }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
 }
 

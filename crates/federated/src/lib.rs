@@ -132,6 +132,17 @@ pub trait RoundObserver {
         let _ = model;
     }
 
+    /// Whether this observer consumes [`RoundObserver::on_client_model`].
+    /// Observers that don't (e.g. [`NullObserver`] in utility-only runs and
+    /// round benchmarks) should return `false`: the protocol then skips
+    /// materializing per-client snapshots entirely — aggregation works
+    /// directly from client state — which removes a full copy of every
+    /// client's model from each round. Aggregation math is identical either
+    /// way.
+    fn observes_models(&self) -> bool {
+        true
+    }
+
     /// Called when a round's aggregation completes.
     fn on_round_end(&mut self, stats: &RoundStats) {
         let _ = stats;
@@ -142,7 +153,11 @@ pub trait RoundObserver {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullObserver;
 
-impl RoundObserver for NullObserver {}
+impl RoundObserver for NullObserver {
+    fn observes_models(&self) -> bool {
+        false
+    }
+}
 
 /// The FedAvg simulation.
 pub struct FedAvg<P: Participant> {
@@ -151,6 +166,19 @@ pub struct FedAvg<P: Participant> {
     cfg: FedAvgConfig,
     transform: Option<Box<dyn UpdateTransform>>,
     round: u64,
+    /// Per-client round slots, persistent across rounds so snapshots reuse
+    /// their buffers instead of re-allocating a full model per client per
+    /// round.
+    slots: Vec<RoundSlot>,
+    /// Reused aggregation accumulator.
+    acc: Vec<f32>,
+}
+
+/// Per-client per-round bookkeeping; `model` keeps its buffers across rounds.
+struct RoundSlot {
+    model: SharedModel,
+    loss: f32,
+    sampled: bool,
 }
 
 impl<P: Participant> FedAvg<P> {
@@ -172,7 +200,15 @@ impl<P: Participant> FedAvg<P> {
             "participation must be in (0, 1]"
         );
         let global_agg = clients[0].agg().to_vec();
-        FedAvg { clients, global_agg, cfg, transform: None, round: 0 }
+        let slots = clients
+            .iter()
+            .map(|c| RoundSlot {
+                model: SharedModel { owner: c.user(), round: 0, owner_emb: None, agg: Vec::new() },
+                loss: 0.0,
+                sampled: false,
+            })
+            .collect();
+        FedAvg { clients, global_agg, cfg, transform: None, round: 0, slots, acc: Vec::new() }
     }
 
     /// Installs a local update transform (DP-SGD) applied to every outgoing
@@ -257,60 +293,134 @@ impl<P: Participant> FedAvg<P> {
         observer.on_participants(t, &mut sampled);
         observer.on_global(t, &self.global_agg);
 
-        // Parallel per-client work; results deposited into aligned slots.
-        struct Slot {
-            snapshot: Option<SharedModel>,
-            loss: f32,
-            sampled: bool,
-        }
-        let mut slots: Vec<Slot> =
-            sampled.iter().map(|&s| Slot { snapshot: None, loss: 0.0, sampled: s }).collect();
+        // Snapshots are materialized only when something consumes them: the
+        // observer, or the DP transform (which aggregates transformed
+        // parameters instead of the clients' own).
+        let materialize = self.transform.is_some() || observer.observes_models();
+
+        // Per-client work deposited into aligned, buffer-reusing slots.
         let global = &self.global_agg;
         let cfg = self.cfg;
         let transform = self.transform.as_deref();
-        par_zip_mut(&mut self.clients, &mut slots, |i, client, slot| {
-            if !slot.sampled {
-                return;
+        for (slot, &s) in self.slots.iter_mut().zip(&sampled) {
+            slot.sampled = s;
+            slot.loss = 0.0;
+        }
+        let per_client =
+            |i: usize, client: &mut P, slot: &mut RoundSlot, acc: Option<(f32, &mut [f32])>| {
+                if !slot.sampled {
+                    return;
+                }
+                let mut crng = StdRng::seed_from_u64(
+                    cfg.seed ^ (t << 20) ^ (i as u64).wrapping_mul(0x5851_F42D),
+                );
+                if let Some(tr) = transform {
+                    // DP path: the transform needs the pre-round embedding
+                    // and rewrites the materialized snapshot.
+                    client.absorb_agg(global);
+                    let emb_before: Option<Vec<f32>> = client.owner_emb().map(<[f32]>::to_vec);
+                    let mut loss = 0.0;
+                    for _ in 0..cfg.local_epochs.max(1) {
+                        loss = client.train_local(&mut crng);
+                    }
+                    slot.loss = loss;
+                    client.snapshot_into(t, &mut slot.model);
+                    apply_update_transform(
+                        tr,
+                        &mut slot.model,
+                        global,
+                        emb_before.as_deref(),
+                        &mut crng,
+                    );
+                } else {
+                    slot.loss = client.fed_round(global, cfg.local_epochs, &mut crng, acc);
+                    if materialize {
+                        client.snapshot_into(t, &mut slot.model);
+                    }
+                }
+            };
+        // Pre-compute the sparse-aggregation weights so the single-thread
+        // path can fold each client's contribution while its parameters are
+        // still cache-hot. The parallel path runs the same accumulation as a
+        // separate pass; both visit clients in index order over identical
+        // inputs, so the result is bit-identical for every thread count.
+        let weight_of = |client: &P| match cfg.weighting {
+            Weighting::Uniform => 1.0,
+            Weighting::ByExamples => client.num_examples().max(1) as f32,
+        };
+        let sparse_agg = self.transform.is_none();
+        let total: f32 = self
+            .clients
+            .iter()
+            .zip(&self.slots)
+            .filter(|(_, slot)| slot.sampled)
+            .map(|(client, _)| weight_of(client))
+            .sum();
+        self.acc.resize(self.global_agg.len(), 0.0);
+        self.acc.fill(0.0);
+        if cia_models::parallel::num_threads() <= 1 {
+            let acc = &mut self.acc;
+            for (i, (client, slot)) in self.clients.iter_mut().zip(&mut self.slots).enumerate() {
+                let sink = if sparse_agg && total > 0.0 {
+                    Some((weight_of(client) / total, acc.as_mut_slice()))
+                } else {
+                    None
+                };
+                per_client(i, client, slot, sink);
             }
-            let mut crng =
-                StdRng::seed_from_u64(cfg.seed ^ (t << 20) ^ (i as u64).wrapping_mul(0x5851_F42D));
-            client.absorb_agg(global);
-            let emb_before: Option<Vec<f32>> = client.owner_emb().map(<[f32]>::to_vec);
-            let mut loss = 0.0;
-            for _ in 0..cfg.local_epochs.max(1) {
-                loss = client.train_local(&mut crng);
+        } else {
+            par_zip_mut(&mut self.clients, &mut self.slots, |i, client, slot| {
+                per_client(i, client, slot, None);
+            });
+            if sparse_agg && total > 0.0 {
+                let acc = &mut self.acc;
+                for (client, slot) in self.clients.iter().zip(&self.slots) {
+                    if slot.sampled {
+                        client.accumulate_update(global, weight_of(client) / total, acc);
+                    }
+                }
             }
-            let mut snap = client.snapshot(t);
-            if let Some(tr) = transform {
-                apply_update_transform(tr, &mut snap, global, emb_before.as_deref(), &mut crng);
-            }
-            slot.loss = loss;
-            slot.snapshot = Some(snap);
-        });
+        }
 
-        // Observe in deterministic (user-id) order, then aggregate.
-        let mut rows: Vec<&[f32]> = Vec::new();
-        let mut weights: Vec<f32> = Vec::new();
+        // Observe in deterministic (user-id) order.
         let mut loss_sum = 0.0f32;
         let mut participants = 0usize;
-        for (client, slot) in self.clients.iter().zip(&slots) {
-            if let Some(snap) = &slot.snapshot {
-                observer.on_client_model(snap);
-                rows.push(&snap.agg);
-                weights.push(match self.cfg.weighting {
-                    Weighting::Uniform => 1.0,
-                    Weighting::ByExamples => client.num_examples().max(1) as f32,
-                });
+        for slot in &self.slots {
+            if slot.sampled {
+                if materialize {
+                    observer.on_client_model(&slot.model);
+                }
                 loss_sum += slot.loss;
                 participants += 1;
             }
         }
-        // An all-offline round (dynamics can empty the mask) keeps the
-        // previous global — nothing arrived to aggregate.
+        // Aggregate. An all-offline round (dynamics can empty the mask)
+        // keeps the previous global — nothing arrived to aggregate.
         if participants > 0 {
-            let mut new_global = vec![0.0f32; self.global_agg.len()];
-            weighted_mean(&mut new_global, &rows, &weights);
-            self.global_agg = new_global;
+            if sparse_agg {
+                // Sparse path: every client contributed
+                // `w̃ᵢ · (aggᵢ − global)` over only the parameters its local
+                // training touched (Σ w̃ᵢ = 1, so
+                // `global + Σ w̃ᵢ·(aggᵢ − global) = Σ w̃ᵢ·aggᵢ`) — already
+                // folded into `acc` above, in client index order.
+                for (g, a) in self.global_agg.iter_mut().zip(&self.acc) {
+                    *g += a;
+                }
+            } else {
+                // Transformed parameters live only in the snapshots: dense
+                // weighted mean over the materialized models.
+                let mut rows: Vec<&[f32]> = Vec::with_capacity(participants);
+                let mut weights: Vec<f32> = Vec::with_capacity(participants);
+                for (client, slot) in self.clients.iter().zip(&self.slots) {
+                    if slot.sampled {
+                        rows.push(&slot.model.agg);
+                        weights.push(weight_of(client));
+                    }
+                }
+                let mut new_global = vec![0.0f32; self.global_agg.len()];
+                weighted_mean(&mut new_global, &rows, &weights);
+                self.global_agg = new_global;
+            }
         }
 
         let stats = RoundStats {

@@ -3,7 +3,6 @@
 use crate::graph::{sample_exp_interval, ViewTable};
 use cia_data::UserId;
 use cia_models::parallel::par_zip_mut;
-use cia_models::params::weighted_mean;
 use cia_models::{Participant, SharedModel, UpdateTransform};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -180,6 +179,12 @@ pub struct GossipSim<P: Participant> {
     transform: Option<Box<dyn UpdateTransform>>,
     traffic: TrafficCounters,
     round: u64,
+    /// Recycled model carcasses: aggregated inbox snapshots return here and
+    /// the next round's outgoing snapshots reuse their buffers, so a steady
+    /// round allocates no catalog-sized vectors.
+    pool: Vec<SharedModel>,
+    /// Reused per-round outgoing-slot table.
+    outgoing: Vec<Option<SharedModel>>,
 }
 
 impl<P: Participant> GossipSim<P> {
@@ -215,7 +220,19 @@ impl<P: Participant> GossipSim<P> {
             })
             .collect();
         let traffic = TrafficCounters::zeroed(nodes.len());
-        GossipSim { nodes, ctl, views, refresh_at, cfg, transform: None, traffic, round: 0 }
+        let outgoing = (0..nodes.len()).map(|_| None).collect();
+        GossipSim {
+            nodes,
+            ctl,
+            views,
+            refresh_at,
+            cfg,
+            transform: None,
+            traffic,
+            round: 0,
+            pool: Vec::new(),
+            outgoing,
+        }
     }
 
     /// Installs a local update transform (DP-SGD) applied to every outgoing
@@ -349,36 +366,45 @@ impl<P: Participant> GossipSim<P> {
             c.awake = w;
         }
 
-        // 3. Send phase: snapshot (+ DP transform) in parallel.
+        // 3. Send phase: snapshot (+ DP transform) in parallel. Outgoing
+        // slots are seeded with recycled carcasses from the pool so
+        // `snapshot_into` reuses their buffers.
         let cfg = self.cfg;
         let transform = self.transform.as_deref();
         let awake: Vec<bool> = self.ctl.iter().map(|c| c.awake).collect();
         let destinations: Vec<u32> =
             (0..n).map(|u| self.views.random_neighbor(u as u32, &mut rng)).collect();
-        let mut outgoing: Vec<Option<SharedModel>> = {
+        for (slot, &w) in self.outgoing.iter_mut().zip(&awake) {
+            if w && slot.is_none() {
+                *slot = self.pool.pop();
+            }
+        }
+        {
             let nodes = &self.nodes;
             let ctl = &mut self.ctl;
-            let mut out: Vec<Option<SharedModel>> = (0..n).map(|_| None).collect();
-            // Parallel over (ctl, out) pairs; nodes are read-only here.
-            par_zip_mut(ctl, &mut out, |i, c, slot| {
+            // Parallel over (ctl, outgoing) pairs; nodes are read-only here.
+            par_zip_mut(ctl, &mut self.outgoing, |i, c, slot| {
                 if !c.awake {
+                    *slot = None;
                     return;
                 }
-                let mut snap = nodes[i].snapshot(t);
+                match slot {
+                    Some(snap) => nodes[i].snapshot_into(t, snap),
+                    None => *slot = Some(nodes[i].snapshot(t)),
+                }
+                let snap = slot.as_mut().expect("just filled");
                 if let Some(tr) = transform {
                     let mut crng = StdRng::seed_from_u64(
                         cfg.seed ^ (t << 22) ^ (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
                     );
-                    apply_gossip_transform(tr, &mut snap, &mut c.prev_sent, &mut crng);
+                    apply_gossip_transform(tr, snap, &mut c.prev_sent, &mut crng);
                 }
-                *slot = Some(snap);
             });
-            out
-        };
+        }
 
         // 4. Routing (serial: observer callbacks + inbox pushes).
         let mut deliveries = 0usize;
-        for (u, slot) in outgoing.iter_mut().enumerate() {
+        for (u, slot) in self.outgoing.iter_mut().enumerate() {
             if let Some(snap) = slot.take() {
                 let dest = destinations[u];
                 observer.on_delivery(t, UserId::new(dest), &snap);
@@ -388,7 +414,10 @@ impl<P: Participant> GossipSim<P> {
             }
         }
 
-        // 5. Aggregate + local training on awake nodes, in parallel.
+        // 5. Aggregate + local training on awake nodes, in parallel. The
+        // in-place `mix_agg` replaces materializing the neighborhood mean;
+        // consumed inboxes are drained into the pool afterwards (serially —
+        // the pool is shared).
         let is_pers = matches!(self.cfg.protocol, GossipProtocol::Pers { .. });
         par_zip_mut(&mut self.nodes, &mut self.ctl, |i, node, c| {
             if !c.awake {
@@ -400,16 +429,8 @@ impl<P: Participant> GossipSim<P> {
                         c.heard.push((m.owner.raw(), node.evaluate_model(m)));
                     }
                 }
-                let mut rows: Vec<&[f32]> = Vec::with_capacity(c.inbox.len() + 1);
-                rows.push(node.agg());
-                for m in &c.inbox {
-                    rows.push(&m.agg);
-                }
-                let weights = vec![1.0f32; rows.len()];
-                let mut mixed = vec![0.0f32; node.agg_len()];
-                weighted_mean(&mut mixed, &rows, &weights);
-                node.absorb_agg(&mixed);
-                c.inbox.clear();
+                let rows: Vec<&[f32]> = c.inbox.iter().map(|m| m.agg.as_slice()).collect();
+                node.mix_agg(&rows);
             }
             let mut crng = StdRng::seed_from_u64(
                 cfg.seed ^ (t << 24) ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
@@ -420,6 +441,12 @@ impl<P: Participant> GossipSim<P> {
             }
             c.loss = loss;
         });
+        for c in &mut self.ctl {
+            if c.awake {
+                self.pool.append(&mut c.inbox);
+            }
+        }
+        self.pool.truncate(n);
 
         let awake_count = awake.iter().filter(|&&a| a).count();
         let loss_sum: f32 = self.ctl.iter().filter(|c| c.awake).map(|c| c.loss).sum();

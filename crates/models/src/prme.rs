@@ -122,6 +122,10 @@ impl PrmeSpec {
         let mut user_emb = vec![0.0f32; self.dim];
         init_uniform(&mut user_emb, self.hyper.init_scale, &mut rng);
         let agg = self.init_agg(&mut rng);
+        let mut train_mask = vec![0u8; self.num_items as usize];
+        for &j in &train_items {
+            train_mask[j as usize] = 1;
+        }
         PrmeClient {
             spec: self.clone(),
             user,
@@ -131,6 +135,9 @@ impl PrmeSpec {
             train_sequence,
             policy,
             ref_items: None,
+            train_mask,
+            touched: Vec::new(),
+            touched_mask: vec![0u8; 2 * self.num_items as usize],
         }
     }
 
@@ -240,6 +247,13 @@ pub struct PrmeClient {
     train_sequence: Vec<u32>,
     policy: SharingPolicy,
     ref_items: Option<Vec<f32>>,
+    /// O(1) membership test for negative sampling (`1` = training item).
+    train_mask: Vec<u8>,
+    /// Embedding rows (preference row `j`, sequential row `|V| + j`)
+    /// modified since the last absorb/mix.
+    touched: Vec<u32>,
+    /// Dedup mask for `touched`.
+    touched_mask: Vec<u8>,
 }
 
 impl PrmeClient {
@@ -273,8 +287,31 @@ impl PrmeClient {
             .collect()
     }
 
+    /// Resets the touched-row tracking (the absorbed parameters become the
+    /// new sparse-update reference).
+    fn clear_touched(&mut self) {
+        for &r in &self.touched {
+            self.touched_mask[r as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    /// Marks an embedding row (`pref` row `j` or `seq` row `|V| + j`) dirty.
+    fn touch_row(&mut self, row: u32) {
+        if self.touched_mask[row as usize] == 0 {
+            self.touched_mask[row as usize] = 1;
+            self.touched.push(row);
+        }
+    }
+
     /// One pairwise step on successor pair `(l → pos)` against negative `neg`.
     fn pair_step(&mut self, l: u32, pos: u32, neg: u32, lr: f32) -> f32 {
+        let n = self.spec.num_items;
+        self.touch_row(pos);
+        self.touch_row(neg);
+        self.touch_row(n + l);
+        self.touch_row(n + pos);
+        self.touch_row(n + neg);
         let d = self.spec.dim;
         let alpha = self.spec.hyper.alpha;
         let wd = self.spec.hyper.weight_decay;
@@ -336,7 +373,7 @@ impl PrmeClient {
             }
         }
         // -ln σ(z): the pairwise ranking loss.
-        -(crate::params::sigmoid(z).max(1e-7)).ln()
+        -crate::kernel::fast_ln(crate::params::sigmoid(z).max(1e-7))
     }
 }
 
@@ -360,8 +397,25 @@ impl Participant for PrmeClient {
     fn absorb_agg(&mut self, agg: &[f32]) {
         assert_eq!(agg.len(), self.agg.len(), "agg size mismatch");
         self.agg.copy_from_slice(agg);
+        self.clear_touched();
         if self.policy.tau() > 0.0 {
-            self.ref_items = Some(agg.to_vec());
+            match &mut self.ref_items {
+                Some(r) => r.copy_from_slice(agg),
+                slot @ None => *slot = Some(agg.to_vec()),
+            }
+        }
+    }
+
+    fn mix_agg(&mut self, others: &[&[f32]]) {
+        // In-place uniform mean (see the GMF counterpart; bit-identical to
+        // the default path).
+        crate::kernel::uniform_mix(&mut self.agg, others);
+        self.clear_touched();
+        if self.policy.tau() > 0.0 {
+            match &mut self.ref_items {
+                Some(r) => r.copy_from_slice(&self.agg),
+                slot @ None => *slot = Some(self.agg.clone()),
+            }
         }
     }
 
@@ -375,16 +429,19 @@ impl Participant for PrmeClient {
         let mut loss = 0.0f32;
         let mut steps = 0usize;
         // Successor pairs from the check-in sequence; fall back to item-set
-        // self-pairs when no sequence exists.
-        let pairs: Vec<(u32, u32)> = if self.train_sequence.len() >= 2 {
-            self.train_sequence.windows(2).map(|w| (w[0], w[1])).collect()
-        } else {
-            self.train_items.iter().map(|&i| (i, i)).collect()
-        };
-        for (l, pos) in pairs {
+        // self-pairs when no sequence exists. Indexed access keeps the pair
+        // iteration allocation-free.
+        let seq_pairs = self.train_sequence.len().saturating_sub(1);
+        let pair_count = if seq_pairs > 0 { seq_pairs } else { self.train_items.len() };
+        for i in 0..pair_count {
+            let (l, pos) = if seq_pairs > 0 {
+                (self.train_sequence[i], self.train_sequence[i + 1])
+            } else {
+                (self.train_items[i], self.train_items[i])
+            };
             for _ in 0..negatives {
                 let neg = rng.gen_range(0..num_items);
-                if self.train_items.binary_search(&neg).is_err() {
+                if self.train_mask[neg as usize] == 0 {
                     loss += self.pair_step(l, pos, neg, lr);
                     steps += 1;
                 }
@@ -403,6 +460,38 @@ impl Participant for PrmeClient {
             round,
             owner_emb: self.policy.shares_user_embedding().then(|| self.user_emb.clone()),
             agg: self.agg.clone(),
+        }
+    }
+
+    fn snapshot_into(&self, round: u64, slot: &mut SharedModel) {
+        slot.owner = self.user;
+        slot.round = round;
+        slot.agg.resize(self.agg.len(), 0.0);
+        slot.agg.copy_from_slice(&self.agg);
+        if self.policy.shares_user_embedding() {
+            match &mut slot.owner_emb {
+                Some(e) => {
+                    e.resize(self.user_emb.len(), 0.0);
+                    e.copy_from_slice(&self.user_emb);
+                }
+                emb @ None => *emb = Some(self.user_emb.clone()),
+            }
+        } else {
+            slot.owner_emb = None;
+        }
+    }
+
+    fn accumulate_update(&self, reference: &[f32], weight: f32, out: &mut [f32]) {
+        let d = self.spec.dim;
+        assert_eq!(self.agg.len(), reference.len(), "reference length mismatch");
+        assert_eq!(self.agg.len(), out.len(), "output length mismatch");
+        // Training modifies only the visited preference/sequential rows;
+        // untouched rows still equal the absorbed reference.
+        for &r in &self.touched {
+            let s = r as usize * d;
+            for k in s..s + d {
+                out[k] += weight * (self.agg[k] - reference[k]);
+            }
         }
     }
 
@@ -447,6 +536,7 @@ impl Participant for PrmeClient {
     }
 
     fn restore_state(&mut self, state: &[f32]) {
+        self.clear_touched();
         let d = self.spec.dim;
         let agg_len = self.agg.len();
         assert!(state.len() > d + agg_len, "PRME state too short");

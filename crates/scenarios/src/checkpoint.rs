@@ -76,16 +76,41 @@ pub struct Checkpoint {
 
 impl Checkpoint {
     /// The checkpoint file path for a scenario inside `dir`. The sanitized
-    /// name is suffixed with a hash of the *exact* name so two scenarios
-    /// whose names sanitize identically (`a.b` vs `a_b`) never share a file.
+    /// name is suffixed with the full 64-bit hash of the *exact* name so two
+    /// scenarios whose names sanitize identically (`a.b` vs `a_b`) never
+    /// share a file. (An earlier format truncated the hash to 32 bits, which
+    /// let two suite cells collide in one checkpoint directory and silently
+    /// resume from the wrong state — see
+    /// [`Checkpoint::migrate_legacy_names`].)
     pub fn path_for(dir: &Path, scenario: &str) -> PathBuf {
-        // Scenario names come from specs; keep the file name tame.
+        let (safe, h) = Self::name_parts(scenario);
+        dir.join(format!("{safe}-{h:016x}.ckpt"))
+    }
+
+    /// Sanitized file stem and full name hash for `scenario` (names come
+    /// from specs; keep the file name tame).
+    fn name_parts(scenario: &str) -> (String, u64) {
         let safe: String = scenario
             .chars()
             .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
             .collect();
-        let h = crate::spec::fnv1a64(scenario.bytes());
-        dir.join(format!("{safe}-{:08x}.ckpt", h as u32))
+        (safe, crate::spec::fnv1a64(scenario.bytes()))
+    }
+
+    /// Renames checkpoint/completion-marker files written under the legacy
+    /// truncated-hash naming (`{name}-{hash as u32:08x}`) to the current
+    /// full-hash names, so resumes accept checkpoints from older runs. Does
+    /// nothing when no legacy file exists or the new name is already taken
+    /// (a current-format file always wins over a legacy one).
+    pub fn migrate_legacy_names(dir: &Path, scenario: &str) {
+        let (safe, h) = Self::name_parts(scenario);
+        for ext in ["ckpt", "done"] {
+            let legacy = dir.join(format!("{safe}-{:08x}.{ext}", h as u32));
+            let current = dir.join(format!("{safe}-{h:016x}.{ext}"));
+            if legacy.exists() && !current.exists() {
+                let _ = std::fs::rename(&legacy, &current);
+            }
+        }
     }
 
     /// Serializes the checkpoint.
@@ -617,6 +642,39 @@ mod tests {
         // their files apart.
         assert_ne!(Checkpoint::path_for(dir, "a.b"), Checkpoint::path_for(dir, "a_b"));
         assert_eq!(Checkpoint::path_for(dir, "x-1"), Checkpoint::path_for(dir, "x-1"));
+        // Regression: the hash is no longer truncated to 32 bits (two suite
+        // cells whose full hashes agreed in the low half used to collide and
+        // silently resume from the wrong state). The name must carry all 16
+        // hex digits.
+        let name = Checkpoint::path_for(dir, "cell");
+        let stem = name.file_stem().unwrap().to_string_lossy().into_owned();
+        let (_, hash) = stem.rsplit_once('-').unwrap();
+        assert_eq!(hash.len(), 16, "full 64-bit hash in {stem}");
+    }
+
+    #[test]
+    fn legacy_names_migrate_ckpt_and_done_files() {
+        let tmp = std::env::temp_dir().join(format!("cia-ckpt-migrate-{}", std::process::id()));
+        std::fs::create_dir_all(&tmp).unwrap();
+        let current = Checkpoint::path_for(&tmp, "scenario.x");
+        let stem = current.file_stem().unwrap().to_string_lossy().into_owned();
+        let (prefix, hash16) = stem.rsplit_once('-').unwrap();
+        let legacy = tmp.join(format!("{prefix}-{}.ckpt", &hash16[8..]));
+        let legacy_done = legacy.with_extension("done");
+        std::fs::write(&legacy, b"ckpt").unwrap();
+        std::fs::write(&legacy_done, b"done").unwrap();
+
+        Checkpoint::migrate_legacy_names(&tmp, "scenario.x");
+        assert!(!legacy.exists() && !legacy_done.exists(), "legacy files left behind");
+        assert_eq!(std::fs::read(&current).unwrap(), b"ckpt");
+        assert_eq!(std::fs::read(current.with_extension("done")).unwrap(), b"done");
+
+        // A current-format file always wins: a second migration with a new
+        // legacy file must not clobber it.
+        std::fs::write(&legacy, b"stale").unwrap();
+        Checkpoint::migrate_legacy_names(&tmp, "scenario.x");
+        assert_eq!(std::fs::read(&current).unwrap(), b"ckpt", "migration clobbered");
+        let _ = std::fs::remove_dir_all(&tmp);
     }
 
     #[test]

@@ -214,6 +214,10 @@ impl<O: RoundObserver> RoundObserver for FlDynamics<'_, O> {
         self.inner.on_client_model(model);
     }
 
+    fn observes_models(&self) -> bool {
+        self.inner.observes_models()
+    }
+
     fn on_round_end(&mut self, stats: &cia_federated::RoundStats) {
         self.inner.on_round_end(stats);
     }

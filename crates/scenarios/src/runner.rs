@@ -35,9 +35,10 @@ use cia_data::UserId;
 use cia_defenses::{DpConfig, DpMechanism};
 use cia_federated::{FedAvg, FedAvgConfig};
 use cia_gossip::{GossipConfig, GossipObserver, GossipProtocol, GossipRoundStats, GossipSim};
+use cia_models::parallel::par_map;
 use cia_models::{
-    f1_at_k, GmfClient, GmfHyper, GmfSpec, Participant, PrmeClient, PrmeHyper, PrmeSpec,
-    RankedEval, RelevanceScorer, SharedModel,
+    f1_at_k, hit_ratio, GmfClient, GmfHyper, GmfSpec, Participant, PrmeClient, PrmeHyper, PrmeSpec,
+    RelevanceScorer, SharedModel,
 };
 use std::io::Write;
 use std::path::PathBuf;
@@ -149,6 +150,13 @@ pub fn run_scenario(
     spec.validate()?;
     let start = Instant::now();
     let ctx = Ctx { spec, suite, opts, start };
+    if opts.resume {
+        if let Some(dir) = &opts.checkpoint_dir {
+            // Accept checkpoints and completion markers written under the
+            // legacy truncated-hash file names.
+            Checkpoint::migrate_legacy_names(dir, &spec.name);
+        }
+    }
     // A suite killed in scenario N leaves scenarios 1..N completed with
     // their records already in the stream; the completion marker stops a
     // resume from re-running them and appending duplicates.
@@ -254,13 +262,20 @@ fn run_gmf(
         .collect();
     let eval_instances = setup.split.eval_instances().to_vec();
     let utility = move |clients: &[GmfClient]| -> f64 {
-        let mut acc = RankedEval::new();
-        for (c, inst) in clients.iter().zip(&eval_instances) {
+        // Clients evaluate independently in parallel; a hit count is
+        // order-insensitive, so the result is identical for every
+        // CIA_THREADS setting.
+        let n = clients.len().min(eval_instances.len());
+        let hits = par_map(n, |u| {
+            let (c, inst) = (&clients[u], &eval_instances[u]);
             let pos = c.score_candidates(&[inst.primary()])[0];
             let negs = c.score_candidates(&inst.negatives);
-            acc.push(pos, &negs, 20);
+            hit_ratio(pos, &negs, 20)
+        });
+        if n == 0 {
+            return 0.0;
         }
-        acc.hr()
+        hits.iter().filter(|&&h| h).count() as f64 / n as f64
     };
     run_protocol(ctx, setup, model_spec, clients, utility, "HR@20", sink)
 }
@@ -294,23 +309,36 @@ fn run_prme(
     let utility = move |clients: &[PrmeClient]| -> f64 {
         // F1@20: rank the full catalog minus train items, compare the top 20
         // against the held-out positives (logit scores; ranking is
-        // sigmoid-free by monotonicity).
+        // sigmoid-free by monotonicity). Clients evaluate independently in
+        // parallel chunks; the fold over per-client F1 values runs in client
+        // index order, so the mean is identical for every CIA_THREADS
+        // setting.
         let all: Vec<u32> = (0..num_items).collect();
-        let mut total = 0.0;
-        for ((c, inst), train) in clients.iter().zip(&eval_instances).zip(&train_sets) {
+        let n = clients.len().min(eval_instances.len()).min(train_sets.len());
+        let f1s = par_map(n, |u| {
+            let (c, (inst, train)) = (&clients[u], (&eval_instances[u], &train_sets[u]));
             let scores = c.score_candidates(&all);
-            let mut ranked: Vec<(f32, u32)> = scores
+            let ranked: Vec<(f32, u32)> = scores
                 .into_iter()
                 .zip(all.iter().copied())
                 .filter(|(_, j)| train.binary_search(j).is_err())
                 .collect();
-            ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
-            let top: Vec<u32> = ranked.into_iter().take(20).map(|(_, j)| j).collect();
-            total += f1_at_k(&top, &inst.positives);
-        }
-        total / clients.len() as f64
+            f1_at_k(&top_k_by_score(ranked, 20), &inst.positives)
+        });
+        f1s.iter().sum::<f64>() / clients.len() as f64
     };
     run_protocol(ctx, setup, model_spec, clients, utility, "F1@20", sink)
+}
+
+/// Ranks `(score, item)` candidates by descending score with an ascending
+/// item-id tie-break and returns the top `k` item ids — the same
+/// deterministic, NaN-sinking order as every other rank site
+/// ([`cia_core::metrics::rank_desc`], `cia_data::jaccard`). Equal scores
+/// must never leave the cut-off at the mercy of catalog iteration order,
+/// and NaN scores (a DP-destroyed model) rank last instead of panicking.
+pub fn top_k_by_score(mut ranked: Vec<(f32, u32)>, k: usize) -> Vec<u32> {
+    ranked.sort_by(cia_core::metrics::rank_desc);
+    ranked.into_iter().take(k).map(|(_, j)| j).collect()
 }
 
 fn build_dp(spec: &ScenarioSpec, rounds: u64) -> Option<DpMechanism> {
@@ -1011,6 +1039,25 @@ mod tests {
             }
         }
         assert!(saw_partial, "churn never took anyone offline");
+    }
+
+    #[test]
+    fn top_k_breaks_score_ties_by_item_id() {
+        // Regression: the F1@20 ranking used to sort with `partial_cmp`
+        // alone, so duplicated scores left the top-k dependent on catalog
+        // iteration order. Ties must break on ascending item id regardless
+        // of input order.
+        let scores = vec![(0.5f32, 9u32), (0.7, 4), (0.5, 2), (0.7, 1), (0.5, 7)];
+        let mut reversed = scores.clone();
+        reversed.reverse();
+        let a = top_k_by_score(scores, 3);
+        let b = top_k_by_score(reversed, 3);
+        assert_eq!(a, vec![1, 4, 2], "descending score, then ascending id");
+        assert_eq!(a, b, "input order leaked into the ranking");
+        // NaN scores (a DP-destroyed model) sink below every finite score
+        // instead of panicking the utility evaluation.
+        let with_nan = vec![(f32::NAN, 0u32), (0.1, 5), (f32::NAN, 3), (0.2, 8)];
+        assert_eq!(top_k_by_score(with_nan, 3), vec![8, 5, 0]);
     }
 
     #[test]

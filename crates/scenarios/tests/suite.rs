@@ -174,6 +174,92 @@ fn adaptive_run_killed_after_the_relocation_resumes_exactly() {
 }
 
 #[test]
+fn parallel_and_serial_streams_are_byte_identical() {
+    // The round hot path fans out over CIA_THREADS workers (client training,
+    // gossip aggregation, relevance scoring, utility evaluation). Per-client
+    // RNG streams are salted by id and every reduction folds in index order,
+    // so the JSONL stream must be byte-identical for any thread count.
+    //
+    // Other tests in this binary may run concurrently and see the variable
+    // flip — harmless, because thread count never changes results (exactly
+    // the property under test).
+    let run_with = |threads: &str| -> Vec<u8> {
+        std::env::set_var("CIA_THREADS", threads);
+        let suite = builtin_suite(Scale::Smoke, 42);
+        let mut buf = Vec::new();
+        let outcomes = run_suite(&suite, &RunOptions::default(), &mut buf).unwrap();
+        assert!(outcomes.iter().all(|o| o.completed));
+        buf
+    };
+    let serial = run_with("1");
+    let parallel = run_with("4");
+    std::env::remove_var("CIA_THREADS");
+    assert_eq!(serial, parallel, "thread count changed the JSONL stream");
+    validate_jsonl(&String::from_utf8(serial).unwrap()).unwrap();
+}
+
+#[test]
+fn kill_and_resume_under_parallel_execution_matches_serial() {
+    // A churn-FL run killed mid-flight and resumed with CIA_THREADS=4 must
+    // land on exactly the metrics of an uninterrupted serial run (the
+    // resume_matches_uninterrupted harness runs its reference serially
+    // first, then the killed/resumed legs under the parallel setting).
+    std::env::set_var("CIA_THREADS", "4");
+    resume_matches_uninterrupted(builtin_suite(Scale::Smoke, 42), 1, 4, 2, "parallel-resume");
+    std::env::remove_var("CIA_THREADS");
+}
+
+#[test]
+fn legacy_truncated_hash_checkpoints_migrate_on_resume() {
+    // Checkpoint files used to truncate the name hash to 32 bits; a resume
+    // must accept (rename) files written under the old naming instead of
+    // silently starting from scratch.
+    let suite = builtin_suite(Scale::Smoke, 42);
+    let spec = suite.expanded().unwrap()[1].clone();
+
+    let mut straight_out = Vec::new();
+    let straight = run_scenario(&spec, "t", &RunOptions::default(), &mut straight_out).unwrap();
+
+    let dir = TempDir::new("legacy-names");
+    let ckpt = RunOptions {
+        checkpoint_dir: Some(dir.0.clone()),
+        checkpoint_every: 2,
+        ..RunOptions::default()
+    };
+    let mut partial_out = Vec::new();
+    run_scenario(
+        &spec,
+        "t",
+        &RunOptions { stop_after_rounds: Some(4), ..ckpt.clone() },
+        &mut partial_out,
+    )
+    .unwrap();
+
+    // Rewrite the produced checkpoint to the legacy name: the stem ends in
+    // the 16-hex-digit hash; the old format kept only the low 32 bits (the
+    // trailing 8 digits).
+    let entries: Vec<std::path::PathBuf> =
+        std::fs::read_dir(&dir.0).unwrap().map(|e| e.unwrap().path()).collect();
+    assert_eq!(entries.len(), 1);
+    let current = &entries[0];
+    let stem = current.file_stem().unwrap().to_string_lossy().into_owned();
+    let (prefix, hash16) = stem.rsplit_once('-').unwrap();
+    assert_eq!(hash16.len(), 16, "checkpoint names carry the full 64-bit hash");
+    let legacy = dir.0.join(format!("{prefix}-{}.ckpt", &hash16[8..]));
+    std::fs::rename(current, &legacy).unwrap();
+
+    // The resume must pick the legacy file up and complete identically.
+    let mut resumed_out = Vec::new();
+    let resumed =
+        run_scenario(&spec, "t", &RunOptions { resume: true, ..ckpt }, &mut resumed_out).unwrap();
+    assert!(resumed.completed);
+    assert_eq!(resumed.attack.history, straight.attack.history);
+    let mut stitched = partial_out;
+    stitched.extend_from_slice(&resumed_out);
+    assert_eq!(stitched, straight_out, "stitched JSONL diverged after migration");
+}
+
+#[test]
 fn resume_refuses_a_different_spec() {
     let suite = builtin_suite(Scale::Smoke, 42);
     let spec = suite.expanded().unwrap()[0].clone();

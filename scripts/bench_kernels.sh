@@ -13,8 +13,17 @@
 # gossip_round_paper_943x1682). They are env-gated rather than always-on so
 # the `cargo bench -- --test` smoke gate and CI stay fast; run
 # `scripts/bench_kernels.sh --scale paper paper` to refresh only those rows.
+# The default (smoke) run always includes the small-scale trend rows
+# (fedavg_round_small_200x400, gossip_round_small_200x400) — the same round
+# hot path at ~1% of the work — so round-cost drift shows up without paying
+# for paper-scale rounds.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Round benches are timed single-threaded by default so the recorded numbers
+# are stable per-core costs; override CIA_THREADS explicitly to measure
+# scaling.
+export CIA_THREADS="${CIA_THREADS:-1}"
 
 args=()
 while [ $# -gt 0 ]; do

@@ -14,6 +14,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE="${CARGO_NET_OFFLINE:-true}"
+# Pinned worker count: results are byte-identical for any CIA_THREADS value
+# (that invariance is itself under test), so CI pins a small count for
+# reproducible timing on shared runners.
+export CIA_THREADS="${CIA_THREADS:-2}"
 
 step_names=()
 step_secs=()
