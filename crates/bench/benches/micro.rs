@@ -13,7 +13,7 @@ use cia_federated::{FedAvg, FedAvgConfig, NullObserver};
 use cia_gossip::{GossipConfig, GossipSim, NullGossipObserver};
 use cia_models::params::{clip_l2, ema, sigmoid};
 use cia_models::{
-    kernel, GmfHyper, GmfSpec, Mlp, MlpHyper, MlpSpec, RelevanceScorer, SharingPolicy,
+    kernel, ClientStore, GmfHyper, GmfSpec, Mlp, MlpHyper, MlpSpec, RelevanceScorer, SharingPolicy,
 };
 use cia_scenarios::{DynamicsSpec, FlDynamics, ParticipantDynamics};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -334,6 +334,35 @@ fn bench_protocol_rounds(c: &mut Criterion) {
         );
         b.iter(|| sim.step(&mut NullGossipObserver));
     });
+    // The sharded lazy-materialization round at smoke scale, ungated so the
+    // `cargo bench -- --test` smoke gate (scripts/bench_smoke.sh) exercises
+    // the materialize/train/retire hot path on every run. Shell clients
+    // rebuild from the factory, train inside the shared workspace, and
+    // retire to d-float descriptors; 25% participation keeps the round
+    // representative of a sampled cohort.
+    let lazy_train = split.train_sets().to_vec();
+    let lazy_examples: Vec<u32> = lazy_train.iter().map(|t| t.len() as u32).collect();
+    let lazy_spec = spec.clone();
+    let lazy_store = ClientStore::sharded(
+        16,
+        lazy_examples,
+        Box::new(move |i| {
+            lazy_spec.build_shell(
+                UserId::new(i as u32),
+                lazy_train[i].clone(),
+                SharingPolicy::Full,
+                i as u64,
+            )
+        }),
+    );
+    let mut lazy_sim = FedAvg::sharded(
+        lazy_store,
+        spec.init_agg(&mut StdRng::seed_from_u64(3)),
+        FedAvgConfig { rounds: u64::MAX, participation: 0.25, ..Default::default() },
+    );
+    c.bench_function("fedavg_round_lazy_48x160", |b| {
+        b.iter(|| lazy_sim.step(&mut NullObserver));
+    });
     // The same FedAvg round with the scenario engine's churn/straggler
     // dynamics threaded through the observer seam — measures what the
     // availability layer costs on top of a bare round.
@@ -433,18 +462,83 @@ fn bench_paper_scale(c: &mut Criterion) {
             .collect()
     };
     // The paper's FL setting: 2 local epochs per round (ScaleParams::Paper).
-    c.bench_function("fedavg_round_paper_943x1682", |b| {
+    let t = thread_suffix();
+    c.bench_function(&format!("fedavg_round_paper_943x1682{t}"), |b| {
         let mut sim = FedAvg::new(
             clients(),
             FedAvgConfig { rounds: u64::MAX, local_epochs: 2, ..Default::default() },
         );
         b.iter(|| sim.step(&mut NullObserver));
     });
-    c.bench_function("gossip_round_paper_943x1682", |b| {
+    c.bench_function(&format!("gossip_round_paper_943x1682{t}"), |b| {
         let mut sim =
             GossipSim::new(clients(), GossipConfig { rounds: u64::MAX, ..Default::default() });
         b.iter(|| sim.step(&mut NullGossipObserver));
     });
+}
+
+/// `_tN` suffix for the paper-scale round rows when `CIA_THREADS=N>1`, so a
+/// thread-scaling sweep (`CIA_THREADS=2 scripts/bench_kernels.sh --scale
+/// paper paper`) records alongside the single-thread baseline instead of
+/// overwriting it.
+fn thread_suffix() -> String {
+    match std::env::var("CIA_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n > 1 => format!("_t{n}"),
+        _ => String::new(),
+    }
+}
+
+fn bench_million_scale(c: &mut Criterion) {
+    // Million-user scale (10⁶ users × 10⁵ items, `--scale million`): the
+    // sharded lazy FedAvg round at 1% participation. A dense run would hold
+    // ~3 TiB of client state; the sharded store materializes only the ~10⁴
+    // sampled clients per round and retires each to an 8-float descriptor,
+    // and this bench enforces the 8 GiB peak-RSS budget after timing.
+    // Gated behind CIA_BENCH_MILLION_SCALE — `scripts/bench_kernels.sh
+    // --scale million` sets it — because dataset generation alone costs
+    // minutes, so the `cargo bench -- --test` smoke gate never pays for it.
+    if std::env::var_os("CIA_BENCH_MILLION_SCALE").is_none() {
+        return;
+    }
+    let data = Preset::MovieLens.generate(Scale::Million, 3);
+    // ScaleParams::of(Million): 100 eval negatives, embedding dim 8.
+    let split = LeaveOneOut::new(&data, 100, 3).unwrap();
+    let train = split.train_sets().to_vec();
+    let examples: Vec<u32> = train.iter().map(|t| t.len() as u32).collect();
+    let spec = GmfSpec::new(data.num_items(), 8, GmfHyper::default());
+    let initial = spec.init_agg(&mut StdRng::seed_from_u64(3));
+    // Only the per-client train sets survive into the round: the catalog
+    // split (eval instances, negatives) and the raw dataset are setup-only.
+    drop(split);
+    drop(data);
+    let store = ClientStore::sharded(
+        4096,
+        examples,
+        Box::new(move |i| {
+            spec.build_shell(UserId::new(i as u32), train[i].clone(), SharingPolicy::Full, i as u64)
+        }),
+    );
+    let mut sim = FedAvg::sharded(
+        store,
+        initial,
+        FedAvgConfig {
+            rounds: u64::MAX,
+            participation: 0.01,
+            local_epochs: 2,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    c.bench_function("fedavg_round_million_1000000x100000", |b| {
+        b.iter(|| sim.step(&mut NullObserver));
+    });
+    let peak = cia_scenarios::peak_rss_bytes().unwrap_or(0);
+    let gib = peak as f64 / f64::from(1u32 << 30);
+    println!("million-scale peak RSS: {gib:.2} GiB (budget 8 GiB)");
+    assert!(
+        peak < 8 * (1u64 << 30),
+        "million-scale round exceeded the 8 GiB peak-RSS budget: {gib:.2} GiB"
+    );
 }
 
 fn config() -> Criterion {
@@ -458,10 +552,25 @@ fn config() -> Criterion {
         .measurement_time(Duration::from_secs(4))
 }
 
+fn million_config() -> Criterion {
+    // A million-user round runs whole seconds; ten samples bound the
+    // (already env-gated) run to a few minutes while the median stays
+    // robust to single-neighbor noise.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(10))
+}
+
 criterion_group! {
     name = benches;
     config = config();
     targets = bench_kernels, bench_scoring, bench_momentum_and_dp, bench_mlp_train,
               bench_protocol_rounds, bench_attack_eval, bench_ground_truth, bench_paper_scale
 }
-criterion_main!(benches);
+criterion_group! {
+    name = million_benches;
+    config = million_config();
+    targets = bench_million_scale
+}
+criterion_main!(benches, million_benches);

@@ -591,7 +591,13 @@ mod tests {
             let snap = s.clients[sender].snapshot(0);
             all.on_delivery(0, UserId::new(0), &snap);
         }
-        all.on_round_end(&GossipRoundStats { round: 0, awake: 12, deliveries: 11, mean_loss: 0.0 });
+        all.on_round_end(&GossipRoundStats {
+            round: 0,
+            awake: 12,
+            deliveries: 11,
+            mean_loss: 0.0,
+            bytes_materialized: 0,
+        });
         let p = &all.history()[0];
         // Observer 0 has seen 11 of 12 users — its own-community coverage is
         // high; a mean over all 12 observers would sit at or below 1/12th of
@@ -685,7 +691,13 @@ mod tests {
         coal.on_delivery(0, UserId::new(0), &destroyed);
         // `last_agg` now carries NaN parameters too; evaluation must still
         // complete (no panic) and report finite bounds.
-        coal.on_round_end(&GossipRoundStats { round: 0, awake: 12, deliveries: 4, mean_loss: 0.0 });
+        coal.on_round_end(&GossipRoundStats {
+            round: 0,
+            awake: 12,
+            deliveries: 4,
+            mean_loss: 0.0,
+            bytes_materialized: 0,
+        });
         let p = &coal.history()[0];
         assert!(p.upper_bound.is_finite());
         // The all-placements engine must tolerate NaN score EMAs the same
@@ -702,7 +714,13 @@ mod tests {
             all.on_delivery(0, UserId::new(0), &snap);
         }
         all.on_delivery(0, UserId::new(0), &destroyed);
-        all.on_round_end(&GossipRoundStats { round: 0, awake: 12, deliveries: 6, mean_loss: 0.0 });
+        all.on_round_end(&GossipRoundStats {
+            round: 0,
+            awake: 12,
+            deliveries: 6,
+            mean_loss: 0.0,
+            bytes_materialized: 0,
+        });
         assert!(!all.history().is_empty());
     }
 
@@ -757,7 +775,13 @@ mod tests {
             owners,
         );
         // No deliveries at all: evaluation must not panic and records zero.
-        coal.on_round_end(&GossipRoundStats { round: 0, awake: 0, deliveries: 0, mean_loss: 0.0 });
+        coal.on_round_end(&GossipRoundStats {
+            round: 0,
+            awake: 0,
+            deliveries: 0,
+            mean_loss: 0.0,
+            bytes_materialized: 0,
+        });
         let out = coal.outcome();
         assert_eq!(out.max_aac, 0.0);
     }

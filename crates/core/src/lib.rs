@@ -44,6 +44,6 @@ pub use aia::{AiaCommunityAttack, AiaConfig};
 pub use evaluator::{ItemSetEvaluator, RelevanceEvaluator, RelevanceKind};
 pub use fl::{CiaAttackState, CiaConfig, FlCia};
 pub use gl::{GlCiaAllPlacements, GlCiaCoalition, PlacementsState};
-pub use metrics::{AttackOutcome, AttackTracker, RoundPoint};
+pub use metrics::{AttackOutcome, AttackTracker, RoundPoint, TopK};
 pub use mia::{membership_entropy, MiaCommunityAttack, MiaConfig};
 pub use momentum::MomentumState;

@@ -44,6 +44,68 @@ pub fn rank_desc(a: &(f32, u32), b: &(f32, u32)) -> std::cmp::Ordering {
     bx.partial_cmp(&ax).expect("mapped NaN away").then_with(|| a.1.cmp(&b.1))
 }
 
+/// Bounded streaming top-`k` selection under the [`rank_desc`] order.
+///
+/// Scores stream in one at a time (or tile by tile) and the selector keeps
+/// only the current best `k` in a small sorted buffer — memory is `O(k)`
+/// instead of the catalog-length score vector a score-then-sort needs, which
+/// is what keeps HR@20/F1@20 evaluation tractable at a 10⁵-item catalog.
+///
+/// Because [`rank_desc`] is a strict total order over distinct ids (NaN sinks
+/// to the bottom, ties break on ascending id), the result is *exactly* the
+/// first `k` entries of a full sort of the same pairs — see the equivalence
+/// proptest in `cia-scenarios`.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    buf: Vec<(f32, u32)>,
+}
+
+impl TopK {
+    /// Creates a selector retaining the best `k` pairs.
+    pub fn new(k: usize) -> Self {
+        TopK { k, buf: Vec::with_capacity(k.saturating_add(1).min(4096)) }
+    }
+
+    /// Offers one `(score, id)` pair.
+    pub fn push(&mut self, score: f32, id: u32) {
+        if self.k == 0 {
+            return;
+        }
+        let cand = (score, id);
+        // Fast path once warm: almost every candidate loses to the cutoff.
+        if self.buf.len() == self.k
+            && rank_desc(&cand, &self.buf[self.k - 1]) != std::cmp::Ordering::Less
+        {
+            return;
+        }
+        let pos = self.buf.binary_search_by(|e| rank_desc(e, &cand)).unwrap_or_else(|e| e);
+        self.buf.insert(pos, cand);
+        self.buf.truncate(self.k);
+    }
+
+    /// Number of pairs currently retained (≤ `k`).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been offered yet (or `k == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The retained pairs, best first — identical to
+    /// `sort_by(rank_desc); truncate(k)` over everything pushed.
+    pub fn into_sorted(self) -> Vec<(f32, u32)> {
+        self.buf
+    }
+
+    /// The retained ids, best first.
+    pub fn into_ids(self) -> Vec<u32> {
+        self.buf.into_iter().map(|(_, id)| id).collect()
+    }
+}
+
 /// One evaluated round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundPoint {
@@ -281,5 +343,52 @@ mod tests {
         let out = t.outcome();
         assert_eq!(out.max_aac, 0.0);
         assert!(t.is_empty());
+    }
+
+    fn full_sort_prefix(pairs: &[(f32, u32)], k: usize) -> Vec<(f32, u32)> {
+        let mut v = pairs.to_vec();
+        v.sort_by(rank_desc);
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn topk_matches_full_sort_prefix() {
+        let pairs: Vec<(f32, u32)> =
+            (0..100u32).map(|i| (((i * 37) % 19) as f32 * 0.5 - 3.0, i)).collect();
+        for k in [0, 1, 7, 20, 100, 150] {
+            let mut sel = TopK::new(k);
+            for &(s, id) in &pairs {
+                sel.push(s, id);
+            }
+            assert_eq!(sel.into_sorted(), full_sort_prefix(&pairs, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn topk_sinks_nan_and_breaks_ties_on_id() {
+        // Same fixture as the runner's historical `top_k_by_score` tests:
+        // NaN sinks below everything, equal scores order by ascending id.
+        let pairs = [(1.0, 0), (f32::NAN, 1), (2.0, 2), (2.0, 3), (1.0, 4)];
+        let mut sel = TopK::new(3);
+        for &(s, id) in &pairs {
+            sel.push(s, id);
+        }
+        assert_eq!(sel.into_ids(), vec![2, 3, 0]);
+        // With k ≥ n the NaN still lands dead last.
+        let mut sel = TopK::new(8);
+        for &(s, id) in &pairs {
+            sel.push(s, id);
+        }
+        assert_eq!(sel.into_ids(), vec![2, 3, 0, 4, 1]);
+    }
+
+    #[test]
+    fn topk_zero_k_retains_nothing() {
+        let mut sel = TopK::new(0);
+        sel.push(5.0, 1);
+        assert!(sel.is_empty());
+        assert_eq!(sel.len(), 0);
+        assert_eq!(sel.into_ids(), Vec::<u32>::new());
     }
 }

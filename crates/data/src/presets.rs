@@ -24,15 +24,20 @@ pub enum Scale {
     Small,
     /// Table I user counts (item catalogs scaled per `DESIGN.md` §3).
     Paper,
+    /// 10⁶ users × 10⁵ items: the memory-budget stress profile. Every preset
+    /// shares one shape at this scale; runs are only tractable through the
+    /// sharded lazy client store (see `cia-models::store`).
+    Million,
 }
 
 impl Scale {
-    /// Parses `"smoke" | "small" | "paper"` (case-insensitive).
+    /// Parses `"smoke" | "small" | "paper" | "million"` (case-insensitive).
     pub fn parse(s: &str) -> Option<Scale> {
         match s.to_ascii_lowercase().as_str() {
             "smoke" => Some(Scale::Smoke),
             "small" => Some(Scale::Small),
             "paper" => Some(Scale::Paper),
+            "million" => Some(Scale::Million),
             _ => None,
         }
     }
@@ -44,6 +49,7 @@ impl std::fmt::Display for Scale {
             Scale::Smoke => "smoke",
             Scale::Small => "small",
             Scale::Paper => "paper",
+            Scale::Million => "million",
         };
         f.write_str(s)
     }
@@ -86,6 +92,18 @@ impl Preset {
             Preset::Gowalla => gowalla_like(scale, seed),
         }
     }
+
+    /// The shape `(users, items, interactions_per_user)` the preset will
+    /// generate at `scale` — available without generating, so callers can
+    /// validate scale parameters (negative-sample counts, holdout sizes)
+    /// against the catalog before committing to a multi-second generation.
+    pub fn dims(self, scale: Scale) -> (usize, u32, usize) {
+        match self {
+            Preset::MovieLens => dims(scale, (943, 1682, 106), (200, 400, 30)),
+            Preset::Foursquare => dims(scale, (1083, 4000, 185), (220, 600, 40)),
+            Preset::Gowalla => dims(scale, (718, 3500, 259), (180, 550, 45)),
+        }
+    }
 }
 
 fn dims(
@@ -97,12 +115,16 @@ fn dims(
         Scale::Paper => paper,
         Scale::Small => small,
         Scale::Smoke => (48, 160, 12),
+        // One shared shape for all presets: the profile exists to stress the
+        // memory budget of a round, not to model a specific Table I dataset.
+        // ~12 interactions/user keeps generation (~12M zipf draws) in seconds.
+        Scale::Million => (1_000_000, 100_000, 12),
     }
 }
 
 /// MovieLens-100k-like dataset: 943 users, 1 682 items, ~106 ratings/user.
 pub fn movielens_like(scale: Scale, seed: u64) -> Dataset {
-    let (users, items, ipu) = dims(scale, (943, 1682, 106), (200, 400, 30));
+    let (users, items, ipu) = Preset::MovieLens.dims(scale);
     SyntheticConfig::builder()
         .name(format!("MovieLens-like ({scale})"))
         .users(users)
@@ -119,7 +141,7 @@ pub fn movielens_like(scale: Scale, seed: u64) -> Dataset {
 /// Foursquare-NYC-like dataset: 1 083 users, ~185 check-ins/user, sequences
 /// and semantic categories (catalog scaled 38 333 → 4 000 at paper scale).
 pub fn foursquare_like(scale: Scale, seed: u64) -> Dataset {
-    let (users, items, ipu) = dims(scale, (1083, 4000, 185), (220, 600, 40));
+    let (users, items, ipu) = Preset::Foursquare.dims(scale);
     SyntheticConfig::builder()
         .name(format!("Foursquare-like ({scale})"))
         .users(users)
@@ -138,7 +160,7 @@ pub fn foursquare_like(scale: Scale, seed: u64) -> Dataset {
 /// Gowalla-NYC-like dataset: 718 users, ~259 check-ins/user, sequences
 /// (catalog scaled 32 924 → 3 500 at paper scale).
 pub fn gowalla_like(scale: Scale, seed: u64) -> Dataset {
-    let (users, items, ipu) = dims(scale, (718, 3500, 259), (180, 550, 45));
+    let (users, items, ipu) = Preset::Gowalla.dims(scale);
     SyntheticConfig::builder()
         .name(format!("Gowalla-like ({scale})"))
         .users(users)
@@ -169,7 +191,7 @@ mod tests {
 
     #[test]
     fn scale_parsing_roundtrips() {
-        for s in [Scale::Smoke, Scale::Small, Scale::Paper] {
+        for s in [Scale::Smoke, Scale::Small, Scale::Paper, Scale::Million] {
             assert_eq!(Scale::parse(&s.to_string()), Some(s));
         }
         assert_eq!(Scale::parse("bogus"), None);

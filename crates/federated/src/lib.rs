@@ -42,9 +42,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use cia_data::UserId;
 use cia_models::parallel::par_zip_mut;
 use cia_models::params::weighted_mean;
-use cia_models::{Participant, SharedModel, UpdateTransform};
+use cia_models::{ClientStore, Participant, SharedModel, UpdateTransform};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -97,6 +98,11 @@ pub struct RoundStats {
     pub participants: usize,
     /// Mean local training loss across participants.
     pub mean_loss: f32,
+    /// Bytes of client model state materialized for this round: rebuilt lazy
+    /// clients plus observer snapshots (sharded stores), or the snapshot
+    /// buffers refilled for the observer (dense stores, where client state
+    /// is permanently resident).
+    pub bytes_materialized: u64,
 }
 
 /// Observes what the FL server sees — the adversary's vantage point.
@@ -161,17 +167,24 @@ impl RoundObserver for NullObserver {
 
 /// The FedAvg simulation.
 pub struct FedAvg<P: Participant> {
-    clients: Vec<P>,
+    store: ClientStore<P>,
     global_agg: Vec<f32>,
     cfg: FedAvgConfig,
     transform: Option<Box<dyn UpdateTransform>>,
     round: u64,
-    /// Per-client round slots, persistent across rounds so snapshots reuse
-    /// their buffers instead of re-allocating a full model per client per
-    /// round.
+    /// Per-client round slots (dense stores), persistent across rounds so
+    /// snapshots reuse their buffers instead of re-allocating a full model
+    /// per client per round.
     slots: Vec<RoundSlot>,
     /// Reused aggregation accumulator.
     acc: Vec<f32>,
+    /// Sharded-mode shared training workspace — one catalog-sized buffer
+    /// lent to every sampled client in turn (see
+    /// [`Participant::fed_round_shared`]).
+    workspace: Vec<f32>,
+    /// Sharded-mode reusable observer snapshot slot (clients are observed
+    /// one at a time, in index order, so one slot serves the cohort).
+    snap_slot: SharedModel,
 }
 
 /// Per-client per-round bookkeeping; `model` keeps its buffers across rounds.
@@ -208,12 +221,61 @@ impl<P: Participant> FedAvg<P> {
                 sampled: false,
             })
             .collect();
-        FedAvg { clients, global_agg, cfg, transform: None, round: 0, slots, acc: Vec::new() }
+        FedAvg {
+            store: ClientStore::dense(clients),
+            global_agg,
+            cfg,
+            transform: None,
+            round: 0,
+            slots,
+            acc: Vec::new(),
+            workspace: Vec::new(),
+            snap_slot: empty_snap_slot(),
+        }
+    }
+
+    /// Creates a simulation over a sharded, lazily materialized client store
+    /// (see `cia_models::ClientStore`). `initial_global` seeds the global
+    /// model — shell clients carry no aggregatable buffer, so the caller
+    /// supplies the value a dense run would read off its first client.
+    ///
+    /// Sharded rounds run the shared-workspace serial path: bit-identical to
+    /// the dense path for the same seed, but only the sampled clients are
+    /// ever resident. Update transforms (DP) require a dense store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is empty or dense, or `participation` is out of
+    /// range.
+    pub fn sharded(store: ClientStore<P>, initial_global: Vec<f32>, cfg: FedAvgConfig) -> Self {
+        assert!(!store.is_empty(), "need at least one client");
+        assert!(store.is_sharded(), "FedAvg::sharded needs a sharded store; use FedAvg::new");
+        assert!(
+            cfg.participation > 0.0 && cfg.participation <= 1.0,
+            "participation must be in (0, 1]"
+        );
+        FedAvg {
+            store,
+            global_agg: initial_global,
+            cfg,
+            transform: None,
+            round: 0,
+            slots: Vec::new(),
+            acc: Vec::new(),
+            workspace: Vec::new(),
+            snap_slot: empty_snap_slot(),
+        }
     }
 
     /// Installs a local update transform (DP-SGD) applied to every outgoing
     /// client update.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sharded store: the DP path aggregates dense transformed
+    /// snapshots of every participant, which defeats lazy materialization.
     pub fn set_update_transform(&mut self, transform: Box<dyn UpdateTransform>) {
+        assert!(!self.store.is_sharded(), "update transforms (DP) require a dense client store");
         self.transform = Some(transform);
     }
 
@@ -222,9 +284,19 @@ impl<P: Participant> FedAvg<P> {
         &self.cfg
     }
 
+    /// The client store.
+    pub fn store(&self) -> &ClientStore<P> {
+        &self.store
+    }
+
     /// The clients (evaluation access).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sharded store — lazy clients are not resident; use
+    /// [`FedAvg::store`].
     pub fn clients(&self) -> &[P] {
-        &self.clients
+        self.store.as_dense().expect("clients() needs a dense store; use store()")
     }
 
     /// The current global public parameters.
@@ -239,8 +311,12 @@ impl<P: Participant> FedAvg<P> {
 
     /// Mutable access to the clients (checkpoint resume restores each
     /// participant's private state in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sharded store — lazy clients are not resident.
     pub fn clients_mut(&mut self) -> &mut [P] {
-        &mut self.clients
+        self.store.as_dense_mut().expect("clients_mut() needs a dense store")
     }
 
     /// Restores the protocol-side state — the round counter and the current
@@ -261,9 +337,13 @@ impl<P: Participant> FedAvg<P> {
 
     /// Loads the current global model into every client (used before utility
     /// evaluation, mirroring the broadcast deployment of the final model).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sharded store — materialize individual clients instead.
     pub fn sync_clients_to_global(&mut self) {
         let global = self.global_agg.clone();
-        for c in &mut self.clients {
+        for c in self.store.as_dense_mut().expect("sync needs a dense store") {
             c.absorb_agg(&global);
         }
     }
@@ -271,15 +351,21 @@ impl<P: Participant> FedAvg<P> {
     /// Runs one round: sample, broadcast, local training, transform,
     /// observe, aggregate.
     pub fn step(&mut self, observer: &mut dyn RoundObserver) -> RoundStats {
+        if self.store.is_sharded() {
+            return self.step_sharded(observer);
+        }
         let t = self.round;
-        let n = self.clients.len();
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let FedAvg { store, global_agg, cfg, transform, slots, acc, .. } = &mut *self;
+        let clients = store.as_dense_mut().expect("dense step");
+        let n = clients.len();
+        let cfg = *cfg;
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
         // Sample participants.
-        let mut sampled: Vec<bool> = if self.cfg.participation >= 1.0 {
+        let mut sampled: Vec<bool> = if cfg.participation >= 1.0 {
             vec![true; n]
         } else {
-            let k = ((n as f64 * self.cfg.participation).round() as usize).clamp(1, n);
+            let k = ((n as f64 * cfg.participation).round() as usize).clamp(1, n);
             let mut idx: Vec<usize> = (0..n).collect();
             idx.shuffle(&mut rng);
             let mut mask = vec![false; n];
@@ -291,18 +377,17 @@ impl<P: Participant> FedAvg<P> {
 
         observer.on_round_start(t);
         observer.on_participants(t, &mut sampled);
-        observer.on_global(t, &self.global_agg);
+        observer.on_global(t, global_agg);
 
         // Snapshots are materialized only when something consumes them: the
         // observer, or the DP transform (which aggregates transformed
         // parameters instead of the clients' own).
-        let materialize = self.transform.is_some() || observer.observes_models();
+        let materialize = transform.is_some() || observer.observes_models();
 
         // Per-client work deposited into aligned, buffer-reusing slots.
-        let global = &self.global_agg;
-        let cfg = self.cfg;
-        let transform = self.transform.as_deref();
-        for (slot, &s) in self.slots.iter_mut().zip(&sampled) {
+        let global: &[f32] = global_agg;
+        let transform = transform.as_deref();
+        for (slot, &s) in slots.iter_mut().zip(&sampled) {
             slot.sampled = s;
             slot.loss = 0.0;
         }
@@ -348,19 +433,17 @@ impl<P: Participant> FedAvg<P> {
             Weighting::Uniform => 1.0,
             Weighting::ByExamples => client.num_examples().max(1) as f32,
         };
-        let sparse_agg = self.transform.is_none();
-        let total: f32 = self
-            .clients
+        let sparse_agg = transform.is_none();
+        let total: f32 = clients
             .iter()
-            .zip(&self.slots)
+            .zip(&*slots)
             .filter(|(_, slot)| slot.sampled)
             .map(|(client, _)| weight_of(client))
             .sum();
-        self.acc.resize(self.global_agg.len(), 0.0);
-        self.acc.fill(0.0);
+        acc.resize(global.len(), 0.0);
+        acc.fill(0.0);
         if cia_models::parallel::num_threads() <= 1 {
-            let acc = &mut self.acc;
-            for (i, (client, slot)) in self.clients.iter_mut().zip(&mut self.slots).enumerate() {
+            for (i, (client, slot)) in clients.iter_mut().zip(slots.iter_mut()).enumerate() {
                 let sink = if sparse_agg && total > 0.0 {
                     Some((weight_of(client) / total, acc.as_mut_slice()))
                 } else {
@@ -369,12 +452,11 @@ impl<P: Participant> FedAvg<P> {
                 per_client(i, client, slot, sink);
             }
         } else {
-            par_zip_mut(&mut self.clients, &mut self.slots, |i, client, slot| {
+            par_zip_mut(clients, slots, |i, client, slot| {
                 per_client(i, client, slot, None);
             });
             if sparse_agg && total > 0.0 {
-                let acc = &mut self.acc;
-                for (client, slot) in self.clients.iter().zip(&self.slots) {
+                for (client, slot) in clients.iter().zip(&*slots) {
                     if slot.sampled {
                         client.accumulate_update(global, weight_of(client) / total, acc);
                     }
@@ -382,13 +464,17 @@ impl<P: Participant> FedAvg<P> {
             }
         }
 
-        // Observe in deterministic (user-id) order.
+        // Observe in deterministic (user-id) order. Dense clients are
+        // permanently resident, so the round's materialization cost is the
+        // snapshot buffers refilled for the observer / DP transform.
         let mut loss_sum = 0.0f32;
         let mut participants = 0usize;
-        for slot in &self.slots {
+        let mut bytes_materialized = 0u64;
+        for slot in &*slots {
             if slot.sampled {
                 if materialize {
                     observer.on_client_model(&slot.model);
+                    bytes_materialized += 4 * slot.model.len() as u64;
                 }
                 loss_sum += slot.loss;
                 participants += 1;
@@ -403,7 +489,7 @@ impl<P: Participant> FedAvg<P> {
                 // training touched (Σ w̃ᵢ = 1, so
                 // `global + Σ w̃ᵢ·(aggᵢ − global) = Σ w̃ᵢ·aggᵢ`) — already
                 // folded into `acc` above, in client index order.
-                for (g, a) in self.global_agg.iter_mut().zip(&self.acc) {
+                for (g, a) in global_agg.iter_mut().zip(&*acc) {
                     *g += a;
                 }
             } else {
@@ -411,15 +497,15 @@ impl<P: Participant> FedAvg<P> {
                 // weighted mean over the materialized models.
                 let mut rows: Vec<&[f32]> = Vec::with_capacity(participants);
                 let mut weights: Vec<f32> = Vec::with_capacity(participants);
-                for (client, slot) in self.clients.iter().zip(&self.slots) {
+                for (client, slot) in clients.iter().zip(&*slots) {
                     if slot.sampled {
                         rows.push(&slot.model.agg);
                         weights.push(weight_of(client));
                     }
                 }
-                let mut new_global = vec![0.0f32; self.global_agg.len()];
+                let mut new_global = vec![0.0f32; global_agg.len()];
                 weighted_mean(&mut new_global, &rows, &weights);
-                self.global_agg = new_global;
+                *global_agg = new_global;
             }
         }
 
@@ -427,6 +513,100 @@ impl<P: Participant> FedAvg<P> {
             round: t,
             participants,
             mean_loss: if participants == 0 { 0.0 } else { loss_sum / participants as f32 },
+            bytes_materialized,
+        };
+        observer.on_round_end(&stats);
+        self.round += 1;
+        stats
+    }
+
+    /// One round over a sharded store: identical sampling, RNG streams,
+    /// visit order and aggregation math as the dense single-thread path —
+    /// bit-identical results — but each sampled client is rebuilt on demand,
+    /// trains inside the shared workspace, and retires back to its compact
+    /// descriptor before the next client materializes.
+    fn step_sharded(&mut self, observer: &mut dyn RoundObserver) -> RoundStats {
+        debug_assert!(self.transform.is_none(), "transforms are rejected at install time");
+        let t = self.round;
+        let n = self.store.len();
+        let cfg = self.cfg;
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+        let mut sampled: Vec<bool> = if cfg.participation >= 1.0 {
+            vec![true; n]
+        } else {
+            let k = ((n as f64 * cfg.participation).round() as usize).clamp(1, n);
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.shuffle(&mut rng);
+            let mut mask = vec![false; n];
+            for &i in idx.iter().take(k) {
+                mask[i] = true;
+            }
+            mask
+        };
+
+        observer.on_round_start(t);
+        observer.on_participants(t, &mut sampled);
+        observer.on_global(t, &self.global_agg);
+        let materialize = observer.observes_models();
+
+        let weight_of = |store: &ClientStore<P>, i: usize| match cfg.weighting {
+            Weighting::Uniform => 1.0,
+            Weighting::ByExamples => store.num_examples_of(i).max(1) as f32,
+        };
+        let total: f32 = sampled
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s)
+            .map(|(i, _)| weight_of(&self.store, i))
+            .sum();
+        self.acc.resize(self.global_agg.len(), 0.0);
+        self.acc.fill(0.0);
+        // The cohort's shared workspace starts bit-identical to the
+        // broadcast global; every `fed_round_shared` returns it that way.
+        self.workspace.resize(self.global_agg.len(), 0.0);
+        self.workspace.copy_from_slice(&self.global_agg);
+
+        let mut loss_sum = 0.0f32;
+        let mut participants = 0usize;
+        for (i, _) in sampled.iter().enumerate().filter(|&(_, &s)| s) {
+            let mut client = self.store.materialize(i);
+            let mut crng =
+                StdRng::seed_from_u64(cfg.seed ^ (t << 20) ^ (i as u64).wrapping_mul(0x5851_F42D));
+            let sink = if total > 0.0 {
+                Some((weight_of(&self.store, i) / total, self.acc.as_mut_slice()))
+            } else {
+                None
+            };
+            let snap = if materialize { Some((t, &mut self.snap_slot)) } else { None };
+            let loss = client.fed_round_shared(
+                &mut self.workspace,
+                &self.global_agg,
+                cfg.local_epochs,
+                &mut crng,
+                sink,
+                snap,
+            );
+            if materialize {
+                self.store.add_materialized_bytes(4 * self.snap_slot.len() as u64);
+                observer.on_client_model(&self.snap_slot);
+            }
+            loss_sum += loss;
+            participants += 1;
+            self.store.retire(i, client);
+        }
+
+        if participants > 0 {
+            for (g, a) in self.global_agg.iter_mut().zip(&self.acc) {
+                *g += a;
+            }
+        }
+
+        let stats = RoundStats {
+            round: t,
+            participants,
+            mean_loss: if participants == 0 { 0.0 } else { loss_sum / participants as f32 },
+            bytes_materialized: self.store.take_bytes_materialized(),
         };
         observer.on_round_end(&stats);
         self.round += 1;
@@ -439,6 +619,12 @@ impl<P: Participant> FedAvg<P> {
             self.step(observer);
         }
     }
+}
+
+/// An empty reusable snapshot slot (overwritten by `snapshot_into` before
+/// every observer call).
+fn empty_snap_slot() -> SharedModel {
+    SharedModel { owner: UserId::new(0), round: 0, owner_emb: None, agg: Vec::new() }
 }
 
 /// Applies a DP-style transform to the *update* encoded by `snap` relative to
@@ -691,6 +877,131 @@ mod tests {
         assert_eq!(stats.participants, 0);
         assert_eq!(stats.mean_loss, 0.0);
         assert_eq!(sim.global_agg(), before.as_slice());
+    }
+
+    /// One observed snapshot: (round, owner, owner_emb, agg).
+    type TapedModel = (u64, u32, Option<Vec<f32>>, Vec<f32>);
+
+    /// Records the full model stream (owner, round, byte-exact agg) so dense
+    /// and lazy runs can be compared snapshot for snapshot.
+    #[derive(Default)]
+    struct ModelTape {
+        models: Vec<TapedModel>,
+        stats: Vec<RoundStats>,
+    }
+
+    impl RoundObserver for ModelTape {
+        fn on_client_model(&mut self, m: &SharedModel) {
+            self.models.push((m.round, m.owner.raw(), m.owner_emb.clone(), m.agg.clone()));
+        }
+        fn on_round_end(&mut self, stats: &RoundStats) {
+            self.stats.push(stats.clone());
+        }
+    }
+
+    fn dense_vs_lazy(
+        users: usize,
+        items: u32,
+        policy: SharingPolicy,
+        cfg: FedAvgConfig,
+        data: cia_data::Dataset,
+    ) {
+        let split = LeaveOneOut::new(&data, 20, 1).unwrap();
+        let spec = GmfSpec::new(items, 8, GmfHyper::default());
+        let train = split.train_sets().to_vec();
+
+        let clients: Vec<_> = train
+            .iter()
+            .enumerate()
+            .map(|(u, it)| spec.build_client(UserId::new(u as u32), it.clone(), policy, u as u64))
+            .collect();
+        let mut dense = FedAvg::new(clients, cfg);
+        let mut dense_tape = ModelTape::default();
+        dense.run(&mut dense_tape);
+
+        let initial = spec.build_client(UserId::new(0), train[0].clone(), policy, 0).agg().to_vec();
+        let examples: Vec<u32> = train.iter().map(|s| s.len() as u32).collect();
+        let factory_spec = spec.clone();
+        let store = cia_models::ClientStore::sharded(
+            64,
+            examples,
+            Box::new(move |i| {
+                factory_spec.build_shell(UserId::new(i as u32), train[i].clone(), policy, i as u64)
+            }),
+        );
+        let mut lazy = FedAvg::sharded(store, initial, cfg);
+        let mut lazy_tape = ModelTape::default();
+        lazy.run(&mut lazy_tape);
+
+        // Byte-identical: the lazy shared-workspace round replays the dense
+        // round exactly — global model, observed snapshots, and losses.
+        assert_eq!(dense.global_agg(), lazy.global_agg());
+        assert_eq!(dense_tape.models, lazy_tape.models);
+        for (d, l) in dense_tape.stats.iter().zip(&lazy_tape.stats) {
+            assert_eq!(
+                (d.round, d.participants, d.mean_loss),
+                (l.round, l.participants, l.mean_loss)
+            );
+        }
+        assert!(lazy_tape.stats.iter().all(|s| s.bytes_materialized > 0));
+        // Only the sampled shards' descriptor blocks ever materialized.
+        assert!(lazy.store().resident_shards() <= users.div_ceil(64));
+    }
+
+    #[test]
+    fn sharded_lazy_round_matches_dense_at_paper_scale() {
+        use cia_data::presets::{Preset, Scale};
+        let data = Preset::MovieLens.generate(Scale::Paper, 11);
+        let users = data.num_users();
+        let items = data.num_items();
+        let cfg = FedAvgConfig {
+            rounds: 3,
+            participation: 0.01,
+            local_epochs: 2,
+            seed: 7,
+            ..Default::default()
+        };
+        dense_vs_lazy(users, items, SharingPolicy::Full, cfg, data);
+    }
+
+    #[test]
+    fn sharded_lazy_round_matches_dense_under_share_less() {
+        let data = SyntheticConfig::builder()
+            .users(30)
+            .items(80)
+            .communities(4)
+            .interactions_per_user(10)
+            .seed(4)
+            .build()
+            .generate();
+        let cfg = FedAvgConfig {
+            rounds: 4,
+            participation: 0.3,
+            local_epochs: 2,
+            seed: 13,
+            weighting: Weighting::Uniform,
+        };
+        dense_vs_lazy(30, 80, SharingPolicy::ShareLess { tau: 0.4 }, cfg, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense client store")]
+    fn sharded_store_rejects_update_transform() {
+        use cia_defenses::{DpConfig, DpMechanism};
+        let spec = GmfSpec::new(40, 8, GmfHyper::default());
+        let store = cia_models::ClientStore::sharded(
+            8,
+            vec![2u32; 16],
+            Box::new(move |i| {
+                spec.build_shell(UserId::new(i as u32), vec![1, 2], SharingPolicy::Full, i as u64)
+            }),
+        );
+        let initial = vec![0.0f32; 40 * 8 + 8];
+        let mut sim = FedAvg::sharded(store, initial, FedAvgConfig::default());
+        sim.set_update_transform(Box::new(DpMechanism::new(DpConfig {
+            clip: 1.0,
+            noise_multiplier: 1.0,
+        })));
     }
 
     #[test]

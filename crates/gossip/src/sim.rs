@@ -3,7 +3,7 @@
 use crate::graph::{sample_exp_interval, ViewTable};
 use cia_data::UserId;
 use cia_models::parallel::par_zip_mut;
-use cia_models::{Participant, SharedModel, UpdateTransform};
+use cia_models::{ClientStore, Participant, SharedModel, UpdateTransform};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -68,6 +68,10 @@ pub struct GossipRoundStats {
     pub deliveries: usize,
     /// Mean local training loss across awake nodes.
     pub mean_loss: f32,
+    /// Bytes of model state materialized for this round: the outgoing
+    /// snapshot copies routed into inboxes (node state itself is permanently
+    /// resident in gossip — every round mixes neighbors in place).
+    pub bytes_materialized: u64,
 }
 
 /// Observes gossip model deliveries — the vantage point of a gossip
@@ -171,7 +175,12 @@ struct NodeCtl {
 
 /// The gossip learning simulation.
 pub struct GossipSim<P: Participant> {
-    nodes: Vec<P>,
+    /// Node storage. Gossip requires a dense (fully resident) store: every
+    /// round each awake node mixes its neighbors' models into its *own*
+    /// persistent parameters, so there is no global aggregate to rebuild a
+    /// lazy client from — unlike FedAvg, where untouched clients are exactly
+    /// reconstructible from seed + global (see `cia_federated::FedAvg::sharded`).
+    store: ClientStore<P>,
     ctl: Vec<NodeCtl>,
     views: ViewTable,
     refresh_at: Vec<u64>,
@@ -222,7 +231,7 @@ impl<P: Participant> GossipSim<P> {
         let traffic = TrafficCounters::zeroed(nodes.len());
         let outgoing = (0..nodes.len()).map(|_| None).collect();
         GossipSim {
-            nodes,
+            store: ClientStore::dense(nodes),
             ctl,
             views,
             refresh_at,
@@ -246,9 +255,23 @@ impl<P: Participant> GossipSim<P> {
         &self.cfg
     }
 
+    /// Creates a simulation from a [`ClientStore`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store is sharded — gossip has no global aggregate to
+    /// lazily rebuild clients from (see the `store` field docs) — plus
+    /// everything [`GossipSim::new`] panics on.
+    pub fn from_store(mut store: ClientStore<P>, cfg: GossipConfig) -> Self {
+        let nodes = store.as_dense_mut().map(std::mem::take).expect(
+            "gossip requires a dense client store: nodes mix neighbors into resident state",
+        );
+        Self::new(nodes, cfg)
+    }
+
     /// The nodes (evaluation access).
     pub fn nodes(&self) -> &[P] {
-        &self.nodes
+        self.store.as_dense().expect("gossip stores are dense")
     }
 
     /// Rounds completed so far.
@@ -270,7 +293,7 @@ impl<P: Participant> GossipSim<P> {
     /// Mutable access to the nodes (checkpoint resume restores each
     /// participant's private state in place).
     pub fn nodes_mut(&mut self) -> &mut [P] {
-        &mut self.nodes
+        self.store.as_dense_mut().expect("gossip stores are dense")
     }
 
     /// Snapshot of the protocol-side state — round counter, views, refresh
@@ -298,7 +321,7 @@ impl<P: Participant> GossipSim<P> {
     /// Panics if any table is not aligned with the node count or the views
     /// are malformed.
     pub fn restore_state(&mut self, state: GossipSimState) {
-        let n = self.nodes.len();
+        let n = self.store.len();
         assert_eq!(state.refresh_at.len(), n, "one refresh time per node");
         assert_eq!(state.inboxes.len(), n, "one inbox per node");
         assert_eq!(state.heard.len(), n, "one heard list per node");
@@ -321,7 +344,7 @@ impl<P: Participant> GossipSim<P> {
     /// Runs one gossip round: refresh views, send, route, aggregate, train.
     pub fn step(&mut self, observer: &mut dyn GossipObserver) -> GossipRoundStats {
         let t = self.round;
-        let n = self.nodes.len();
+        let n = self.store.len();
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ t.wrapping_mul(0xA076_1D64_78BD_642F));
         observer.on_round_start(t);
 
@@ -380,7 +403,7 @@ impl<P: Participant> GossipSim<P> {
             }
         }
         {
-            let nodes = &self.nodes;
+            let nodes = self.store.as_dense().expect("gossip stores are dense");
             let ctl = &mut self.ctl;
             // Parallel over (ctl, outgoing) pairs; nodes are read-only here.
             par_zip_mut(ctl, &mut self.outgoing, |i, c, slot| {
@@ -402,11 +425,15 @@ impl<P: Participant> GossipSim<P> {
             });
         }
 
-        // 4. Routing (serial: observer callbacks + inbox pushes).
+        // 4. Routing (serial: observer callbacks + inbox pushes). Each
+        // delivered snapshot is a fresh materialization of model state for
+        // this round — the pool only recycles allocations, not contents.
         let mut deliveries = 0usize;
+        let mut bytes_materialized = 0u64;
         for (u, slot) in self.outgoing.iter_mut().enumerate() {
             if let Some(snap) = slot.take() {
                 let dest = destinations[u];
+                bytes_materialized += 4 * snap.len() as u64;
                 observer.on_delivery(t, UserId::new(dest), &snap);
                 self.ctl[dest as usize].inbox.push(snap);
                 self.traffic.received[dest as usize] += 1;
@@ -419,7 +446,8 @@ impl<P: Participant> GossipSim<P> {
         // consumed inboxes are drained into the pool afterwards (serially —
         // the pool is shared).
         let is_pers = matches!(self.cfg.protocol, GossipProtocol::Pers { .. });
-        par_zip_mut(&mut self.nodes, &mut self.ctl, |i, node, c| {
+        let nodes = self.store.as_dense_mut().expect("gossip stores are dense");
+        par_zip_mut(nodes, &mut self.ctl, |i, node, c| {
             if !c.awake {
                 return;
             }
@@ -455,6 +483,7 @@ impl<P: Participant> GossipSim<P> {
             awake: awake_count,
             deliveries,
             mean_loss: if awake_count == 0 { 0.0 } else { loss_sum / awake_count as f32 },
+            bytes_materialized,
         };
         observer.on_round_end(&stats);
         self.round += 1;

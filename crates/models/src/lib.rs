@@ -29,6 +29,7 @@ mod mlp;
 pub mod params;
 mod participant;
 mod prme;
+mod store;
 
 /// Data-parallel helpers, re-exported from `cia-data` (they moved there so
 /// the similarity ground truth can parallelize without a dependency cycle).
@@ -39,3 +40,4 @@ pub use metrics::{f1_at_k, hit_ratio, ndcg, rank_of_primary, RankedEval};
 pub use mlp::{Mlp, MlpClient, MlpHyper, MlpScratch, MlpSpec};
 pub use participant::{Participant, RelevanceScorer, SharedModel, SharingPolicy, UpdateTransform};
 pub use prme::{PrmeClient, PrmeHyper, PrmeSpec};
+pub use store::{ClientFactory, ClientStore};

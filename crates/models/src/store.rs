@@ -1,0 +1,283 @@
+//! Sharded, lazily materialized client storage.
+//!
+//! A dense protocol run keeps every participant's full model resident — at
+//! 10⁶ users × 10⁵ items that is terabytes, while a participation-sampled
+//! FedAvg round only ever *trains* ~1% of clients and only ever *reads* the
+//! rest through the global aggregate. [`ClientStore`] makes that asymmetry a
+//! storage contract:
+//!
+//! * **Dense** mode wraps the existing `Vec<P>` unchanged — every protocol
+//!   keeps working exactly as before.
+//! * **Sharded** mode holds no participants at all. Clients are rebuilt on
+//!   demand from a deterministic factory (seed + training data), trained
+//!   against the round's shared workspace via
+//!   [`Participant::fed_round_shared`], and retired back to a compact
+//!   per-client descriptor ([`Participant::private_state`] — for GMF just
+//!   the `d`-float user embedding). Descriptors are stored in fixed-size
+//!   shards allocated only once a shard sees its first sampled client, so a
+//!   1%-participation round materializes only the sampled shards' rows.
+//!
+//! The store also meters `bytes_materialized`: how many bytes of client
+//! model state each round brought into residence (rebuilt descriptors plus
+//! any dense snapshots), surfaced per round through the protocol stats.
+
+use crate::Participant;
+
+/// Rebuilds participant `i` from scratch (same spec, same constructor seed —
+/// the deterministic part of its state).
+pub type ClientFactory<P> = Box<dyn Fn(usize) -> P + Send + Sync>;
+
+/// One shard's retired descriptors: a slot per client in the shard, `None`
+/// until that client is first retired.
+type DescriptorBlock = Vec<Option<Box<[f32]>>>;
+
+/// Participant storage for a protocol: dense (all resident) or sharded
+/// (lazily materialized). See the module docs.
+pub struct ClientStore<P> {
+    inner: Inner<P>,
+}
+
+enum Inner<P> {
+    Dense(Vec<P>),
+    Sharded(Sharded<P>),
+}
+
+struct Sharded<P> {
+    n: usize,
+    shard_size: usize,
+    factory: ClientFactory<P>,
+    /// FedAvg example counts, indexed by client (weighting must not require
+    /// materialization).
+    examples: Vec<u32>,
+    /// Per-shard descriptor blocks, allocated on first retire into the shard.
+    shards: Vec<Option<DescriptorBlock>>,
+    bytes_materialized: u64,
+}
+
+impl<P: Participant> ClientStore<P> {
+    /// Wraps an existing dense participant vector.
+    pub fn dense(clients: Vec<P>) -> Self {
+        ClientStore { inner: Inner::Dense(clients) }
+    }
+
+    /// Creates an empty sharded store of `examples.len()` clients, rebuilt on
+    /// demand by `factory`. `examples[i]` is client `i`'s local example count
+    /// (FedAvg weighting reads it without materializing the client).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_size == 0`.
+    pub fn sharded(shard_size: usize, examples: Vec<u32>, factory: ClientFactory<P>) -> Self {
+        assert!(shard_size > 0, "shard size must be positive");
+        let n = examples.len();
+        let shards = (0..n.div_ceil(shard_size)).map(|_| None).collect();
+        ClientStore {
+            inner: Inner::Sharded(Sharded {
+                n,
+                shard_size,
+                factory,
+                examples,
+                shards,
+                bytes_materialized: 0,
+            }),
+        }
+    }
+
+    /// Number of clients.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Inner::Dense(c) => c.len(),
+            Inner::Sharded(s) => s.n,
+        }
+    }
+
+    /// Whether the store holds no clients.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this store materializes lazily.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self.inner, Inner::Sharded(_))
+    }
+
+    /// The resident participant slice (dense mode only).
+    pub fn as_dense(&self) -> Option<&[P]> {
+        match &self.inner {
+            Inner::Dense(c) => Some(c),
+            Inner::Sharded(_) => None,
+        }
+    }
+
+    /// Mutable access to the resident participants (dense mode only).
+    pub fn as_dense_mut(&mut self) -> Option<&mut Vec<P>> {
+        match &mut self.inner {
+            Inner::Dense(c) => Some(c),
+            Inner::Sharded(_) => None,
+        }
+    }
+
+    /// Client `i`'s local example count, without materializing it.
+    pub fn num_examples_of(&self, i: usize) -> usize {
+        match &self.inner {
+            Inner::Dense(c) => c[i].num_examples(),
+            Inner::Sharded(s) => s.examples[i] as usize,
+        }
+    }
+
+    /// Rebuilds client `i` (sharded mode): factory construction plus the
+    /// retired descriptor, if the client was ever sampled before.
+    ///
+    /// # Panics
+    ///
+    /// Panics in dense mode (the resident slice is the client).
+    pub fn materialize(&mut self, i: usize) -> P {
+        let Inner::Sharded(s) = &mut self.inner else {
+            panic!("materialize is a sharded-store operation; dense stores are resident");
+        };
+        let mut client = (s.factory)(i);
+        let mut bytes = 0u64;
+        if let Some(Some(state)) = s.shards[i / s.shard_size].as_ref().map(|b| &b[i % s.shard_size])
+        {
+            client.restore_private_state(state);
+            bytes += 4 * state.len() as u64;
+        }
+        // The resident footprint of the rebuilt client itself: its
+        // aggregatable buffer (empty for shell clients — they borrow the
+        // round workspace) plus its private factors.
+        bytes += 4 * (client.agg().len() + client.owner_emb().map_or(0, <[f32]>::len)) as u64;
+        s.bytes_materialized += bytes;
+        client
+    }
+
+    /// Retires a client materialized by [`ClientStore::materialize`],
+    /// persisting only its compact private descriptor. The shard's
+    /// descriptor block is allocated on first use.
+    pub fn retire(&mut self, i: usize, client: P) {
+        let Inner::Sharded(s) = &mut self.inner else {
+            panic!("retire is a sharded-store operation; dense stores are resident");
+        };
+        let shard = i / s.shard_size;
+        let len = s.shard_size.min(s.n - shard * s.shard_size);
+        let block = s.shards[shard].get_or_insert_with(|| (0..len).map(|_| None).collect());
+        block[i % s.shard_size] = Some(client.private_state().into_boxed_slice());
+    }
+
+    /// Number of shards holding at least one retired descriptor.
+    pub fn resident_shards(&self) -> usize {
+        match &self.inner {
+            Inner::Dense(_) => usize::from(!self.is_empty()),
+            Inner::Sharded(s) => s.shards.iter().filter(|b| b.is_some()).count(),
+        }
+    }
+
+    /// Total bytes of retired per-client descriptors currently persisted.
+    pub fn descriptor_bytes(&self) -> u64 {
+        match &self.inner {
+            Inner::Dense(_) => 0,
+            Inner::Sharded(s) => s
+                .shards
+                .iter()
+                .flatten()
+                .flat_map(|b| b.iter().flatten())
+                .map(|d| 4 * d.len() as u64)
+                .sum(),
+        }
+    }
+
+    /// Adds externally materialized bytes (e.g. observer snapshots taken by
+    /// the protocol) to this round's meter.
+    pub fn add_materialized_bytes(&mut self, bytes: u64) {
+        if let Inner::Sharded(s) = &mut self.inner {
+            s.bytes_materialized += bytes;
+        }
+    }
+
+    /// Drains the bytes-materialized meter (protocols call this once per
+    /// round). Always 0 in dense mode — nothing is ever *newly* materialized.
+    pub fn take_bytes_materialized(&mut self) -> u64 {
+        match &mut self.inner {
+            Inner::Dense(_) => 0,
+            Inner::Sharded(s) => std::mem::take(&mut s.bytes_materialized),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GmfHyper, GmfSpec, SharingPolicy};
+    use cia_data::UserId;
+
+    fn sharded_gmf(n: usize, shard_size: usize) -> ClientStore<crate::GmfClient> {
+        let spec = GmfSpec::new(20, 4, GmfHyper::default());
+        let examples = vec![3u32; n];
+        ClientStore::sharded(
+            shard_size,
+            examples,
+            Box::new(move |i| {
+                spec.build_shell(
+                    UserId::new(i as u32),
+                    vec![1, 2, 5],
+                    SharingPolicy::Full,
+                    1000 + i as u64,
+                )
+            }),
+        )
+    }
+
+    #[test]
+    fn sharded_store_reports_shape_without_materializing() {
+        let store = sharded_gmf(10, 4);
+        assert_eq!(store.len(), 10);
+        assert!(store.is_sharded());
+        assert!(store.as_dense().is_none());
+        assert_eq!(store.num_examples_of(7), 3);
+        assert_eq!(store.resident_shards(), 0);
+        assert_eq!(store.descriptor_bytes(), 0);
+    }
+
+    #[test]
+    fn materialize_retire_roundtrips_private_state() {
+        let mut store = sharded_gmf(10, 4);
+        let mut c = store.materialize(5);
+        let marked: Vec<f32> = (0..4).map(|k| 0.25 * k as f32).collect();
+        c.restore_private_state(&marked);
+        store.retire(5, c);
+        // Only client 5's shard (the middle one) holds a descriptor.
+        assert_eq!(store.resident_shards(), 1);
+        assert_eq!(store.descriptor_bytes(), 16);
+        let again = store.materialize(5);
+        assert_eq!(again.private_state(), marked);
+        // A never-retired neighbor comes back factory-fresh.
+        let fresh = store.materialize(6);
+        assert_eq!(fresh.private_state().len(), 4);
+        assert_ne!(fresh.private_state(), marked);
+    }
+
+    #[test]
+    fn bytes_materialized_meter_drains_per_round() {
+        let mut store = sharded_gmf(6, 2);
+        let c = store.materialize(0);
+        store.retire(0, c);
+        assert!(store.take_bytes_materialized() > 0);
+        assert_eq!(store.take_bytes_materialized(), 0);
+    }
+
+    #[test]
+    fn dense_store_wraps_resident_clients() {
+        let spec = GmfSpec::new(20, 4, GmfHyper::default());
+        let clients: Vec<_> = (0..3)
+            .map(|i| spec.build_client(UserId::new(i), vec![1, 2], SharingPolicy::Full, i as u64))
+            .collect();
+        let mut store = ClientStore::dense(clients);
+        assert!(!store.is_sharded());
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.as_dense().unwrap().len(), 3);
+        assert_eq!(store.num_examples_of(0), 2);
+        assert_eq!(store.take_bytes_materialized(), 0);
+        assert_eq!(store.resident_shards(), 1);
+        store.as_dense_mut().unwrap().truncate(2);
+        assert_eq!(store.len(), 2);
+    }
+}

@@ -1,7 +1,7 @@
 //! `scenario` — run declarative scenario suites.
 //!
 //! ```text
-//! scenario run [--suite NAME|FILE] [--scale smoke|small|paper] [--seed N]
+//! scenario run [--suite NAME|FILE] [--scale smoke|small|paper|million] [--seed N]
 //!              [--only NAME] [--out FILE] [--checkpoint-dir DIR]
 //!              [--checkpoint-every N] [--resume] [--stop-after N]
 //!              [--no-timing]
@@ -31,7 +31,7 @@ use std::process::ExitCode;
 
 fn usage() {
     eprintln!("usage: scenario <run|list|validate> [options]");
-    eprintln!("  run      [--suite NAME|FILE] [--scale smoke|small|paper] [--seed N]");
+    eprintln!("  run      [--suite NAME|FILE] [--scale smoke|small|paper|million] [--seed N]");
     eprintln!("           [--only NAME] [--out FILE] [--checkpoint-dir DIR]");
     eprintln!("           [--checkpoint-every N] [--resume] [--stop-after N] [--no-timing]");
     eprintln!("  list     [--suite NAME|FILE] [--scale ...] [--seed N]");
@@ -69,7 +69,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             }
             "--scale" => {
                 parsed.scale = Scale::parse(&value(args, i, "--scale")?)
-                    .ok_or("--scale expects smoke|small|paper")?;
+                    .ok_or("--scale expects smoke|small|paper|million")?;
                 i += 2;
             }
             "--seed" => {

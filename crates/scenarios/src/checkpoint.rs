@@ -21,12 +21,20 @@ use std::path::{Path, PathBuf};
 
 // The magic spells "CIAS".
 const MAGIC: u32 = 0x4349_4153;
-// v3: gossip state gained per-node traffic counters and the checkpoint an
-// adaptive sybil-placement section (relocation phase, membership, warm-up
-// delivery log). v2 added `upper_bound_online` to `RoundPoint`. Checkpoints
-// from older versions are refused with a version error rather than silently
+// v4: undelivered gossip inbox models are delta-encoded against the sender's
+// `prev_sent` reference (its momentum of clean outgoing state) — sparse
+// training touches a handful of item rows per round, so the last undelivered
+// snapshot from a sender differs from the reference in only those slots; the
+// sender's reference section now precedes the inboxes so decoding can expand
+// deltas in one pass. Models without a usable reference (no DP/clip
+// transform installed, length mismatch, or a dense diff) fall back to the
+// dense encoding, so the roundtrip is bit-exact either way. v3: gossip state
+// gained per-node traffic counters and the checkpoint an adaptive
+// sybil-placement section (relocation phase, membership, warm-up delivery
+// log). v2 added `upper_bound_online` to `RoundPoint`. Checkpoints from
+// older versions are refused with a version error rather than silently
 // misread.
-const VERSION: u32 = 3;
+const VERSION: u32 = 4;
 
 /// Protocol-side state, by protocol family.
 #[derive(Debug, Clone)]
@@ -141,11 +149,19 @@ impl Checkpoint {
                 for view in &state.views {
                     w.u32s(view);
                 }
+                // v4: sender references first, then the inboxes that delta
+                // against them.
+                w.u64(state.prev_sent.len() as u64);
+                for prev in &state.prev_sent {
+                    w.opt_f32s(prev.as_deref());
+                }
                 w.u64(state.inboxes.len() as u64);
                 for inbox in &state.inboxes {
                     w.u64(inbox.len() as u64);
                     for m in inbox {
-                        w.shared_model(m);
+                        let reference =
+                            state.prev_sent.get(m.owner.raw() as usize).and_then(|p| p.as_deref());
+                        w.delta_model(m, reference);
                     }
                 }
                 w.u64(state.heard.len() as u64);
@@ -155,10 +171,6 @@ impl Checkpoint {
                         w.u32(peer);
                         w.f32(score);
                     }
-                }
-                w.u64(state.prev_sent.len() as u64);
-                for prev in &state.prev_sent {
-                    w.opt_f32s(prev.as_deref());
                 }
                 w.u64s(&state.traffic.received);
                 w.u64s(&state.traffic.view_in_degree);
@@ -254,12 +266,17 @@ impl Checkpoint {
                     views.push(r.u32s()?);
                 }
                 let n = r.len()?;
+                let mut prev_sent = Vec::with_capacity(n);
+                for _ in 0..n {
+                    prev_sent.push(r.opt_f32s()?);
+                }
+                let n = r.len()?;
                 let mut inboxes = Vec::with_capacity(n);
                 for _ in 0..n {
                     let len = r.len()?;
                     let mut inbox = Vec::with_capacity(len);
                     for _ in 0..len {
-                        inbox.push(r.shared_model()?);
+                        inbox.push(r.delta_model(&prev_sent)?);
                     }
                     inboxes.push(inbox);
                 }
@@ -274,11 +291,6 @@ impl Checkpoint {
                         h.push((peer, score));
                     }
                     heard.push(h);
-                }
-                let n = r.len()?;
-                let mut prev_sent = Vec::with_capacity(n);
-                for _ in 0..n {
-                    prev_sent.push(r.opt_f32s()?);
                 }
                 let traffic = TrafficCounters { received: r.u64s()?, view_in_degree: r.u64s()? };
                 ProtocolState::Gl(GossipSimState {
@@ -448,6 +460,49 @@ impl Writer {
         self.opt_f32s(m.owner_emb.as_deref());
         self.f32s(&m.agg);
     }
+    /// v4 inbox-model encoding: a sparse bit-exact delta against the
+    /// sender's `prev_sent` reference (tag 1) when one exists and the diff
+    /// is genuinely sparse — sparse local training leaves most of the `agg`
+    /// slots untouched between sends — or the dense [`Writer::shared_model`]
+    /// layout (tag 0) otherwise.
+    fn delta_model(&mut self, m: &SharedModel, reference: Option<&[f32]>) {
+        let emb_len = m.owner_emb.as_ref().map_or(0, Vec::len);
+        let total = emb_len + m.agg.len();
+        // `[emb | agg]` concatenation, matching the reference's layout.
+        let concat = || m.owner_emb.as_deref().unwrap_or(&[]).iter().chain(&m.agg);
+        let diffs: Option<Vec<(u32, u32)>> = reference
+            .filter(|r| r.len() == total)
+            .map(|r| {
+                concat()
+                    .zip(r)
+                    .enumerate()
+                    // Raw-bit comparison: bit-exact restores, NaN included.
+                    .filter(|(_, (have, want))| have.to_bits() != want.to_bits())
+                    .map(|(k, (have, _))| (k as u32, have.to_bits()))
+                    .collect()
+            })
+            // A diff entry costs 8 bytes vs 4 for a dense slot — only
+            // encode sparsely when it actually shrinks the model.
+            .filter(|d: &Vec<_>| d.len() * 2 < total);
+        match diffs {
+            Some(diffs) => {
+                self.u8(1);
+                self.u32(m.owner.raw());
+                self.u64(m.round);
+                self.u8(u8::from(m.owner_emb.is_some()));
+                self.u64(emb_len as u64);
+                self.u64(diffs.len() as u64);
+                for (k, bits) in diffs {
+                    self.u32(k);
+                    self.u32(bits);
+                }
+            }
+            None => {
+                self.u8(0);
+                self.shared_model(m);
+            }
+        }
+    }
     fn round_points(&mut self, points: &[RoundPoint]) {
         self.u64(points.len() as u64);
         for p in points {
@@ -533,6 +588,44 @@ impl Reader<'_> {
         let owner_emb = self.opt_f32s()?;
         let agg = self.f32s()?;
         Ok(SharedModel { owner, round, owner_emb, agg })
+    }
+    /// Inverse of [`Writer::delta_model`]: expands a sparse delta against
+    /// the sender's `prev_sent` reference, or reads the dense layout.
+    fn delta_model(&mut self, prev_sent: &[Option<Vec<f32>>]) -> Result<SharedModel, String> {
+        match self.u8()? {
+            0 => self.shared_model(),
+            1 => {
+                let owner = UserId::new(self.u32()?);
+                let round = self.u64()?;
+                let has_emb = match self.u8()? {
+                    0 => false,
+                    1 => true,
+                    tag => return Err(format!("unknown embedding tag {tag}")),
+                };
+                let emb_len = self.u64()? as usize;
+                if !has_emb && emb_len != 0 {
+                    return Err("delta model claims embedding slots without one".to_string());
+                }
+                let mut full = prev_sent
+                    .get(owner.raw() as usize)
+                    .and_then(|p| p.clone())
+                    .ok_or("delta-encoded inbox model without a sender reference")?;
+                if emb_len > full.len() {
+                    return Err("delta model embedding exceeds the reference".to_string());
+                }
+                let n = self.len()?;
+                for _ in 0..n {
+                    let k = self.u32()? as usize;
+                    let bits = self.u32()?;
+                    *full.get_mut(k).ok_or("delta index outside the reference")? =
+                        f32::from_bits(bits);
+                }
+                let agg = full.split_off(emb_len);
+                let owner_emb = has_emb.then_some(full);
+                Ok(SharedModel { owner, round, owner_emb, agg })
+            }
+            tag => Err(format!("unknown inbox model tag {tag}")),
+        }
     }
     fn round_points(&mut self) -> Result<Vec<RoundPoint>, String> {
         let n = self.len()?;
@@ -675,6 +768,66 @@ mod tests {
         Checkpoint::migrate_legacy_names(&tmp, "scenario.x");
         assert_eq!(std::fs::read(&current).unwrap(), b"ckpt", "migration clobbered");
         let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    /// A checkpoint whose one undelivered inbox model differs from the
+    /// sender's `prev_sent` reference only at `touched` slots of a 64-slot
+    /// `[emb(4) | agg(60)]` layout.
+    fn sparse_inbox_sample(touched: &[(usize, f32)]) -> Checkpoint {
+        let mut ck = sample();
+        let reference: Vec<f32> = (0..64).map(|k| k as f32 * 0.5).collect();
+        let mut model = reference.clone();
+        for &(k, v) in touched {
+            model[k] = v;
+        }
+        let ProtocolState::Gl(state) = &mut ck.protocol else { unreachable!() };
+        state.prev_sent = vec![None, Some(reference)];
+        state.inboxes = vec![
+            vec![SharedModel {
+                owner: UserId::new(1),
+                round: 11,
+                owner_emb: Some(model[..4].to_vec()),
+                agg: model[4..].to_vec(),
+            }],
+            vec![],
+        ];
+        ck
+    }
+
+    #[test]
+    fn sparse_inbox_delta_roundtrips_bit_exactly() {
+        // Three touched slots, one of them NaN and one a subnormal — the
+        // delta must restore raw bits, not values.
+        let touched = [(0, f32::NAN), (17, -9.0), (63, 1.0e-40)];
+        let ck = sparse_inbox_sample(&touched);
+        let back = Checkpoint::decode(&ck.encode(), 0xFEED).unwrap();
+        let (ProtocolState::Gl(a), ProtocolState::Gl(b)) = (&back.protocol, &ck.protocol) else {
+            panic!("protocol family changed");
+        };
+        let bits = |m: &SharedModel| -> Vec<u32> {
+            let emb = m.owner_emb.as_deref().unwrap_or(&[]);
+            emb.iter().chain(&m.agg).map(|x| x.to_bits()).collect()
+        };
+        assert_eq!(a.inboxes[0][0].owner, b.inboxes[0][0].owner);
+        assert_eq!(a.inboxes[0][0].round, b.inboxes[0][0].round);
+        assert_eq!(bits(&a.inboxes[0][0]), bits(&b.inboxes[0][0]));
+        assert_eq!(a.prev_sent, b.prev_sent);
+    }
+
+    #[test]
+    fn sparse_inbox_delta_shrinks_the_checkpoint() {
+        let sparse = sparse_inbox_sample(&[(17, -9.0)]).encode();
+        // Every slot perturbed: the diff is dense, the codec must fall back
+        // to the dense layout — and the sparse encoding must be materially
+        // smaller than it.
+        let all: Vec<(usize, f32)> = (0..64).map(|k| (k, -1.0 - k as f32)).collect();
+        let dense = sparse_inbox_sample(&all).encode();
+        assert!(
+            sparse.len() + 150 < dense.len(),
+            "sparse {} vs dense {}",
+            sparse.len(),
+            dense.len()
+        );
     }
 
     #[test]

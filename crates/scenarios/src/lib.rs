@@ -40,15 +40,17 @@
 pub mod checkpoint;
 pub mod dynamics;
 pub mod json;
+pub mod mem;
 pub mod placement;
 pub mod runner;
 pub mod setup;
 pub mod spec;
 
 pub use dynamics::{DynamicsState, FlDynamics, GlDynamics, ParticipantDynamics};
+pub use mem::peak_rss_bytes;
 pub use placement::{PlacementEngine, PlacementObserver, PlacementState};
 pub use runner::{run_quiet, run_scenario, run_suite, RunOptions, RunResult, ScenarioOutcome};
-pub use setup::{build_setup, RecsysSetup};
+pub use setup::{build_setup, try_build_setup, validate_scale_params, RecsysSetup};
 pub use spec::{
     adaptive_sybils_suite, builtin_suite, defense_dynamics_grid_suite, named_suite,
     participation_sweep_suite, pers_gossip_churn_suite, DefenseKind, DynamicsSpec, ModelKind,

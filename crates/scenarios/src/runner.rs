@@ -24,13 +24,14 @@ use crate::checkpoint::{AttackState, Checkpoint, ProtocolState};
 use crate::dynamics::{FlDynamics, GlDynamics, ParticipantDynamics};
 use crate::json::{Json, ObjBuilder};
 use crate::placement::{PlacementEngine, PlacementObserver, PlacementState};
-use crate::setup::{build_setup, RecsysSetup};
+use crate::setup::{try_build_setup, RecsysSetup};
 use crate::spec::{DefenseKind, ModelKind, ProtocolKind, ScenarioSpec, SuiteSpec};
 use cia_core::metrics::random_bound;
 use cia_core::{
     AttackOutcome, CiaConfig, FlCia, GlCiaAllPlacements, GlCiaCoalition, ItemSetEvaluator,
-    RoundPoint,
+    RoundPoint, TopK,
 };
+use cia_data::presets::Scale;
 use cia_data::UserId;
 use cia_defenses::{DpConfig, DpMechanism};
 use cia_federated::{FedAvg, FedAvgConfig};
@@ -172,7 +173,20 @@ pub fn run_scenario(
             elapsed: start.elapsed(),
         });
     }
-    let setup = build_setup(spec.preset, spec.scale, spec.k_override, spec.seed);
+    // The scenario path keeps every client resident (attacks observe the
+    // whole population); the million profile only exists for the sharded
+    // lazy round and would need terabytes here — reject it up front with a
+    // pointer to the path that can run it.
+    if matches!(spec.scale, Scale::Million) {
+        return Err(format!(
+            "{}: --scale million exceeds the dense scenario runner's supported range \
+             (10\u{2076} resident clients); use scripts/bench_kernels.sh --scale million \
+             for the sharded lazy round",
+            spec.name
+        ));
+    }
+    let setup = try_build_setup(spec.preset, spec.scale, spec.k_override, spec.seed)
+        .map_err(|e| format!("{}: {e}", spec.name))?;
     let mut outcome = match spec.model {
         ModelKind::Gmf => run_gmf(&ctx, &setup, sink),
         ModelKind::Prme => run_prme(&ctx, &setup, sink),
@@ -309,26 +323,39 @@ fn run_prme(
     let utility = move |clients: &[PrmeClient]| -> f64 {
         // F1@20: rank the full catalog minus train items, compare the top 20
         // against the held-out positives (logit scores; ranking is
-        // sigmoid-free by monotonicity). Clients evaluate independently in
-        // parallel chunks; the fold over per-client F1 values runs in client
-        // index order, so the mean is identical for every CIA_THREADS
-        // setting.
-        let all: Vec<u32> = (0..num_items).collect();
+        // sigmoid-free by monotonicity). The catalog is scored in cache-sized
+        // tiles fed through the bounded [`TopK`] selector, so evaluation
+        // never allocates a catalog-length score vector per user — `TopK` is
+        // exactly the full-sort prefix under the same total order, so the F1
+        // is unchanged. Clients evaluate independently in parallel chunks;
+        // the fold over per-client F1 values runs in client index order, so
+        // the mean is identical for every CIA_THREADS setting.
         let n = clients.len().min(eval_instances.len()).min(train_sets.len());
         let f1s = par_map(n, |u| {
             let (c, (inst, train)) = (&clients[u], (&eval_instances[u], &train_sets[u]));
-            let scores = c.score_candidates(&all);
-            let ranked: Vec<(f32, u32)> = scores
-                .into_iter()
-                .zip(all.iter().copied())
-                .filter(|(_, j)| train.binary_search(j).is_err())
-                .collect();
-            f1_at_k(&top_k_by_score(ranked, 20), &inst.positives)
+            let mut sel = TopK::new(20);
+            let mut tile: Vec<u32> = Vec::with_capacity(EVAL_TILE);
+            let mut start = 0u32;
+            while start < num_items {
+                let end = num_items.min(start + EVAL_TILE as u32);
+                tile.clear();
+                tile.extend((start..end).filter(|j| train.binary_search(j).is_err()));
+                for (s, &j) in c.score_candidates(&tile).iter().zip(&tile) {
+                    sel.push(*s, j);
+                }
+                start = end;
+            }
+            f1_at_k(&sel.into_ids(), &inst.positives)
         });
         f1s.iter().sum::<f64>() / clients.len() as f64
     };
     run_protocol(ctx, setup, model_spec, clients, utility, "F1@20", sink)
 }
+
+/// Items scored per tile during catalog evaluation: small enough that a
+/// tile's ids + scores stay cache-resident, large enough to amortize the
+/// per-call setup of the vectorized scoring kernels.
+const EVAL_TILE: usize = 512;
 
 /// Ranks `(score, item)` candidates by descending score with an ascending
 /// item-id tie-break and returns the top `k` item ids — the same
@@ -336,9 +363,14 @@ fn run_prme(
 /// ([`cia_core::metrics::rank_desc`], `cia_data::jaccard`). Equal scores
 /// must never leave the cut-off at the mercy of catalog iteration order,
 /// and NaN scores (a DP-destroyed model) rank last instead of panicking.
-pub fn top_k_by_score(mut ranked: Vec<(f32, u32)>, k: usize) -> Vec<u32> {
-    ranked.sort_by(cia_core::metrics::rank_desc);
-    ranked.into_iter().take(k).map(|(_, j)| j).collect()
+/// Built on the `O(k)`-memory streaming [`TopK`] selector, which returns
+/// exactly the full-sort prefix under that order.
+pub fn top_k_by_score(ranked: Vec<(f32, u32)>, k: usize) -> Vec<u32> {
+    let mut sel = TopK::new(k);
+    for (score, item) in ranked {
+        sel.push(score, item);
+    }
+    sel.into_ids()
 }
 
 fn build_dp(spec: &ScenarioSpec, rounds: u64) -> Option<DpMechanism> {
@@ -462,6 +494,7 @@ where
                 dynamics.online_count(),
                 stats.participants,
                 stats.mean_loss,
+                stats.bytes_materialized,
             )?;
             emitted += 1;
         }
@@ -708,6 +741,7 @@ where
                 dynamics.online_count(),
                 stats.awake,
                 stats.mean_loss,
+                stats.bytes_materialized,
             )?;
             emitted += 1;
         }
@@ -823,6 +857,7 @@ fn write_record(sink: &mut dyn Write, record: &Json) -> Result<(), String> {
     sink.write_all(line.as_bytes()).map_err(|e| format!("cannot write record: {e}"))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn emit_round_eval(
     ctx: &Ctx,
     sink: &mut dyn Write,
@@ -831,6 +866,7 @@ fn emit_round_eval(
     online: usize,
     participants: usize,
     mean_loss: f32,
+    bytes_materialized: u64,
 ) -> Result<(), String> {
     let mut b = base_record(ctx, "round_eval")
         .num("round", p.round as f64)
@@ -843,7 +879,14 @@ fn emit_round_eval(
         .num("participants", participants as f64)
         .num("mean_loss", f64::from(mean_loss));
     if ctx.opts.timing {
+        // Timing-class fields (`--no-timing` golden transcripts never see
+        // them): wall clock, the protocol's own materialization meter and
+        // the OS-charged peak RSS.
         b = b.num("elapsed_ms", ctx.start.elapsed().as_millis() as f64);
+        b = b.num("bytes_materialized", bytes_materialized as f64);
+        if let Some(rss) = crate::mem::peak_rss_bytes() {
+            b = b.num("peak_rss_bytes", rss as f64);
+        }
     }
     write_record(sink, &b.build())
 }
@@ -872,6 +915,9 @@ fn emit_summary(
         .bool("completed", true);
     if ctx.opts.timing {
         b = b.num("elapsed_ms", ctx.start.elapsed().as_millis() as f64);
+        if let Some(rss) = crate::mem::peak_rss_bytes() {
+            b = b.num("peak_rss_bytes", rss as f64);
+        }
     }
     write_record(sink, &b.build())
 }
@@ -912,6 +958,17 @@ pub fn validate_jsonl(input: &str) -> Result<(usize, usize), String> {
             }
             Ok(())
         };
+        // Timing-class fields are optional (absent under `--no-timing`) but
+        // must be integral counters when present.
+        let timing = |key: &str| -> Result<(), String> {
+            match v.get(key) {
+                None => Ok(()),
+                Some(x) => x
+                    .as_u64()
+                    .map(drop)
+                    .ok_or_else(|| fail(format!("`{key}` must be a non-negative integer"))),
+            }
+        };
         match kind {
             "round_eval" => {
                 v.get("round")
@@ -937,6 +994,9 @@ pub fn validate_jsonl(input: &str) -> Result<(usize, usize), String> {
                 v.get("mean_loss")
                     .and_then(Json::as_f64)
                     .ok_or_else(|| fail("missing numeric `mean_loss`".to_string()))?;
+                for key in ["elapsed_ms", "bytes_materialized", "peak_rss_bytes"] {
+                    timing(key)?;
+                }
                 evals += 1;
             }
             "scenario_summary" => {
@@ -966,6 +1026,9 @@ pub fn validate_jsonl(input: &str) -> Result<(usize, usize), String> {
                 v.get("completed")
                     .and_then(Json::as_bool)
                     .ok_or_else(|| fail("missing boolean `completed`".to_string()))?;
+                for key in ["elapsed_ms", "peak_rss_bytes"] {
+                    timing(key)?;
+                }
                 summaries += 1;
             }
             other => return Err(fail(format!("unknown record type `{other}`"))),
@@ -982,6 +1045,16 @@ mod tests {
     use super::*;
     use crate::spec::builtin_suite;
     use cia_data::presets::{Preset, Scale};
+
+    #[test]
+    fn million_scale_is_a_clear_error_not_a_panic() {
+        let spec =
+            ScenarioSpec::new(Preset::MovieLens, ModelKind::Gmf, ProtocolKind::Fl, Scale::Million);
+        let mut sink = std::io::sink();
+        let err = run_scenario(&spec, "t", &RunOptions::default(), &mut sink).unwrap_err();
+        assert!(err.contains("supported range"), "unhelpful error: {err}");
+        assert!(err.contains("bench_kernels.sh"), "no remediation pointer: {err}");
+    }
 
     #[test]
     fn quiet_fl_gmf_run_matches_legacy_contract() {

@@ -169,6 +169,20 @@ impl ScaleParams {
                 eval_negatives: 100,
                 poi_holdout: 5,
             },
+            // Memory-budget stress profile: a handful of rounds is enough to
+            // exercise the sharded lazy round path; full attack sweeps at this
+            // scale are out of scope (use the env-gated bench instead).
+            Scale::Million => ScaleParams {
+                fl_rounds: 3,
+                gl_rounds: 50,
+                fl_eval_every: 1,
+                gl_eval_every: 10,
+                local_epochs: 1,
+                dim: 8,
+                k: 50,
+                eval_negatives: 100,
+                poi_holdout: 5,
+            },
         }
     }
 

@@ -54,6 +54,16 @@ fn resume_matches_uninterrupted(
     tag: &str,
 ) {
     let spec = suite.expanded().unwrap()[scenario_index].clone();
+    resume_spec_matches_uninterrupted(&spec, stop_after, every, tag);
+}
+
+fn resume_spec_matches_uninterrupted(
+    spec: &cia_scenarios::ScenarioSpec,
+    stop_after: u64,
+    every: u64,
+    tag: &str,
+) {
+    let spec = spec.clone();
 
     // Uninterrupted reference run.
     let mut straight_out = Vec::new();
@@ -128,6 +138,29 @@ fn fl_run_with_churn_resumes_exactly() {
 fn gossip_sybil_run_resumes_exactly() {
     // colluding-sybils: Rand-Gossip coalition, killed at round 20 of 40.
     resume_matches_uninterrupted(builtin_suite(Scale::Smoke, 42), 2, 20, 10, "gl-sybil");
+}
+
+#[test]
+fn dp_gossip_with_delta_encoded_inboxes_resumes_exactly() {
+    // Clip-only DP gossip under churn: senders carry `prev_sent` references
+    // and offline receivers accumulate undelivered inbox models, so the
+    // mid-run checkpoint exercises the v4 sparse delta encoding. The kill
+    // and resume must land on exactly the uninterrupted metrics and stream —
+    // proving the deltas expand bit-exactly.
+    use cia_data::presets::Preset;
+    use cia_scenarios::{DefenseKind, ModelKind, ProtocolKind, ScenarioSpec};
+    let mut spec = ScenarioSpec::new(
+        Preset::MovieLens,
+        ModelKind::Gmf,
+        ProtocolKind::RandGossip,
+        Scale::Smoke,
+    );
+    spec.name = "gl-dp-delta-inboxes".to_string();
+    spec.defense = DefenseKind::Dp { epsilon: None };
+    spec.colluders = 3;
+    spec.dynamics.leave_prob = 0.3;
+    spec.dynamics.join_prob = 0.4;
+    resume_spec_matches_uninterrupted(&spec, 20, 10, "gl-dp-delta");
 }
 
 #[test]

@@ -13,6 +13,15 @@
 # gossip_round_paper_943x1682). They are env-gated rather than always-on so
 # the `cargo bench -- --test` smoke gate and CI stay fast; run
 # `scripts/bench_kernels.sh --scale paper paper` to refresh only those rows.
+# With CIA_THREADS=N (N>1) the paper rows record under a `_tN` suffix, so a
+# thread-scaling sweep accumulates rows instead of overwriting the
+# single-thread baseline.
+#
+# `--scale million` unlocks the million-user (10⁶×10⁵) sharded lazy FedAvg
+# round (fedavg_round_million_1000000x100000, 1% participation). The bench
+# asserts the 8 GiB peak-RSS budget itself; dataset generation costs minutes,
+# so run `scripts/bench_kernels.sh --scale million million` to refresh only
+# that row.
 # The default (smoke) run always includes the small-scale trend rows
 # (fedavg_round_small_200x400, gossip_round_small_200x400) — the same round
 # hot path at ~1% of the work — so round-cost drift shows up without paying
@@ -31,9 +40,10 @@ while [ $# -gt 0 ]; do
     --scale)
         case "${2:-}" in
         paper) export CIA_BENCH_PAPER_SCALE=1 ;;
-        smoke) unset CIA_BENCH_PAPER_SCALE ;;
+        million) export CIA_BENCH_MILLION_SCALE=1 ;;
+        smoke) unset CIA_BENCH_PAPER_SCALE CIA_BENCH_MILLION_SCALE ;;
         *)
-            echo "--scale expects smoke|paper, got \`${2:-}\`" >&2
+            echo "--scale expects smoke|paper|million, got \`${2:-}\`" >&2
             exit 1
             ;;
         esac

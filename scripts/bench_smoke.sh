@@ -15,6 +15,10 @@ if [ "${CIA_SKIP_REDUNDANT_GATES:-0}" != 1 ]; then
     cargo fmt --all --check
 fi
 
+# Every ungated bench body runs once, including the sharded
+# lazy-materialization round (fedavg_round_lazy_48x160) — the smoke-sized
+# twin of the `--scale million` lazy round, so the materialize/train/retire
+# path cannot bit-rot between full-scale runs.
 echo "== cargo bench -- --test (every benchmark body, one iteration)"
 cargo bench -p cia-bench -- --test
 

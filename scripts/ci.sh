@@ -62,6 +62,28 @@ collect_golden_diffs() {
     done
 }
 
+# Runs a command and prints the peak RSS of its process tree afterwards —
+# the memory companion to the timing summary, so a resident-set regression
+# in the test suite is visible in every CI log. The container has no
+# /usr/bin/time, so a python3 getrusage(RUSAGE_CHILDREN) wrapper does the
+# bookkeeping; without python3 the command just runs bare.
+run_with_peak_rss() {
+    if command -v python3 > /dev/null 2>&1; then
+        python3 - "$@" << 'PYEOF'
+import resource
+import subprocess
+import sys
+
+rc = subprocess.call(sys.argv[1:])
+peak_kib = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss  # KiB on Linux
+print(f"   peak RSS (children): {peak_kib / 1048576:.2f} GiB ({peak_kib} KiB)")
+sys.exit(rc)
+PYEOF
+    else
+        "$@"
+    fi
+}
+
 step() {
     local name="$1"
     shift
@@ -84,7 +106,7 @@ step() {
 
 step fmt-check cargo fmt --all --check
 step build cargo build --release --workspace
-step test cargo test --workspace -q
+step test run_with_peak_rss cargo test --workspace -q
 # fmt-check and the workspace tests already ran above; tell bench_smoke.sh
 # not to repeat them.
 CIA_SKIP_REDUNDANT_GATES=1 step bench-smoke scripts/bench_smoke.sh
