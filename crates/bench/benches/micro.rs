@@ -470,11 +470,62 @@ fn bench_paper_scale(c: &mut Criterion) {
         );
         b.iter(|| sim.step(&mut NullObserver));
     });
+    // Phase-annotated twin of the row above: a few instrumented rounds
+    // attribute the median to sample/train/attack/aggregate/evaluate.
+    {
+        let mut sim = FedAvg::new(
+            clients(),
+            FedAvgConfig { rounds: u64::MAX, local_epochs: 2, ..Default::default() },
+        );
+        let rec = cia_core::Recorder::new();
+        rec.set_detail(true);
+        sim.set_recorder(rec.clone());
+        const PHASE_ROUNDS: u64 = 5;
+        for _ in 0..PHASE_ROUNDS {
+            sim.step(&mut NullObserver);
+        }
+        emit_phase_rows(&format!("fedavg_round_paper_943x1682{t}"), &rec, PHASE_ROUNDS);
+    }
     c.bench_function(&format!("gossip_round_paper_943x1682{t}"), |b| {
         let mut sim =
             GossipSim::new(clients(), GossipConfig { rounds: u64::MAX, ..Default::default() });
         b.iter(|| sim.step(&mut NullGossipObserver));
     });
+}
+
+/// Appends per-phase breakdown rows (`<base>_phase_<name>`) to the
+/// `CRITERION_JSON` stream: the mean ns/round each top-level recorder span
+/// (sample, train, attack, aggregate, evaluate, …) cost over `rounds`
+/// instrumented rounds. The phase pass runs *outside* `Bencher::iter` — the
+/// timed rows stay un-instrumented — so the breakdown annotates the
+/// end-to-end median instead of perturbing it.
+fn emit_phase_rows(base: &str, rec: &cia_core::Recorder, rounds: u64) {
+    let Some(path) = std::env::var_os("CRITERION_JSON") else {
+        return;
+    };
+    let chunk = rec.drain();
+    let mut names: Vec<&'static str> = Vec::new();
+    let mut sums: Vec<u64> = Vec::new();
+    for s in chunk.spans.iter().filter(|s| s.depth == 0) {
+        match names.iter().position(|&n| n == s.name) {
+            Some(i) => sums[i] += s.dur_us,
+            None => {
+                names.push(s.name);
+                sums.push(s.dur_us);
+            }
+        }
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("CRITERION_JSON path is writable");
+    for (name, total_us) in names.iter().zip(&sums) {
+        let ns_per_round = *total_us as f64 * 1000.0 / rounds.max(1) as f64;
+        use std::io::Write as _;
+        writeln!(file, r#"{{"name": "{base}_phase_{name}", "median_ns": {ns_per_round:.1}}}"#)
+            .expect("CRITERION_JSON stream is writable");
+    }
 }
 
 /// `_tN` suffix for the paper-scale round rows when `CIA_THREADS=N>1`, so a
@@ -532,6 +583,18 @@ fn bench_million_scale(c: &mut Criterion) {
     c.bench_function("fedavg_round_million_1000000x100000", |b| {
         b.iter(|| sim.step(&mut NullObserver));
     });
+    // Phase-annotated rows for the same sim (the sharded store keeps its
+    // lazy state, so extra rounds stay representative of the timed ones).
+    {
+        let rec = cia_core::Recorder::new();
+        rec.set_detail(true);
+        sim.set_recorder(rec.clone());
+        const PHASE_ROUNDS: u64 = 3;
+        for _ in 0..PHASE_ROUNDS {
+            sim.step(&mut NullObserver);
+        }
+        emit_phase_rows("fedavg_round_million_1000000x100000", &rec, PHASE_ROUNDS);
+    }
     let peak = cia_scenarios::peak_rss_bytes().unwrap_or(0);
     let gib = peak as f64 / f64::from(1u32 << 30);
     println!("million-scale peak RSS: {gib:.2} GiB (budget 8 GiB)");

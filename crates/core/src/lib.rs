@@ -47,3 +47,8 @@ pub use gl::{GlCiaAllPlacements, GlCiaCoalition, PlacementsState};
 pub use metrics::{AttackOutcome, AttackTracker, RoundPoint, TopK};
 pub use mia::{membership_entropy, MiaCommunityAttack, MiaConfig};
 pub use momentum::MomentumState;
+
+/// The observability layer (re-exported): phase spans, the typed counter
+/// registry and log₂ latency histograms every simulation reports into.
+pub use cia_obs as obs;
+pub use cia_obs::{Counter, Histogram, Metric, Recorder, SpanRec, TraceChunk};

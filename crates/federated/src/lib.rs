@@ -46,6 +46,7 @@ use cia_data::UserId;
 use cia_models::parallel::par_zip_mut;
 use cia_models::params::weighted_mean;
 use cia_models::{ClientStore, Participant, SharedModel, UpdateTransform};
+use cia_obs::{Counter, Metric, Recorder};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -185,6 +186,11 @@ pub struct FedAvg<P: Participant> {
     /// Sharded-mode reusable observer snapshot slot (clients are observed
     /// one at a time, in index order, so one slot serves the cohort).
     snap_slot: SharedModel,
+    /// The observability sink: phase spans, event counters (clients trained,
+    /// bytes materialized) and the per-client training-latency histogram.
+    /// Shared with the client store in sharded mode so every materialized
+    /// byte lands in one registry.
+    obs: Recorder,
 }
 
 /// Per-client per-round bookkeeping; `model` keeps its buffers across rounds.
@@ -231,6 +237,7 @@ impl<P: Participant> FedAvg<P> {
             acc: Vec::new(),
             workspace: Vec::new(),
             snap_slot: empty_snap_slot(),
+            obs: Recorder::new(),
         }
     }
 
@@ -254,6 +261,9 @@ impl<P: Participant> FedAvg<P> {
             cfg.participation > 0.0 && cfg.participation <= 1.0,
             "participation must be in (0, 1]"
         );
+        let obs = Recorder::new();
+        let mut store = store;
+        store.set_recorder(obs.clone());
         FedAvg {
             store,
             global_agg: initial_global,
@@ -264,7 +274,22 @@ impl<P: Participant> FedAvg<P> {
             acc: Vec::new(),
             workspace: Vec::new(),
             snap_slot: empty_snap_slot(),
+            obs,
         }
+    }
+
+    /// Installs the metrics/trace sink this simulation (and, in sharded
+    /// mode, its client store) reports into. The scenario runner installs
+    /// one recorder per scenario; standalone simulations keep their own
+    /// default recorder.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.store.set_recorder(recorder.clone());
+        self.obs = recorder;
+    }
+
+    /// The metrics/trace sink this simulation reports into.
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
     }
 
     /// Installs a local update transform (DP-SGD) applied to every outgoing
@@ -355,6 +380,8 @@ impl<P: Participant> FedAvg<P> {
             return self.step_sharded(observer);
         }
         let t = self.round;
+        let obs = self.obs.clone();
+        let bytes0 = obs.counter(Counter::BytesMaterialized);
         let FedAvg { store, global_agg, cfg, transform, slots, acc, .. } = &mut *self;
         let clients = store.as_dense_mut().expect("dense step");
         let n = clients.len();
@@ -362,6 +389,7 @@ impl<P: Participant> FedAvg<P> {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
         // Sample participants.
+        let sample_span = obs.span("sample");
         let mut sampled: Vec<bool> = if cfg.participation >= 1.0 {
             vec![true; n]
         } else {
@@ -378,6 +406,7 @@ impl<P: Participant> FedAvg<P> {
         observer.on_round_start(t);
         observer.on_participants(t, &mut sampled);
         observer.on_global(t, global_agg);
+        drop(sample_span);
 
         // Snapshots are materialized only when something consumes them: the
         // observer, or the DP transform (which aggregates transformed
@@ -396,6 +425,7 @@ impl<P: Participant> FedAvg<P> {
                 if !slot.sampled {
                     return;
                 }
+                let t0 = obs.clock();
                 let mut crng = StdRng::seed_from_u64(
                     cfg.seed ^ (t << 20) ^ (i as u64).wrapping_mul(0x5851_F42D),
                 );
@@ -423,6 +453,7 @@ impl<P: Participant> FedAvg<P> {
                         client.snapshot_into(t, &mut slot.model);
                     }
                 }
+                obs.observe_since(Metric::TrainMicros, t0);
             };
         // Pre-compute the sparse-aggregation weights so the single-thread
         // path can fold each client's contribution while its parameters are
@@ -442,6 +473,7 @@ impl<P: Participant> FedAvg<P> {
             .sum();
         acc.resize(global.len(), 0.0);
         acc.fill(0.0);
+        let train_span = obs.span("train");
         if cia_models::parallel::num_threads() <= 1 {
             for (i, (client, slot)) in clients.iter_mut().zip(slots.iter_mut()).enumerate() {
                 let sink = if sparse_agg && total > 0.0 {
@@ -463,25 +495,29 @@ impl<P: Participant> FedAvg<P> {
                 }
             }
         }
+        drop(train_span);
 
         // Observe in deterministic (user-id) order. Dense clients are
         // permanently resident, so the round's materialization cost is the
         // snapshot buffers refilled for the observer / DP transform.
+        let attack_span = obs.span("attack");
         let mut loss_sum = 0.0f32;
         let mut participants = 0usize;
-        let mut bytes_materialized = 0u64;
         for slot in &*slots {
             if slot.sampled {
                 if materialize {
                     observer.on_client_model(&slot.model);
-                    bytes_materialized += 4 * slot.model.len() as u64;
+                    obs.add(Counter::BytesMaterialized, 4 * slot.model.len() as u64);
                 }
                 loss_sum += slot.loss;
                 participants += 1;
             }
         }
+        drop(attack_span);
+        obs.add(Counter::ClientsTrained, participants as u64);
         // Aggregate. An all-offline round (dynamics can empty the mask)
         // keeps the previous global — nothing arrived to aggregate.
+        let aggregate_span = obs.span("aggregate");
         if participants > 0 {
             if sparse_agg {
                 // Sparse path: every client contributed
@@ -508,14 +544,17 @@ impl<P: Participant> FedAvg<P> {
                 *global_agg = new_global;
             }
         }
+        drop(aggregate_span);
 
         let stats = RoundStats {
             round: t,
             participants,
             mean_loss: if participants == 0 { 0.0 } else { loss_sum / participants as f32 },
-            bytes_materialized,
+            bytes_materialized: obs.counter(Counter::BytesMaterialized) - bytes0,
         };
+        let evaluate_span = obs.span("evaluate");
         observer.on_round_end(&stats);
+        drop(evaluate_span);
         self.round += 1;
         stats
     }
@@ -528,10 +567,13 @@ impl<P: Participant> FedAvg<P> {
     fn step_sharded(&mut self, observer: &mut dyn RoundObserver) -> RoundStats {
         debug_assert!(self.transform.is_none(), "transforms are rejected at install time");
         let t = self.round;
+        let obs = self.obs.clone();
+        let bytes0 = obs.counter(Counter::BytesMaterialized);
         let n = self.store.len();
         let cfg = self.cfg;
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
+        let sample_span = obs.span("sample");
         let mut sampled: Vec<bool> = if cfg.participation >= 1.0 {
             vec![true; n]
         } else {
@@ -548,6 +590,7 @@ impl<P: Participant> FedAvg<P> {
         observer.on_round_start(t);
         observer.on_participants(t, &mut sampled);
         observer.on_global(t, &self.global_agg);
+        drop(sample_span);
         let materialize = observer.observes_models();
 
         let weight_of = |store: &ClientStore<P>, i: usize| match cfg.weighting {
@@ -567,9 +610,14 @@ impl<P: Participant> FedAvg<P> {
         self.workspace.resize(self.global_agg.len(), 0.0);
         self.workspace.copy_from_slice(&self.global_agg);
 
+        // Training and observation are fused per client here (the snapshot
+        // slot is reused client to client), so one "train" span covers the
+        // materialize → train → observe → retire chain.
+        let train_span = obs.span("train");
         let mut loss_sum = 0.0f32;
         let mut participants = 0usize;
         for (i, _) in sampled.iter().enumerate().filter(|&(_, &s)| s) {
+            let t0 = obs.clock();
             let mut client = self.store.materialize(i);
             let mut crng =
                 StdRng::seed_from_u64(cfg.seed ^ (t << 20) ^ (i as u64).wrapping_mul(0x5851_F42D));
@@ -587,28 +635,35 @@ impl<P: Participant> FedAvg<P> {
                 sink,
                 snap,
             );
+            obs.observe_since(Metric::TrainMicros, t0);
             if materialize {
-                self.store.add_materialized_bytes(4 * self.snap_slot.len() as u64);
+                obs.add(Counter::BytesMaterialized, 4 * self.snap_slot.len() as u64);
                 observer.on_client_model(&self.snap_slot);
             }
             loss_sum += loss;
             participants += 1;
             self.store.retire(i, client);
         }
+        drop(train_span);
+        obs.add(Counter::ClientsTrained, participants as u64);
 
+        let aggregate_span = obs.span("aggregate");
         if participants > 0 {
             for (g, a) in self.global_agg.iter_mut().zip(&self.acc) {
                 *g += a;
             }
         }
+        drop(aggregate_span);
 
         let stats = RoundStats {
             round: t,
             participants,
             mean_loss: if participants == 0 { 0.0 } else { loss_sum / participants as f32 },
-            bytes_materialized: self.store.take_bytes_materialized(),
+            bytes_materialized: obs.counter(Counter::BytesMaterialized) - bytes0,
         };
+        let evaluate_span = obs.span("evaluate");
         observer.on_round_end(&stats);
+        drop(evaluate_span);
         self.round += 1;
         stats
     }
@@ -1002,6 +1057,68 @@ mod tests {
             clip: 1.0,
             noise_multiplier: 1.0,
         })));
+    }
+
+    #[test]
+    fn sharded_bytes_materialized_matches_pre_registry_baseline() {
+        // Equivalence pin: the per-round `bytes_materialized` stats were
+        // captured *before* the store's ad-hoc byte meter moved onto the
+        // `cia_obs` counter registry. The registry-backed path must
+        // reproduce them bit-identically (stats are within-step counter
+        // deltas, so the refactor is observable only if it miscounts).
+        let data = SyntheticConfig::builder()
+            .users(30)
+            .items(80)
+            .communities(4)
+            .interactions_per_user(10)
+            .seed(4)
+            .build()
+            .generate();
+        let split = LeaveOneOut::new(&data, 20, 1).unwrap();
+        let spec = GmfSpec::new(80, 8, GmfHyper::default());
+        let train = split.train_sets().to_vec();
+        let policy = SharingPolicy::Full;
+        let initial = spec.build_client(UserId::new(0), train[0].clone(), policy, 0).agg().to_vec();
+        let examples: Vec<u32> = train.iter().map(|s| s.len() as u32).collect();
+        let factory_spec = spec.clone();
+        let store = cia_models::ClientStore::sharded(
+            8,
+            examples,
+            Box::new(move |i| {
+                factory_spec.build_shell(UserId::new(i as u32), train[i].clone(), policy, i as u64)
+            }),
+        );
+        let cfg = FedAvgConfig {
+            rounds: 4,
+            participation: 0.3,
+            local_epochs: 2,
+            seed: 13,
+            weighting: Weighting::Uniform,
+        };
+        let mut lazy = FedAvg::sharded(store, initial, cfg);
+        let bytes: Vec<u64> =
+            (0..4).map(|_| lazy.step(&mut NullObserver).bytes_materialized).collect();
+        assert_eq!(bytes, vec![288, 384, 448, 480]);
+    }
+
+    #[test]
+    fn recorder_counts_clients_and_spans_phases() {
+        let mut sim = make_sim(10, 2, SharingPolicy::Full);
+        let rec = cia_obs::Recorder::new();
+        rec.set_detail(true);
+        sim.set_recorder(rec.clone());
+        sim.run(&mut NullObserver);
+        assert_eq!(rec.counter(Counter::ClientsTrained), 20);
+        assert_eq!(rec.counter(Counter::BytesMaterialized), 0, "NullObserver skips snapshots");
+        assert_eq!(rec.histogram(Metric::TrainMicros).count(), 20);
+        let chunk = rec.drain();
+        for phase in ["sample", "train", "attack", "aggregate", "evaluate"] {
+            assert_eq!(
+                chunk.spans.iter().filter(|s| s.name == phase).count(),
+                2,
+                "one {phase} span per round"
+            );
+        }
     }
 
     #[test]

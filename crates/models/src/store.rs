@@ -17,11 +17,16 @@
 //!   shards allocated only once a shard sees its first sampled client, so a
 //!   1%-participation round materializes only the sampled shards' rows.
 //!
-//! The store also meters `bytes_materialized`: how many bytes of client
-//! model state each round brought into residence (rebuilt descriptors plus
-//! any dense snapshots), surfaced per round through the protocol stats.
+//! The store reports its metering into a [`cia_obs::Recorder`]: every byte
+//! of client model state brought into residence counts into
+//! [`Counter::BytesMaterialized`] and every descriptor block allocation into
+//! [`Counter::ShardAllocations`]. Protocols derive their per-round
+//! `bytes_materialized` stat from the recorder's counter delta, so the
+//! ad-hoc internal meter this store used to carry is gone — one sink, no
+//! double counting.
 
 use crate::Participant;
+use cia_obs::{Counter, Recorder};
 
 /// Rebuilds participant `i` from scratch (same spec, same constructor seed —
 /// the deterministic part of its state).
@@ -51,7 +56,7 @@ struct Sharded<P> {
     examples: Vec<u32>,
     /// Per-shard descriptor blocks, allocated on first retire into the shard.
     shards: Vec<Option<DescriptorBlock>>,
-    bytes_materialized: u64,
+    recorder: Recorder,
 }
 
 impl<P: Participant> ClientStore<P> {
@@ -78,8 +83,26 @@ impl<P: Participant> ClientStore<P> {
                 factory,
                 examples,
                 shards,
-                bytes_materialized: 0,
+                recorder: Recorder::new(),
             }),
+        }
+    }
+
+    /// Installs the metrics sink this store reports into (sharded mode; a
+    /// no-op for dense stores, which never materialize anything). Protocols
+    /// share their own recorder with the store so materialization bytes and
+    /// shard allocations land in the round's counter deltas.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        if let Inner::Sharded(s) = &mut self.inner {
+            s.recorder = recorder;
+        }
+    }
+
+    /// The metrics sink this store reports into (sharded mode).
+    pub fn recorder(&self) -> Option<&Recorder> {
+        match &self.inner {
+            Inner::Dense(_) => None,
+            Inner::Sharded(s) => Some(&s.recorder),
         }
     }
 
@@ -146,7 +169,7 @@ impl<P: Participant> ClientStore<P> {
         // aggregatable buffer (empty for shell clients — they borrow the
         // round workspace) plus its private factors.
         bytes += 4 * (client.agg().len() + client.owner_emb().map_or(0, <[f32]>::len)) as u64;
-        s.bytes_materialized += bytes;
+        s.recorder.add(Counter::BytesMaterialized, bytes);
         client
     }
 
@@ -159,6 +182,9 @@ impl<P: Participant> ClientStore<P> {
         };
         let shard = i / s.shard_size;
         let len = s.shard_size.min(s.n - shard * s.shard_size);
+        if s.shards[shard].is_none() {
+            s.recorder.inc(Counter::ShardAllocations);
+        }
         let block = s.shards[shard].get_or_insert_with(|| (0..len).map(|_| None).collect());
         block[i % s.shard_size] = Some(client.private_state().into_boxed_slice());
     }
@@ -182,23 +208,6 @@ impl<P: Participant> ClientStore<P> {
                 .flat_map(|b| b.iter().flatten())
                 .map(|d| 4 * d.len() as u64)
                 .sum(),
-        }
-    }
-
-    /// Adds externally materialized bytes (e.g. observer snapshots taken by
-    /// the protocol) to this round's meter.
-    pub fn add_materialized_bytes(&mut self, bytes: u64) {
-        if let Inner::Sharded(s) = &mut self.inner {
-            s.bytes_materialized += bytes;
-        }
-    }
-
-    /// Drains the bytes-materialized meter (protocols call this once per
-    /// round). Always 0 in dense mode — nothing is ever *newly* materialized.
-    pub fn take_bytes_materialized(&mut self) -> u64 {
-        match &mut self.inner {
-            Inner::Dense(_) => 0,
-            Inner::Sharded(s) => std::mem::take(&mut s.bytes_materialized),
         }
     }
 }
@@ -256,12 +265,22 @@ mod tests {
     }
 
     #[test]
-    fn bytes_materialized_meter_drains_per_round() {
+    fn materialization_and_allocations_report_into_the_recorder() {
         let mut store = sharded_gmf(6, 2);
+        let rec = Recorder::new();
+        store.set_recorder(rec.clone());
         let c = store.materialize(0);
         store.retire(0, c);
-        assert!(store.take_bytes_materialized() > 0);
-        assert_eq!(store.take_bytes_materialized(), 0);
+        assert!(rec.counter(Counter::BytesMaterialized) > 0);
+        assert_eq!(rec.counter(Counter::ShardAllocations), 1);
+        // Retiring into an already-allocated shard allocates nothing new.
+        let c = store.materialize(1);
+        store.retire(1, c);
+        assert_eq!(rec.counter(Counter::ShardAllocations), 1);
+        // A drain resets the delta but not the lifetime total.
+        let chunk = rec.drain();
+        assert!(chunk.counter(Counter::BytesMaterialized) > 0);
+        assert_eq!(rec.drain().counter(Counter::BytesMaterialized), 0);
     }
 
     #[test]
@@ -275,7 +294,7 @@ mod tests {
         assert_eq!(store.len(), 3);
         assert_eq!(store.as_dense().unwrap().len(), 3);
         assert_eq!(store.num_examples_of(0), 2);
-        assert_eq!(store.take_bytes_materialized(), 0);
+        assert!(store.recorder().is_none(), "dense stores meter nothing");
         assert_eq!(store.resident_shards(), 1);
         store.as_dense_mut().unwrap().truncate(2);
         assert_eq!(store.len(), 2);

@@ -4,9 +4,11 @@
 //! scenario run [--suite NAME|FILE] [--scale smoke|small|paper|million] [--seed N]
 //!              [--only NAME] [--out FILE] [--checkpoint-dir DIR]
 //!              [--checkpoint-every N] [--resume] [--stop-after N]
-//!              [--no-timing]
+//!              [--no-timing] [--trace-out FILE]
 //! scenario list [--scale ...] [--seed N]
 //! scenario validate FILE
+//! scenario report [--check-trace FILE] FILE...
+//! scenario rss-probe -- CMD [ARGS...]
 //! ```
 //!
 //! `--suite` accepts a built-in suite name — `builtin`,
@@ -19,23 +21,36 @@
 //! scenario. With `--checkpoint-dir` the full run state (model params,
 //! attack momentum, tracker, dynamics) is saved every `--checkpoint-every`
 //! rounds; a killed run continues with `--resume` and lands on the same
-//! final metrics as an uninterrupted one.
+//! final metrics as an uninterrupted one. `--trace-out` additionally writes
+//! a Chrome trace-event file (phase spans + counter tracks) loadable in
+//! Perfetto / `chrome://tracing`.
+//!
+//! `report` aggregates one or more run JSONL streams into per-phase
+//! mean/p50/p99 tables, counter totals and the RSS trajectory;
+//! `--check-trace` also validates a Chrome trace file's structure.
+//!
+//! `rss-probe` runs a command and prints the peak RSS over its process tree
+//! (the in-tree replacement for a `getrusage(RUSAGE_CHILDREN)` wrapper —
+//! the CI container has no `/usr/bin/time`).
 
 use cia_data::presets::Scale;
-use cia_scenarios::runner::{run_scenario, validate_jsonl, RunOptions};
+use cia_scenarios::runner::{run_scenario, validate_jsonl, RunOptions, ScenarioOutcome};
 use cia_scenarios::spec::{named_suite, BUILTIN_SUITE_NAMES};
-use cia_scenarios::SuiteSpec;
+use cia_scenarios::{chrome_trace, render_report, summarize, validate_chrome_trace, SuiteSpec};
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() {
-    eprintln!("usage: scenario <run|list|validate> [options]");
+    eprintln!("usage: scenario <run|list|validate|report|rss-probe> [options]");
     eprintln!("  run      [--suite NAME|FILE] [--scale smoke|small|paper|million] [--seed N]");
     eprintln!("           [--only NAME] [--out FILE] [--checkpoint-dir DIR]");
     eprintln!("           [--checkpoint-every N] [--resume] [--stop-after N] [--no-timing]");
+    eprintln!("           [--trace-out FILE]");
     eprintln!("  list     [--suite NAME|FILE] [--scale ...] [--seed N]");
     eprintln!("  validate FILE");
+    eprintln!("  report   [--check-trace FILE] FILE...");
+    eprintln!("  rss-probe -- CMD [ARGS...]");
     eprintln!("built-in suites: {}", BUILTIN_SUITE_NAMES.join(", "));
 }
 
@@ -45,6 +60,7 @@ struct Args {
     seed: u64,
     only: Option<String>,
     out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
     opts: RunOptions,
 }
 
@@ -55,6 +71,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         seed: 42,
         only: None,
         out: None,
+        trace_out: None,
         opts: RunOptions { timing: true, checkpoint_every: 5, ..RunOptions::default() },
     };
     let mut i = 0;
@@ -83,6 +100,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             }
             "--out" => {
                 parsed.out = Some(PathBuf::from(value(args, i, "--out")?));
+                i += 2;
+            }
+            "--trace-out" => {
+                parsed.trace_out = Some(PathBuf::from(value(args, i, "--trace-out")?));
                 i += 2;
             }
             "--checkpoint-dir" => {
@@ -159,6 +180,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             &mut lock
         }
     };
+    let mut outcomes: Vec<ScenarioOutcome> = Vec::new();
     for spec in &scenarios {
         let outcome = run_scenario(spec, &suite.name, &args.opts, sink)?;
         if outcome.skipped {
@@ -188,8 +210,132 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 outcome.name, outcome.rounds_done
             );
         }
+        outcomes.push(outcome);
+    }
+    if let Some(path) = &args.trace_out {
+        let doc = chrome_trace(&outcomes);
+        std::fs::write(path, doc.render())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("trace: {} (load in Perfetto / chrome://tracing)", path.display());
     }
     Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let mut check_trace: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check-trace" => {
+                let path =
+                    args.get(i + 1).cloned().ok_or("--check-trace expects a file".to_string())?;
+                check_trace = Some(PathBuf::from(path));
+                i += 2;
+            }
+            other => {
+                files.push(PathBuf::from(other));
+                i += 1;
+            }
+        }
+    }
+    if files.is_empty() && check_trace.is_none() {
+        return Err("report expects at least one JSONL file (or --check-trace FILE)".to_string());
+    }
+    for path in &files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let reports = summarize(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("== {}", path.display());
+        print!("{}", render_report(&reports));
+    }
+    if let Some(path) = &check_trace {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let events =
+            validate_chrome_trace(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("{}: OK ({events} trace events)", path.display());
+    }
+    Ok(())
+}
+
+/// Peak RSS (KiB) over a process subtree rooted at `root`: walks
+/// `/proc/*/status` PPid links and takes the max `VmHWM` across the root
+/// and its live descendants — the same statistic as
+/// `getrusage(RUSAGE_CHILDREN).ru_maxrss`, but available *while* the tree
+/// runs instead of only after a wait.
+fn subtree_peak_rss_kib(root: u32) -> u64 {
+    let mut pids: Vec<(u32, u32, u64)> = Vec::new(); // (pid, ppid, vmhwm_kib)
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        let Some(pid) = entry.file_name().to_str().and_then(|s| s.parse::<u32>().ok()) else {
+            continue;
+        };
+        let Ok(status) = std::fs::read_to_string(entry.path().join("status")) else {
+            continue;
+        };
+        let mut ppid = 0u32;
+        let mut hwm = 0u64;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("PPid:") {
+                ppid = rest.trim().parse().unwrap_or(0);
+            } else if let Some(rest) = line.strip_prefix("VmHWM:") {
+                hwm = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            }
+        }
+        pids.push((pid, ppid, hwm));
+    }
+    // BFS from the root over PPid edges.
+    let mut tree = vec![root];
+    let mut peak = 0u64;
+    let mut cursor = 0;
+    while cursor < tree.len() {
+        let parent = tree[cursor];
+        cursor += 1;
+        for &(pid, ppid, hwm) in &pids {
+            if pid == parent {
+                peak = peak.max(hwm);
+            } else if ppid == parent && !tree.contains(&pid) {
+                tree.push(pid);
+            }
+        }
+    }
+    peak
+}
+
+fn cmd_rss_probe(args: &[String]) -> Result<ExitCode, String> {
+    let cmd = match args.first().map(String::as_str) {
+        Some("--") => &args[1..],
+        _ => args,
+    };
+    let Some(program) = cmd.first() else {
+        return Err("rss-probe expects a command: scenario rss-probe -- CMD [ARGS...]".to_string());
+    };
+    let mut child = std::process::Command::new(program)
+        .args(&cmd[1..])
+        .spawn()
+        .map_err(|e| format!("cannot spawn {program}: {e}"))?;
+    let pid = child.id();
+    // Poll the subtree's high-water marks until the child exits. VmHWM is
+    // monotone per process, so the last poll before each process exits
+    // bounds its peak from below; short-lived processes between polls are
+    // the (accepted) blind spot, same as any sampling profiler.
+    let mut peak_kib = 0u64;
+    let status = loop {
+        match child.try_wait().map_err(|e| format!("wait failed: {e}"))? {
+            Some(status) => break status,
+            None => {
+                peak_kib = peak_kib.max(subtree_peak_rss_kib(pid));
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+    };
+    peak_kib = peak_kib.max(subtree_peak_rss_kib(pid));
+    println!("   peak RSS (children): {:.2} GiB ({peak_kib} KiB)", peak_kib as f64 / 1_048_576.0);
+    let code = status.code().unwrap_or(1);
+    Ok(ExitCode::from(u8::try_from(code).unwrap_or(1)))
 }
 
 fn cmd_list(args: &Args) -> Result<(), String> {
@@ -267,6 +413,11 @@ fn main() -> ExitCode {
         "validate" => match argv.get(1) {
             Some(path) => cmd_validate(path),
             None => Err("validate expects a file path".to_string()),
+        },
+        "report" => cmd_report(&argv[1..]),
+        "rss-probe" => match cmd_rss_probe(&argv[1..]) {
+            Ok(code) => return code,
+            Err(e) => Err(e),
         },
         _ => {
             usage();

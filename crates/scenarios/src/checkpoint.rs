@@ -12,6 +12,18 @@
 //! The format is a private little-endian binary encoding (`f32`/`f64` as raw
 //! bits, so restores are bit-exact), guarded by a magic, a version and the
 //! scenario spec's fingerprint.
+//!
+//! **Recorder state is deliberately *not* checkpointed.** The observability
+//! layer (`cia_obs::Recorder`) holds wall-clock span logs, latency
+//! histograms and event counters — measurements of *this process's*
+//! execution, not of the simulated protocol. A resumed process cannot
+//! meaningfully continue another process's clock readings, and counters
+//! replayed from a checkpoint would double-count the pre-kill rounds'
+//! events against the post-resume rounds' wall time. A resume therefore
+//! starts a fresh recorder: `trace` records and Chrome trace output after a
+//! resume cover only post-resume rounds (the deterministic `round_eval`
+//! stream is unaffected — per-round stats are derived from within-round
+//! counter deltas, which do not depend on the counter's absolute value).
 
 use cia_core::{CiaAttackState, MomentumState, PlacementsState, RoundPoint};
 use cia_data::UserId;

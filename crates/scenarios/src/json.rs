@@ -79,6 +79,14 @@ impl Json {
         }
     }
 
+    /// The value as an object's key/value pairs (insertion order).
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     /// Whether the value is `null`.
     pub fn is_null(&self) -> bool {
         matches!(self, Json::Null)

@@ -21,7 +21,11 @@
 //!   momentum, tracker and dynamics state ([`checkpoint`]);
 //! * [`setup`] — the shared dataset/ground-truth substrate (also consumed by
 //!   `cia-experiments`);
-//! * [`json`] — the dependency-free JSON codec behind specs and records.
+//! * [`json`] — the dependency-free JSON codec behind specs and records;
+//! * [`trace`] — Chrome trace-event export of the per-round phase spans and
+//!   counters the runner drains from its `cia_obs::Recorder`;
+//! * [`report`] — the `scenario report` aggregator: per-phase mean/p50/p99
+//!   tables, counter totals and the RSS trajectory from a run's JSONL.
 //!
 //! ```
 //! use cia_data::presets::Scale;
@@ -42,13 +46,16 @@ pub mod dynamics;
 pub mod json;
 pub mod mem;
 pub mod placement;
+pub mod report;
 pub mod runner;
 pub mod setup;
 pub mod spec;
+pub mod trace;
 
 pub use dynamics::{DynamicsState, FlDynamics, GlDynamics, ParticipantDynamics};
 pub use mem::peak_rss_bytes;
 pub use placement::{PlacementEngine, PlacementObserver, PlacementState};
+pub use report::{render as render_report, summarize, PhaseStat, ScenarioReport};
 pub use runner::{run_quiet, run_scenario, run_suite, RunOptions, RunResult, ScenarioOutcome};
 pub use setup::{build_setup, try_build_setup, validate_scale_params, RecsysSetup};
 pub use spec::{
@@ -57,3 +64,4 @@ pub use spec::{
     PlacementStrategy, ProtocolKind, ScaleParams, ScenarioSpec, SuiteEntry, SuiteSpec, SweepField,
     BUILTIN_SUITE_NAMES,
 };
+pub use trace::{chrome_trace, validate_chrome_trace};

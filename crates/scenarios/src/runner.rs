@@ -16,9 +16,18 @@
 //!   best10_aac max_round random_bound upper_bound upper_bound_online
 //!   advantage utility utility_metric rounds evals completed [elapsed_ms]`
 //!
-//! `elapsed_ms` is the only non-deterministic field and is gated behind
-//! [`RunOptions::timing`] so `--no-timing` runs are byte-identical given the
-//! same spec and seed.
+//! * `trace` — emitted once per protocol round (plus a final record for the
+//!   utility evaluation), timing-gated exactly like `elapsed_ms`:
+//!   `type <shared keys> round round_us span_us counters [hist]` —
+//!   `span_us` maps phase names to µs with the unattributed remainder under
+//!   `other`; `counters` holds the round's registry deltas; `hist` holds
+//!   per-metric `{count, sum_us, p50_us, p99_us}` latency summaries.
+//!
+//! `elapsed_ms`, `bytes_materialized`, `peak_rss_bytes` and every `trace`
+//! record are wall-clock-derived and gated behind [`RunOptions::timing`], so
+//! `--no-timing` runs are byte-identical given the same spec and seed — the
+//! tracing layer stays *active* (every scenario runs with a detail-enabled
+//! recorder), it just never writes into the deterministic stream.
 
 use crate::checkpoint::{AttackState, Checkpoint, ProtocolState};
 use crate::dynamics::{FlDynamics, GlDynamics, ParticipantDynamics};
@@ -29,7 +38,7 @@ use crate::spec::{DefenseKind, ModelKind, ProtocolKind, ScenarioSpec, SuiteSpec}
 use cia_core::metrics::random_bound;
 use cia_core::{
     AttackOutcome, CiaConfig, FlCia, GlCiaAllPlacements, GlCiaCoalition, ItemSetEvaluator,
-    RoundPoint, TopK,
+    Recorder, RoundPoint, TopK, TraceChunk,
 };
 use cia_data::presets::Scale;
 use cia_data::UserId;
@@ -83,6 +92,13 @@ pub struct ScenarioOutcome {
     pub skipped: bool,
     /// Wall-clock duration of this invocation.
     pub elapsed: Duration,
+    /// Per-round trace chunks drained from the scenario's recorder: one
+    /// `(round, chunk)` entry per protocol round this *invocation* executed,
+    /// plus a final entry (at `round == total`) for the utility evaluation.
+    /// Recorder state is not checkpointed (wall-clock measurements cannot be
+    /// replayed — see `crate::checkpoint`), so after a resume this covers
+    /// only post-resume rounds.
+    pub traces: Vec<(u64, TraceChunk)>,
 }
 
 /// Compatibility shape for `cia-experiments`: the result of one completed
@@ -171,6 +187,7 @@ pub fn run_scenario(
             completed: true,
             skipped: true,
             elapsed: start.elapsed(),
+            traces: Vec::new(),
         });
     }
     // The scenario path keeps every client resident (attacks observe the
@@ -450,6 +467,13 @@ where
     if let Some(m) = build_dp(spec, total) {
         sim.set_update_transform(Box::new(m));
     }
+    // One recorder per scenario, detail always on: `--no-timing` byte
+    // identity is a property of the *emission* gate, not of tracing being
+    // compiled out or disabled. Never checkpointed — see `crate::checkpoint`.
+    let rec = Recorder::new();
+    rec.set_detail(true);
+    sim.set_recorder(rec.clone());
+    let mut traces: Vec<(u64, TraceChunk)> = Vec::new();
 
     let mut emitted: usize = 0;
     if ctx.opts.resume {
@@ -479,11 +503,13 @@ where
 
     let rb = random_bound(setup.k, n.saturating_sub(1));
     while sim.round() < total {
+        let round_span = rec.span("round");
         let stats = {
             let mut obs = FlDynamics { inner: &mut attack, dynamics: &mut dynamics };
             sim.step(&mut obs)
         };
         let emitted_before = emitted;
+        let emit_span = rec.span("emit");
         while emitted < attack.history().len() {
             let p = attack.history()[emitted].clone();
             emit_round_eval(
@@ -498,9 +524,11 @@ where
             )?;
             emitted += 1;
         }
+        drop(emit_span);
         let done = sim.round();
         let stopping = ctx.stopping_at(done);
         if ctx.checkpoint_due(done, stopping, emitted > emitted_before) {
+            let checkpoint_span = rec.span("checkpoint");
             let ck = Checkpoint {
                 fingerprint: spec.fingerprint(),
                 round: done,
@@ -513,14 +541,28 @@ where
                 placement: PlacementState::default(),
             };
             save_checkpoint(ctx, &ck)?;
+            drop(checkpoint_span);
         }
+        drop(round_span);
+        let chunk = rec.drain();
+        if ctx.opts.timing {
+            emit_trace(ctx, sink, done - 1, &chunk)?;
+        }
+        traces.push((done - 1, chunk));
         if stopping {
-            return Ok(partial_outcome(spec, attack.outcome(), utility_metric, done));
+            return Ok(partial_outcome(spec, attack.outcome(), utility_metric, done, traces));
         }
     }
 
+    let utility_span = rec.span("utility");
     sim.sync_clients_to_global();
     let utility_value = utility(sim.clients());
+    drop(utility_span);
+    let chunk = rec.drain();
+    if ctx.opts.timing {
+        emit_trace(ctx, sink, total, &chunk)?;
+    }
+    traces.push((total, chunk));
     let outcome = attack.outcome();
     emit_summary(ctx, sink, &outcome, utility_value, utility_metric, total, emitted)?;
     clear_checkpoint(ctx);
@@ -533,6 +575,7 @@ where
         completed: true,
         skipped: false,
         elapsed: Duration::ZERO,
+        traces,
     })
 }
 
@@ -654,6 +697,11 @@ where
     if let Some(m) = build_dp(spec, total) {
         sim.set_update_transform(Box::new(m));
     }
+    // One recorder per scenario, detail always on (see `run_fl`).
+    let rec = Recorder::new();
+    rec.set_detail(true);
+    sim.set_recorder(rec.clone());
+    let mut traces: Vec<(u64, TraceChunk)> = Vec::new();
 
     // Sybil coalitions (always-online adversary nodes) and the legacy
     // `colluders` knob both run the paper-exact coalition engine; a lone
@@ -721,6 +769,7 @@ where
 
     let rb = random_bound(setup.k, n.saturating_sub(1));
     while sim.round() < total {
+        let round_span = rec.span("round");
         if let Some(new_members) = placement.maybe_relocate(sim.round(), sim.traffic()) {
             let new_members = new_members.to_vec();
             apply_relocation(&mut attack, &mut dynamics, &new_members);
@@ -731,6 +780,7 @@ where
             sim.step(&mut obs)
         };
         let emitted_before = emitted;
+        let emit_span = rec.span("emit");
         while emitted < attack.history().len() {
             let p = attack.history()[emitted].clone();
             emit_round_eval(
@@ -745,9 +795,11 @@ where
             )?;
             emitted += 1;
         }
+        drop(emit_span);
         let done = sim.round();
         let stopping = ctx.stopping_at(done);
         if ctx.checkpoint_due(done, stopping, emitted > emitted_before) {
+            let checkpoint_span = rec.span("checkpoint");
             let ck = Checkpoint {
                 fingerprint: spec.fingerprint(),
                 round: done,
@@ -760,13 +812,27 @@ where
                 placement: placement.export_state(),
             };
             save_checkpoint(ctx, &ck)?;
+            drop(checkpoint_span);
         }
+        drop(round_span);
+        let chunk = rec.drain();
+        if ctx.opts.timing {
+            emit_trace(ctx, sink, done - 1, &chunk)?;
+        }
+        traces.push((done - 1, chunk));
         if stopping {
-            return Ok(partial_outcome(spec, attack.outcome(), utility_metric, done));
+            return Ok(partial_outcome(spec, attack.outcome(), utility_metric, done, traces));
         }
     }
 
+    let utility_span = rec.span("utility");
     let utility_value = utility(sim.nodes());
+    drop(utility_span);
+    let chunk = rec.drain();
+    if ctx.opts.timing {
+        emit_trace(ctx, sink, total, &chunk)?;
+    }
+    traces.push((total, chunk));
     let outcome = attack.outcome();
     emit_summary(ctx, sink, &outcome, utility_value, utility_metric, total, emitted)?;
     clear_checkpoint(ctx);
@@ -779,6 +845,7 @@ where
         completed: true,
         skipped: false,
         elapsed: Duration::ZERO,
+        traces,
     })
 }
 
@@ -801,6 +868,7 @@ fn partial_outcome(
     attack: AttackOutcome,
     utility_metric: &'static str,
     rounds_done: u64,
+    traces: Vec<(u64, TraceChunk)>,
 ) -> ScenarioOutcome {
     ScenarioOutcome {
         name: spec.name.clone(),
@@ -811,6 +879,7 @@ fn partial_outcome(
         completed: false,
         skipped: false,
         elapsed: Duration::ZERO,
+        traces,
     }
 }
 
@@ -887,6 +956,73 @@ fn emit_round_eval(
         if let Some(rss) = crate::mem::peak_rss_bytes() {
             b = b.num("peak_rss_bytes", rss as f64);
         }
+    }
+    write_record(sink, &b.build())
+}
+
+/// Emits one timing-gated `trace` record from a drained [`TraceChunk`]:
+/// phase µs (with the round's unattributed remainder as `other`), counter
+/// deltas and histogram summaries.
+fn emit_trace(
+    ctx: &Ctx,
+    sink: &mut dyn Write,
+    round: u64,
+    chunk: &TraceChunk,
+) -> Result<(), String> {
+    // Phases in first-completion order. Depth-0 spans other than the
+    // runner's `round` envelope (e.g. the final `utility` pass) count as
+    // phases too; deeper nesting rolls up into its depth-1 parent.
+    let mut names: Vec<&'static str> = Vec::new();
+    let mut sums: Vec<u64> = Vec::new();
+    let mut attributed = 0u64;
+    let mut round_us: Option<u64> = None;
+    for s in &chunk.spans {
+        if s.depth == 0 && s.name == "round" {
+            round_us = Some(round_us.unwrap_or(0) + s.dur_us);
+            continue;
+        }
+        if s.depth > 1 {
+            continue;
+        }
+        if s.depth == 1 {
+            attributed += s.dur_us;
+        }
+        match names.iter().position(|&n| n == s.name) {
+            Some(i) => sums[i] += s.dur_us,
+            None => {
+                names.push(s.name);
+                sums.push(s.dur_us);
+            }
+        }
+    }
+    let mut spans_b = ObjBuilder::new();
+    for (name, us) in names.iter().zip(&sums) {
+        spans_b = spans_b.num(name, *us as f64);
+    }
+    if let Some(total) = round_us {
+        spans_b = spans_b.num("other", total.saturating_sub(attributed) as f64);
+    }
+    let mut counters_b = ObjBuilder::new();
+    for (c, delta) in &chunk.counters {
+        counters_b = counters_b.num(c.name(), *delta as f64);
+    }
+    let mut b = base_record(ctx, "trace").num("round", round as f64);
+    if let Some(total) = round_us {
+        b = b.num("round_us", total as f64);
+    }
+    b = b.value("span_us", spans_b.build()).value("counters", counters_b.build());
+    if !chunk.hists.is_empty() {
+        let mut hists_b = ObjBuilder::new();
+        for (m, h) in &chunk.hists {
+            let summary = ObjBuilder::new()
+                .num("count", h.count() as f64)
+                .num("sum_us", h.sum as f64)
+                .num("p50_us", h.quantile(0.5) as f64)
+                .num("p99_us", h.quantile(0.99) as f64)
+                .build();
+            hists_b = hists_b.value(m.name(), summary);
+        }
+        b = b.value("hist", hists_b.build());
     }
     write_record(sink, &b.build())
 }
@@ -1030,6 +1166,36 @@ pub fn validate_jsonl(input: &str) -> Result<(usize, usize), String> {
                     timing(key)?;
                 }
                 summaries += 1;
+            }
+            "trace" => {
+                // Trace records only exist in timed streams; everything in
+                // them is an integral µs/count value.
+                v.get("round")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| fail("missing integral `round`".to_string()))?;
+                timing("round_us")?;
+                for key in ["span_us", "counters"] {
+                    let obj = v
+                        .get(key)
+                        .and_then(Json::as_obj)
+                        .ok_or_else(|| fail(format!("missing object `{key}`")))?;
+                    for (name, val) in obj {
+                        val.as_u64().ok_or_else(|| {
+                            fail(format!("`{key}.{name}` must be a non-negative integer"))
+                        })?;
+                    }
+                }
+                if let Some(h) = v.get("hist") {
+                    let obj =
+                        h.as_obj().ok_or_else(|| fail("`hist` must be an object".to_string()))?;
+                    for (metric, summary) in obj {
+                        for key in ["count", "sum_us", "p50_us", "p99_us"] {
+                            summary.get(key).and_then(Json::as_u64).ok_or_else(|| {
+                                fail(format!("`hist.{metric}.{key}` must be an integer"))
+                            })?;
+                        }
+                    }
+                }
             }
             other => return Err(fail(format!("unknown record type `{other}`"))),
         }

@@ -25,6 +25,25 @@ cargo bench -p cia-bench -- --test
 echo "== scenario engine smoke (suites + sweeps + grid cell + schema + resume)"
 scripts/scenario_smoke.sh
 
+# Observability smoke: a timed single-scenario run must emit trace records
+# that `scenario report` can aggregate, plus a Chrome trace file that
+# parses. Artifacts land in target/bench-smoke/ (CI uploads trace.json on a
+# failed run).
+echo "== scenario report + Chrome trace smoke"
+mkdir -p target/bench-smoke
+cargo run --release -q -p cia-scenarios --bin scenario -- \
+    run --suite builtin --scale smoke --seed 42 --only baseline-static \
+    --out target/bench-smoke/report-smoke.jsonl \
+    --trace-out target/bench-smoke/trace.json
+report_out=$(cargo run --release -q -p cia-scenarios --bin scenario -- \
+    report --check-trace target/bench-smoke/trace.json \
+    target/bench-smoke/report-smoke.jsonl)
+echo "$report_out"
+if echo "$report_out" | grep -q "no trace records"; then
+    echo "error: timed run produced no trace records" >&2
+    exit 1
+fi
+
 if [ "${CIA_SKIP_REDUNDANT_GATES:-0}" != 1 ]; then
     echo "== cargo test --workspace -q"
     cargo test --workspace -q

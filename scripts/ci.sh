@@ -65,20 +65,12 @@ collect_golden_diffs() {
 # Runs a command and prints the peak RSS of its process tree afterwards —
 # the memory companion to the timing summary, so a resident-set regression
 # in the test suite is visible in every CI log. The container has no
-# /usr/bin/time, so a python3 getrusage(RUSAGE_CHILDREN) wrapper does the
-# bookkeeping; without python3 the command just runs bare.
+# /usr/bin/time, so the in-tree probe (`scenario rss-probe`, produced by the
+# build step) samples /proc VmHWM over the subtree; without the binary the
+# command just runs bare.
 run_with_peak_rss() {
-    if command -v python3 > /dev/null 2>&1; then
-        python3 - "$@" << 'PYEOF'
-import resource
-import subprocess
-import sys
-
-rc = subprocess.call(sys.argv[1:])
-peak_kib = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss  # KiB on Linux
-print(f"   peak RSS (children): {peak_kib / 1048576:.2f} GiB ({peak_kib} KiB)")
-sys.exit(rc)
-PYEOF
+    if [ -x target/release/scenario ]; then
+        target/release/scenario rss-probe -- "$@"
     else
         "$@"
     fi
