@@ -595,7 +595,7 @@ mod tests {
             round: 0,
             awake: 12,
             deliveries: 11,
-            mean_loss: 0.0,
+            mean_loss: None,
             bytes_materialized: 0,
         });
         let p = &all.history()[0];
@@ -695,7 +695,7 @@ mod tests {
             round: 0,
             awake: 12,
             deliveries: 4,
-            mean_loss: 0.0,
+            mean_loss: None,
             bytes_materialized: 0,
         });
         let p = &coal.history()[0];
@@ -718,7 +718,7 @@ mod tests {
             round: 0,
             awake: 12,
             deliveries: 6,
-            mean_loss: 0.0,
+            mean_loss: None,
             bytes_materialized: 0,
         });
         assert!(!all.history().is_empty());
@@ -779,7 +779,7 @@ mod tests {
             round: 0,
             awake: 0,
             deliveries: 0,
-            mean_loss: 0.0,
+            mean_loss: None,
             bytes_materialized: 0,
         });
         let out = coal.outcome();

@@ -97,8 +97,10 @@ pub struct RoundStats {
     pub round: u64,
     /// Number of clients that participated.
     pub participants: usize,
-    /// Mean local training loss across participants.
-    pub mean_loss: f32,
+    /// Mean local training loss across participants; `None` when no client
+    /// participated (an all-offline round has no losses to average — a `0.0`
+    /// sentinel would be indistinguishable from perfect convergence).
+    pub mean_loss: Option<f32>,
     /// Bytes of client model state materialized for this round: rebuilt lazy
     /// clients plus observer snapshots (sharded stores), or the snapshot
     /// buffers refilled for the observer (dense stores, where client state
@@ -549,7 +551,7 @@ impl<P: Participant> FedAvg<P> {
         let stats = RoundStats {
             round: t,
             participants,
-            mean_loss: if participants == 0 { 0.0 } else { loss_sum / participants as f32 },
+            mean_loss: (participants > 0).then(|| loss_sum / participants as f32),
             bytes_materialized: obs.counter(Counter::BytesMaterialized) - bytes0,
         };
         let evaluate_span = obs.span("evaluate");
@@ -658,7 +660,7 @@ impl<P: Participant> FedAvg<P> {
         let stats = RoundStats {
             round: t,
             participants,
-            mean_loss: if participants == 0 { 0.0 } else { loss_sum / participants as f32 },
+            mean_loss: (participants > 0).then(|| loss_sum / participants as f32),
             bytes_materialized: obs.counter(Counter::BytesMaterialized) - bytes0,
         };
         let evaluate_span = obs.span("evaluate");
@@ -793,8 +795,8 @@ mod tests {
         let mut sim = make_sim(12, 15, SharingPolicy::Full);
         let mut rec = Recorder::default();
         sim.run(&mut rec);
-        let first = rec.stats.first().unwrap().mean_loss;
-        let last = rec.stats.last().unwrap().mean_loss;
+        let first = rec.stats.first().unwrap().mean_loss.expect("clients participated");
+        let last = rec.stats.last().unwrap().mean_loss.expect("clients participated");
         assert!(last < first, "loss {first} -> {last}");
     }
 
@@ -925,12 +927,12 @@ mod tests {
     }
 
     #[test]
-    fn all_offline_round_keeps_global_and_reports_zero() {
+    fn all_offline_round_keeps_global_and_reports_no_loss() {
         let mut sim = make_sim(6, 1, SharingPolicy::Full);
         let before = sim.global_agg().to_vec();
         let stats = sim.step(&mut Blackout);
         assert_eq!(stats.participants, 0);
-        assert_eq!(stats.mean_loss, 0.0);
+        assert_eq!(stats.mean_loss, None);
         assert_eq!(sim.global_agg(), before.as_slice());
     }
 

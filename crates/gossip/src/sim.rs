@@ -67,8 +67,11 @@ pub struct GossipRoundStats {
     pub awake: usize,
     /// Number of model deliveries routed this round.
     pub deliveries: usize,
-    /// Mean local training loss across awake nodes.
-    pub mean_loss: f32,
+    /// Mean local training loss across awake nodes; `None` when every node
+    /// slept (an all-offline round has no losses to average — a `0.0`
+    /// sentinel would be indistinguishable from perfect convergence and
+    /// silently deflate downstream loss averages).
+    pub mean_loss: Option<f32>,
     /// Bytes of model state materialized for this round: the outgoing
     /// snapshot copies routed into inboxes (node state itself is permanently
     /// resident in gossip — every round mixes neighbors in place).
@@ -527,7 +530,7 @@ impl<P: Participant> GossipSim<P> {
             round: t,
             awake: awake_count,
             deliveries,
-            mean_loss: if awake_count == 0 { 0.0 } else { loss_sum / awake_count as f32 },
+            mean_loss: (awake_count > 0).then(|| loss_sum / awake_count as f32),
             bytes_materialized: obs.counter(Counter::BytesOnWire) - bytes0,
         };
         let evaluate_span = obs.span("evaluate");
@@ -697,8 +700,8 @@ mod tests {
         let mut s = sim(16, GossipConfig { rounds: 30, seed: 5, ..Default::default() });
         let mut rec = Recorder::default();
         s.run(&mut rec);
-        let first = rec.stats.first().unwrap().mean_loss;
-        let last = rec.stats.last().unwrap().mean_loss;
+        let first = rec.stats.first().unwrap().mean_loss.expect("nodes awake");
+        let last = rec.stats.last().unwrap().mean_loss.expect("nodes awake");
         assert!(last < first, "loss {first} -> {last}");
     }
 

@@ -25,7 +25,7 @@
 //! proxy's entropy rule. Use [`crate::params::sigmoid`] explicitly to report
 //! a calibrated score.
 
-use crate::kernel::{dot, dot3};
+use crate::kernel::{dot, dot3, gemv};
 use crate::params::{init_uniform, sigmoid};
 use crate::participant::{Participant, RelevanceScorer, SharedModel, SharingPolicy};
 use cia_data::UserId;
@@ -261,6 +261,20 @@ impl RelevanceScorer for GmfSpec {
                 *o = dot(w, q);
             }
         });
+    }
+
+    fn score_item_range(&self, user_emb: Option<&[f32]>, agg: &[f32], start: u32, out: &mut [f32]) {
+        let user = user_emb.expect("GMF scoring needs a user embedding");
+        let (start, end) = (start as usize, start as usize + out.len());
+        assert!(end <= self.num_items as usize, "item range exceeds catalog");
+        assert_eq!(agg.len(), GmfSpec::agg_len(self), "agg size");
+        let d = self.dim;
+        let h = self.h_slice(agg);
+        // Item embeddings are row-major by id, so the tile is one dense
+        // `out.len() × d` sub-matrix: a single fused gemv against
+        // w = p_u ⊙ h. Each row is the same chunked `dot` as
+        // `score_items`, so the two paths agree bit for bit.
+        with_user_h(user, h, |w| gemv(out, &agg[start * d..end * d], w, None, false));
     }
 
     fn mean_relevance(&self, user_emb: Option<&[f32]>, agg: &[f32], items: &[u32]) -> f32 {
@@ -982,6 +996,24 @@ mod tests {
         let mean: f32 = items.iter().map(|&i| all[i as usize]).sum::<f32>() / 3.0;
         let got = s.mean_relevance(snap.owner_emb.as_deref(), &snap.agg, &items);
         assert!((mean - got).abs() < 1e-6);
+    }
+
+    #[test]
+    fn score_item_range_matches_score_items_bitwise() {
+        let s = spec();
+        let c = s.build_client(UserId::new(3), vec![0, 2, 5], SharingPolicy::Full, 21);
+        let snap = c.snapshot(0);
+        let mut all = vec![0.0f32; 30];
+        s.score_items(snap.owner_emb.as_deref(), &snap.agg, &mut all);
+        for (start, len) in [(0usize, 30usize), (0, 7), (4, 13), (29, 1), (11, 0)] {
+            let mut tile = vec![f32::NAN; len];
+            s.score_item_range(snap.owner_emb.as_deref(), &snap.agg, start as u32, &mut tile);
+            assert_eq!(
+                tile.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                all[start..start + len].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "tile {start}+{len} diverged from full scoring"
+            );
+        }
     }
 
     #[test]

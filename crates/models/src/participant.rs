@@ -281,6 +281,24 @@ pub trait RelevanceScorer: Send + Sync {
     /// parameter slices have unexpected lengths.
     fn score_items(&self, user_emb: Option<&[f32]>, agg: &[f32], out: &mut [f32]);
 
+    /// Scores the contiguous catalog id range `[start, start + out.len())`
+    /// into `out` — the tile primitive behind streaming top-k paths (serve
+    /// queries, catalog evaluation), which never materialize a
+    /// catalog-length score vector. Item parameters are stored row-major by
+    /// item id, so a contiguous range is a dense sub-matrix and
+    /// implementations batch it through the vectorized kernels
+    /// ([`crate::kernel::gemv`] for dot-product models).
+    ///
+    /// Must agree exactly with [`RelevanceScorer::score_items`]:
+    /// `score_item_range(u, agg, s, out)` equals
+    /// `score_items(u, agg, all); all[s..s+out.len()]` bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the range exceeds the catalog or the
+    /// parameter slices have unexpected lengths.
+    fn score_item_range(&self, user_emb: Option<&[f32]>, agg: &[f32], start: u32, out: &mut [f32]);
+
     /// Mean relevance over an item set — `Ŷ(Θ, V_target)` in the paper.
     fn mean_relevance(&self, user_emb: Option<&[f32]>, agg: &[f32], items: &[u32]) -> f32 {
         if items.is_empty() {

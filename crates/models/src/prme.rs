@@ -182,6 +182,19 @@ impl RelevanceScorer for PrmeSpec {
         }
     }
 
+    fn score_item_range(&self, user_emb: Option<&[f32]>, agg: &[f32], start: u32, out: &mut [f32]) {
+        let user = user_emb.expect("PRME scoring needs a user embedding");
+        let end = start as usize + out.len();
+        assert!(end <= self.num_items as usize, "item range exceeds catalog");
+        assert_eq!(agg.len(), PrmeSpec::agg_len(self), "agg size");
+        let d = self.dim;
+        // Preference vectors are row-major by id: walk the tile's dense
+        // sub-matrix with the same per-item distance as `score_items`.
+        for (x, o) in agg[start as usize * d..end * d].chunks_exact(d).zip(out.iter_mut()) {
+            *o = -Self::sq_dist(user, x);
+        }
+    }
+
     fn mean_relevance(&self, user_emb: Option<&[f32]>, agg: &[f32], items: &[u32]) -> f32 {
         let user = user_emb.expect("PRME scoring needs a user embedding");
         if items.is_empty() {
@@ -642,6 +655,24 @@ mod tests {
         assert!(out.iter().all(|&v| v <= 0.0));
         let m = s.mean_relevance(snap.owner_emb.as_deref(), &snap.agg, &[0, 1]);
         assert!(((out[0] + out[1]) / 2.0 - m).abs() < 1e-6);
+    }
+
+    #[test]
+    fn score_item_range_matches_score_items_bitwise() {
+        let s = spec();
+        let c = client(17);
+        let snap = c.snapshot(0);
+        let mut all = vec![0.0f32; 30];
+        s.score_items(snap.owner_emb.as_deref(), &snap.agg, &mut all);
+        for (start, len) in [(0usize, 30usize), (0, 7), (4, 13), (29, 1), (11, 0)] {
+            let mut tile = vec![f32::NAN; len];
+            s.score_item_range(snap.owner_emb.as_deref(), &snap.agg, start as u32, &mut tile);
+            assert_eq!(
+                tile.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                all[start..start + len].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "tile {start}+{len} diverged from full scoring"
+            );
+        }
     }
 
     #[test]

@@ -52,16 +52,22 @@ pub enum Counter {
     InboxDeliveries = 3,
     /// Descriptor shard blocks allocated by a sharded `ClientStore`.
     ShardAllocations = 4,
+    /// Serve-path ranking-cache hits ((user, snapshot-epoch) key matched).
+    ServeCacheHits = 5,
+    /// Serve-path ranking-cache misses (fresh tiled scoring pass ran).
+    ServeCacheMisses = 6,
 }
 
 impl Counter {
     /// Every counter, in registry order.
-    pub const ALL: [Counter; 5] = [
+    pub const ALL: [Counter; 7] = [
         Counter::ClientsTrained,
         Counter::BytesOnWire,
         Counter::BytesMaterialized,
         Counter::InboxDeliveries,
         Counter::ShardAllocations,
+        Counter::ServeCacheHits,
+        Counter::ServeCacheMisses,
     ];
 
     /// The counter's stable snake_case name (JSONL / trace-file key).
@@ -72,6 +78,8 @@ impl Counter {
             Counter::BytesMaterialized => "bytes_materialized",
             Counter::InboxDeliveries => "inbox_deliveries",
             Counter::ShardAllocations => "shard_allocations",
+            Counter::ServeCacheHits => "serve_cache_hits",
+            Counter::ServeCacheMisses => "serve_cache_misses",
         }
     }
 }
@@ -84,17 +92,21 @@ pub enum Metric {
     TrainMicros = 0,
     /// Per-node neighbor-mix wall time (gossip `mix_agg`), in microseconds.
     MixMicros = 1,
+    /// Per-query serve-path wall time (snapshot load + score + rank), in
+    /// microseconds.
+    ServeMicros = 2,
 }
 
 impl Metric {
     /// Every metric, in registry order.
-    pub const ALL: [Metric; 2] = [Metric::TrainMicros, Metric::MixMicros];
+    pub const ALL: [Metric; 3] = [Metric::TrainMicros, Metric::MixMicros, Metric::ServeMicros];
 
     /// The metric's stable snake_case name (JSONL / trace-file key).
     pub fn name(self) -> &'static str {
         match self {
             Metric::TrainMicros => "train_us",
             Metric::MixMicros => "mix_us",
+            Metric::ServeMicros => "serve_us",
         }
     }
 }
@@ -104,6 +116,21 @@ impl Metric {
 /// `2^(HIST_BUCKETS-2)` up (≈ 12.7 days in microseconds — no round phase
 /// plausibly escapes it).
 pub const HIST_BUCKETS: usize = 41;
+
+/// The nearest-rank quantile convention shared by every quantile site in the
+/// workspace: the 1-based rank of quantile `q` over `n` observations is
+/// `⌈q·n⌉` clamped to `[1, n]`. [`Histogram::quantile`] walks its buckets to
+/// this rank and `cia-scenarios`' report tables index sorted per-round
+/// values with it, so the two views can never drift by an off-by-one — the
+/// ⌈q·n⌉ boundary cases (small `n`, `q` near a multiple of `1/n`) are pinned
+/// in one place.
+#[must_use]
+pub fn nearest_rank(q: f64, n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    ((q * n as f64).ceil() as u64).clamp(1, n)
+}
 
 /// A fixed log₂-bucket histogram. Bucket edges are powers of two and never
 /// depend on the data, so bucket assignment is a pure function of the value
@@ -194,7 +221,7 @@ impl Histogram {
         if total == 0 {
             return 0;
         }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let rank = nearest_rank(q, total);
         let mut seen = 0u64;
         for (b, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -277,7 +304,7 @@ struct AtomicHist {
 }
 
 impl AtomicHist {
-    fn new() -> Self {
+    const fn new() -> Self {
         AtomicHist { counts: [const { AtomicU64::new(0) }; HIST_BUCKETS], sum: AtomicU64::new(0) }
     }
 
@@ -332,7 +359,7 @@ impl Recorder {
         Recorder {
             inner: Arc::new(Inner {
                 counters: [const { AtomicU64::new(0) }; Counter::ALL.len()],
-                hists: [AtomicHist::new(), AtomicHist::new()],
+                hists: [const { AtomicHist::new() }; Metric::ALL.len()],
                 detail: AtomicBool::new(false),
                 spans: Mutex::new(Vec::new()),
                 drained: Mutex::new(Drained {
@@ -661,10 +688,33 @@ mod tests {
             let mut sorted = values.clone();
             sorted.sort_unstable();
             for &q in &[0.5, 0.9, 0.99, 1.0] {
-                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                let rank = nearest_rank(q, sorted.len() as u64) as usize;
                 let expect = Histogram::bucket_upper_edge(Histogram::bucket_of(sorted[rank - 1]));
                 prop_assert_eq!(h.quantile(q), expect);
             }
         }
+
+        #[test]
+        fn nearest_rank_is_monotone_and_bounded(n in 1u64..64, qa in 0.0f64..1.0, qb in 0.0f64..1.0) {
+            let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+            let (ra, rb) = (nearest_rank(lo, n), nearest_rank(hi, n));
+            prop_assert!((1..=n).contains(&ra));
+            prop_assert!((1..=n).contains(&rb));
+            prop_assert!(ra <= rb);
+        }
+    }
+
+    #[test]
+    fn nearest_rank_pins_boundary_cases() {
+        // The ⌈q·n⌉ off-by-one traps: q = 0 still selects rank 1, q = 1
+        // selects rank n, and exact multiples of 1/n do not round up.
+        assert_eq!(nearest_rank(0.0, 5), 1);
+        assert_eq!(nearest_rank(1.0, 5), 5);
+        assert_eq!(nearest_rank(0.5, 1), 1);
+        assert_eq!(nearest_rank(0.5, 2), 1); // ⌈1.0⌉ = 1, not 2
+        assert_eq!(nearest_rank(0.5, 3), 2); // ⌈1.5⌉ = 2
+        assert_eq!(nearest_rank(0.99, 100), 99);
+        assert_eq!(nearest_rank(0.99, 101), 100);
+        assert_eq!(nearest_rank(0.5, 0), 0); // empty: caller returns 0
     }
 }

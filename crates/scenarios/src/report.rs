@@ -17,6 +17,7 @@
 //! histogram sketch the recorder uses for per-client latencies).
 
 use crate::json::Json;
+use cia_core::obs::nearest_rank;
 
 /// Aggregate statistics for one phase across a scenario's traced rounds.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +51,13 @@ pub struct ScenarioReport {
     pub phases: Vec<PhaseStat>,
     /// Counter totals, in first-appearance order.
     pub counters: Vec<(String, u64)>,
+    /// Mean of the `mean_loss` values across evaluated rounds that carried
+    /// one. All-offline rounds omit the field entirely and are *skipped*
+    /// here — they would otherwise deflate the average with `0.0`
+    /// sentinels.
+    pub loss_mean: Option<f64>,
+    /// Number of `round_eval` records that carried a `mean_loss`.
+    pub loss_rounds: u64,
     /// First `peak_rss_bytes` seen in the `round_eval` stream.
     pub rss_first: Option<u64>,
     /// Last `peak_rss_bytes` seen (the high-water mark is monotone, so this
@@ -69,16 +77,20 @@ impl ScenarioReport {
     }
 }
 
-/// Exact rank quantile over unsorted values: rank = clamp(⌈q·n⌉, 1, n),
-/// matching the recorder histogram's walk so the two views agree on
-/// conventions.
-fn rank_quantile(values: &mut [u64], q: f64) -> u64 {
+/// Exact rank quantile over unsorted values, indexed by the *shared*
+/// nearest-rank definition (`cia_obs::nearest_rank`) that also drives the
+/// recorder histogram's bucket walk — one convention, two views, so p50/p99
+/// in report tables and trace records can never disagree on rank selection
+/// (the bucket walk still reports an upper edge where this reports an exact
+/// value). Public so the cross-checking property test in
+/// `tests/properties.rs` can pin the agreement.
+#[must_use]
+pub fn rank_quantile(values: &mut [u64], q: f64) -> u64 {
     if values.is_empty() {
         return 0;
     }
     values.sort_unstable();
-    let n = values.len();
-    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    let rank = nearest_rank(q, values.len() as u64) as usize;
     values[rank - 1]
 }
 
@@ -86,6 +98,8 @@ struct Group {
     report: ScenarioReport,
     // Per-phase per-round values, parallel to `report.phases`.
     phase_rounds: Vec<Vec<u64>>,
+    // Running sum of the `mean_loss` values seen (skipping absent fields).
+    loss_sum: f64,
 }
 
 /// Parses a run JSONL stream and aggregates its `trace` and `round_eval`
@@ -136,10 +150,13 @@ pub fn summarize(input: &str) -> Result<Vec<ScenarioReport>, String> {
                         round_us_total: 0,
                         phases: Vec::new(),
                         counters: Vec::new(),
+                        loss_mean: None,
+                        loss_rounds: 0,
                         rss_first: None,
                         rss_last: None,
                     },
                     phase_rounds: Vec::new(),
+                    loss_sum: 0.0,
                 });
                 groups.last_mut().expect("just pushed")
             }
@@ -149,6 +166,11 @@ pub fn summarize(input: &str) -> Result<Vec<ScenarioReport>, String> {
                 if let Some(rss) = v.get("peak_rss_bytes").and_then(Json::as_u64) {
                     group.report.rss_first.get_or_insert(rss);
                     group.report.rss_last = Some(rss);
+                }
+                // Absent on all-offline rounds — skipped, not counted as 0.
+                if let Some(loss) = v.get("mean_loss").and_then(Json::as_f64) {
+                    group.loss_sum += loss;
+                    group.report.loss_rounds += 1;
                 }
             }
             "trace" => {
@@ -206,6 +228,9 @@ pub fn summarize(input: &str) -> Result<Vec<ScenarioReport>, String> {
                 phase.p50_us = rank_quantile(rounds, 0.5);
                 phase.p99_us = rank_quantile(rounds, 0.99);
             }
+            if g.report.loss_rounds > 0 {
+                g.report.loss_mean = Some(g.loss_sum / g.report.loss_rounds as f64);
+            }
             g.report
         })
         .collect())
@@ -254,6 +279,9 @@ pub fn render(reports: &[ScenarioReport]) -> String {
             for (name, total) in &r.counters {
                 let _ = writeln!(out, "  counter {name}: {total}");
             }
+        }
+        if let Some(loss) = r.loss_mean {
+            let _ = writeln!(out, "  mean loss: {loss:.4} over {} evaluated rounds", r.loss_rounds);
         }
         match (r.rss_first, r.rss_last) {
             (Some(first), Some(last)) => {

@@ -8,7 +8,9 @@
 //! * `round_eval` — emitted at every attack-evaluation round:
 //!   `type suite scenario dataset model protocol scale seed round aac best10
 //!   upper_bound upper_bound_online random_bound online participants
-//!   mean_loss [elapsed_ms]` — `upper_bound_online` is the dynamics-aware
+//!   [mean_loss] [elapsed_ms]` — `mean_loss` is omitted on all-offline
+//!   rounds (no participants, nothing to average) and
+//!   `upper_bound_online` is the dynamics-aware
 //!   bound (observed ∧ live community members) and never exceeds
 //!   `upper_bound`.
 //! * `scenario_summary` — emitted once per completed scenario:
@@ -50,8 +52,10 @@ use cia_models::{
     f1_at_k, hit_ratio, GmfClient, GmfHyper, GmfSpec, Participant, PrmeClient, PrmeHyper, PrmeSpec,
     RelevanceScorer, SharedModel,
 };
+use cia_serve::{Snapshot, SnapshotHub};
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How a suite run behaves around its JSONL stream and checkpoints.
@@ -69,6 +73,11 @@ pub struct RunOptions {
     /// Stop (checkpointing first, when enabled) once this many rounds have
     /// completed — simulates a killed run; `None` runs to completion.
     pub stop_after_rounds: Option<u64>,
+    /// Publish an immutable model snapshot into this hub at every round
+    /// boundary, for concurrent top-k serving (`cia-serve`). Publication
+    /// only *reads* quiesced round state — no RNG draws, no sink writes —
+    /// so attaching a hub leaves the JSONL transcript byte-identical.
+    pub publish: Option<Arc<SnapshotHub>>,
 }
 
 /// Result of one scenario run.
@@ -254,20 +263,26 @@ impl Ctx<'_> {
     }
 }
 
+/// The GMF scorer every scenario run uses, with the runner's hyper choices —
+/// public so serving paths (`scenario serve`, benches, tests) score with the
+/// exact spec the training run built its clients from.
+#[must_use]
+pub fn gmf_scorer(num_items: u32, dim: usize) -> GmfSpec {
+    GmfSpec::new(num_items, dim, GmfHyper { lr: 0.1, ..GmfHyper::default() })
+}
+
+/// The PRME scorer every scenario run uses (see [`gmf_scorer`]).
+#[must_use]
+pub fn prme_scorer(num_items: u32, dim: usize) -> PrmeSpec {
+    PrmeSpec::new(num_items, dim, PrmeHyper { lr: 0.05, ..PrmeHyper::default() })
+}
+
 fn gmf_spec(setup: &RecsysSetup) -> GmfSpec {
-    GmfSpec::new(
-        setup.data.num_items(),
-        setup.params.dim,
-        GmfHyper { lr: 0.1, ..GmfHyper::default() },
-    )
+    gmf_scorer(setup.data.num_items(), setup.params.dim)
 }
 
 fn prme_spec(setup: &RecsysSetup) -> PrmeSpec {
-    PrmeSpec::new(
-        setup.data.num_items(),
-        setup.params.dim,
-        PrmeHyper { lr: 0.05, ..PrmeHyper::default() },
-    )
+    prme_scorer(setup.data.num_items(), setup.params.dim)
 }
 
 fn run_gmf(
@@ -508,6 +523,18 @@ where
             let mut obs = FlDynamics { inner: &mut attack, dynamics: &mut dynamics };
             sim.step(&mut obs)
         };
+        if let Some(hub) = &ctx.opts.publish {
+            // Round boundary: the global model is quiesced, so this is the
+            // one point a serving snapshot can be cut without readers ever
+            // observing a mid-round mixture.
+            let publish_span = rec.span("publish");
+            hub.publish(Snapshot::shared(
+                setup.params.dim,
+                sim.clients().iter().map(Participant::owner_emb),
+                sim.global_agg(),
+            ));
+            drop(publish_span);
+        }
         let emitted_before = emitted;
         let emit_span = rec.span("emit");
         while emitted < attack.history().len() {
@@ -779,6 +806,18 @@ where
             let mut obs = GlDynamics { inner: &mut obs, dynamics: &mut dynamics };
             sim.step(&mut obs)
         };
+        if let Some(hub) = &ctx.opts.publish {
+            // Gossip has no global model: each node serves from its own
+            // local mixture, so the snapshot carries per-user agg rows.
+            let publish_span = rec.span("publish");
+            let agg_len = sim.nodes().first().map_or(0, |c| c.agg().len());
+            hub.publish(Snapshot::per_user(
+                setup.params.dim,
+                agg_len,
+                sim.nodes().iter().map(|c| (c.owner_emb(), c.agg())),
+            ));
+            drop(publish_span);
+        }
         let emitted_before = emitted;
         let emit_span = rec.span("emit");
         while emitted < attack.history().len() {
@@ -934,7 +973,7 @@ fn emit_round_eval(
     random_bound: f64,
     online: usize,
     participants: usize,
-    mean_loss: f32,
+    mean_loss: Option<f32>,
     bytes_materialized: u64,
 ) -> Result<(), String> {
     let mut b = base_record(ctx, "round_eval")
@@ -945,8 +984,13 @@ fn emit_round_eval(
         .num("upper_bound_online", p.upper_bound_online)
         .num("random_bound", random_bound)
         .num("online", online as f64)
-        .num("participants", participants as f64)
-        .num("mean_loss", f64::from(mean_loss));
+        .num("participants", participants as f64);
+    // An all-offline round has no losses to average; the field is omitted
+    // rather than written as a `0.0` sentinel (which would read as perfect
+    // convergence and deflate report-level loss means).
+    if let Some(loss) = mean_loss {
+        b = b.num("mean_loss", f64::from(loss));
+    }
     if ctx.opts.timing {
         // Timing-class fields (`--no-timing` golden transcripts never see
         // them): wall clock, the protocol's own materialization meter and
@@ -1127,9 +1171,12 @@ pub fn validate_jsonl(input: &str) -> Result<(usize, usize), String> {
                         .and_then(Json::as_u64)
                         .ok_or_else(|| fail(format!("missing integral `{key}`")))?;
                 }
-                v.get("mean_loss")
-                    .and_then(Json::as_f64)
-                    .ok_or_else(|| fail("missing numeric `mean_loss`".to_string()))?;
+                // Absent on all-offline rounds (no participants, nothing to
+                // average); when present it must be numeric.
+                if let Some(x) = v.get("mean_loss") {
+                    x.as_f64()
+                        .ok_or_else(|| fail("`mean_loss` must be numeric when present".into()))?;
+                }
                 for key in ["elapsed_ms", "bytes_materialized", "peak_rss_bytes"] {
                     timing(key)?;
                 }
@@ -1314,5 +1361,11 @@ mod tests {
         assert!(validate_jsonl(inverted).unwrap_err().contains("exceeds"));
         let inverted_summary = r#"{"type":"scenario_summary","suite":"s","scenario":"x","dataset":"d","model":"m","protocol":"p","scale":"smoke","seed":1,"max_aac":0.5,"best10_aac":0,"max_round":0,"random_bound":0,"upper_bound":0.5,"upper_bound_online":0.8,"advantage":0,"utility":0.5,"utility_metric":"HR@20","rounds":8,"evals":4,"completed":true}"#;
         assert!(validate_jsonl(inverted_summary).unwrap_err().contains("exceeds"));
+        // `mean_loss` is legitimately absent on an all-offline round, but a
+        // present non-numeric value is still schema drift.
+        let no_loss = r#"{"type":"round_eval","suite":"s","scenario":"x","dataset":"d","model":"m","protocol":"p","scale":"smoke","seed":1,"round":0,"aac":0.5,"best10":0,"upper_bound":1,"upper_bound_online":0.5,"random_bound":0,"online":0,"participants":0}"#;
+        assert_eq!(validate_jsonl(no_loss), Ok((1, 0)));
+        let bad_loss = r#"{"type":"round_eval","suite":"s","scenario":"x","dataset":"d","model":"m","protocol":"p","scale":"smoke","seed":1,"round":0,"aac":0.5,"best10":0,"upper_bound":1,"upper_bound_online":0.5,"random_bound":0,"online":1,"participants":1,"mean_loss":"nan"}"#;
+        assert!(validate_jsonl(bad_loss).unwrap_err().contains("mean_loss"));
     }
 }

@@ -394,3 +394,24 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// The report's exact rank quantile and the recorder histogram's bucket
+    /// walk index by the *same* shared nearest-rank definition
+    /// (`cia_obs::nearest_rank`). Pin the agreement: feed both sides values
+    /// that sit exactly on bucket upper edges (where the bucket walk is
+    /// lossless) and they must return the same quantile for every q.
+    #[test]
+    fn report_and_histogram_quantiles_share_one_convention(
+        buckets in proptest::collection::vec(0usize..41, 1..60),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut hist = cia_core::Histogram::new();
+        let mut values: Vec<u64> =
+            buckets.iter().map(|&b| cia_core::Histogram::bucket_upper_edge(b)).collect();
+        for &v in &values {
+            hist.record(v);
+        }
+        prop_assert_eq!(hist.quantile(q), cia_scenarios::report::rank_quantile(&mut values, q));
+    }
+}

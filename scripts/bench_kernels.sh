@@ -17,6 +17,12 @@
 # thread-scaling sweep accumulates rows instead of overwriting the
 # single-thread baseline.
 #
+# `--scale paper` also refreshes the serving rows: serve_query_paper_943x1682
+# (cold per-query cost against a paper-scale snapshot) and
+# serve_qps_paper_943x1682 (sustained Zipf-workload throughput; the row
+# carries a `qps` field alongside the per-query median). The small serving
+# rows (serve_query_cold_1682 / serve_query_hot_1682) run at every scale.
+#
 # `--scale million` unlocks the million-user (10⁶×10⁵) sharded lazy FedAvg
 # round (fedavg_round_million_1000000x100000, 1% participation). The bench
 # asserts the 8 GiB peak-RSS budget itself; dataset generation costs minutes,
