@@ -8,6 +8,8 @@ use cia_data::UserId;
 use cia_federated::{RoundObserver, RoundStats};
 use cia_models::parallel::{par_chunks_mut, par_map};
 use cia_models::SharedModel;
+use cia_obs::Recorder;
+use cia_runtime::{Checkpointable, LivenessEvent};
 use serde::{Deserialize, Serialize};
 
 /// CIA parameters (the paper defaults to `K = 50`, `β = 0.99`).
@@ -64,14 +66,17 @@ pub struct FlCia<E: RelevanceEvaluator> {
     /// evaluation rounds (rows of never-seen users stay untouched and are
     /// skipped at ranking time).
     rel: Vec<f32>,
-    /// The most recent participant mask delivered through
-    /// [`RoundObserver::on_participants`] — the dynamics layer's live set,
+    /// The most recent acting-set mask delivered through
+    /// [`RoundObserver::on_liveness`] — the dynamics layer's live set,
     /// feeding the per-round online upper bound. All-true until a mask
     /// arrives (static populations never shrink it).
     live: Vec<bool>,
     tracker: AttackTracker,
     last_global: Option<Vec<f32>>,
     prepared: bool,
+    /// Metrics sink for the attack-phase spans (prepare/score/rank/update);
+    /// a detached default until the runner wires in the shared recorder.
+    obs: Recorder,
 }
 
 impl<E: RelevanceEvaluator> FlCia<E> {
@@ -109,7 +114,14 @@ impl<E: RelevanceEvaluator> FlCia<E> {
             momentum: (0..num_users).map(|_| None).collect(),
             last_global: None,
             prepared: false,
+            obs: Recorder::new(),
         }
+    }
+
+    /// Routes the attack's spans into a shared recorder (the default sink is
+    /// detached). Clones are cheap; all clones share one registry.
+    pub fn set_recorder(&mut self, obs: Recorder) {
+        self.obs = obs;
     }
 
     /// The attack summary.
@@ -131,30 +143,6 @@ impl<E: RelevanceEvaluator> FlCia<E> {
     /// Mutable access to the relevance evaluator (checkpoint resume).
     pub fn evaluator_mut(&mut self) -> &mut E {
         &mut self.evaluator
-    }
-
-    /// Snapshot of the attack's mutable state for checkpoint/resume.
-    pub fn export_state(&self) -> CiaAttackState {
-        CiaAttackState {
-            momentum: self.momentum.clone(),
-            history: self.tracker.history().to_vec(),
-            last_global: self.last_global.clone(),
-            prepared: self.prepared,
-        }
-    }
-
-    /// Restores a state captured by [`FlCia::export_state`] on an attack
-    /// constructed with the same configuration and tables.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the momentum table is not aligned with the participants.
-    pub fn restore_state(&mut self, state: CiaAttackState) {
-        assert_eq!(state.momentum.len(), self.momentum.len(), "momentum table size");
-        self.momentum = state.momentum;
-        self.tracker.restore_history(state.history);
-        self.last_global = state.last_global;
-        self.prepared = state.prepared;
     }
 
     /// Predicted community for target `t` at the last evaluation (requires at
@@ -202,13 +190,19 @@ impl<E: RelevanceEvaluator> FlCia<E> {
     }
 
     fn evaluate(&mut self, round: u64) {
+        let obs = self.obs.clone();
         if let Some(global) = &self.last_global {
             if !self.prepared || round.is_multiple_of((self.cfg.eval_every * 4).max(1)) {
+                let _prepare = obs.span("attack_prepare");
                 self.evaluator.prepare(global, self.cfg.seed ^ round);
                 self.prepared = true;
             }
         }
-        self.refresh_relevance();
+        {
+            let _score = obs.span("attack_score");
+            self.refresh_relevance();
+        }
+        let _rank = obs.span("attack_rank");
         let predictions = self.rank_all();
         let mut accs = Vec::with_capacity(predictions.len());
         let mut uppers = Vec::with_capacity(predictions.len());
@@ -228,11 +222,39 @@ impl<E: RelevanceEvaluator> FlCia<E> {
     }
 }
 
+/// Snapshot/restore of the attack's mutable state for checkpoint/resume.
+/// Evaluator-side state (fictive embeddings) is captured separately through
+/// the evaluator accessors. Restoring panics if the momentum table is not
+/// aligned with the participants.
+impl<E: RelevanceEvaluator> Checkpointable for FlCia<E> {
+    type State = CiaAttackState;
+
+    fn export_state(&self) -> CiaAttackState {
+        CiaAttackState {
+            momentum: self.momentum.clone(),
+            history: self.tracker.history().to_vec(),
+            last_global: self.last_global.clone(),
+            prepared: self.prepared,
+        }
+    }
+
+    fn restore_state(&mut self, state: CiaAttackState) {
+        assert_eq!(state.momentum.len(), self.momentum.len(), "momentum table size");
+        self.momentum = state.momentum;
+        self.tracker.restore_history(state.history);
+        self.last_global = state.last_global;
+        self.prepared = state.prepared;
+    }
+}
+
 impl<E: RelevanceEvaluator> RoundObserver for FlCia<E> {
-    fn on_participants(&mut self, _round: u64, mask: &mut [bool]) {
-        // One entry per participant; a length mismatch is a wiring bug and
-        // must fail loudly rather than leave part of the live set stale.
-        self.live.copy_from_slice(mask);
+    fn on_liveness(&mut self, event: LivenessEvent<'_>) {
+        if let LivenessEvent::ActingSet { mask, .. } = event {
+            // One entry per participant; a length mismatch is a wiring bug
+            // and must fail loudly rather than leave part of the live set
+            // stale.
+            self.live.copy_from_slice(mask);
+        }
     }
 
     fn on_global(&mut self, _round: u64, global_agg: &[f32]) {
@@ -240,6 +262,7 @@ impl<E: RelevanceEvaluator> RoundObserver for FlCia<E> {
     }
 
     fn on_client_model(&mut self, model: &SharedModel) {
+        let _update = self.obs.span("attack_update");
         let u = model.owner.index();
         match &mut self.momentum[u] {
             Some(state) => state.update(self.cfg.beta, model),
@@ -371,15 +394,17 @@ mod tests {
 
         struct OddOffline<E: crate::evaluator::RelevanceEvaluator>(FlCia<E>);
         impl<E: crate::evaluator::RelevanceEvaluator> RoundObserver for OddOffline<E> {
-            fn on_participants(&mut self, round: u64, mask: &mut [bool]) {
-                if round >= 1 {
-                    for (u, m) in mask.iter_mut().enumerate() {
-                        if u % 2 == 1 {
-                            *m = false;
+            fn on_liveness(&mut self, event: LivenessEvent<'_>) {
+                if let LivenessEvent::ActingSet { round, mask } = event {
+                    if round >= 1 {
+                        for (u, m) in mask.iter_mut().enumerate() {
+                            if u % 2 == 1 {
+                                *m = false;
+                            }
                         }
                     }
+                    self.0.on_liveness(LivenessEvent::ActingSet { round, mask });
                 }
-                self.0.on_participants(round, mask);
             }
             fn on_global(&mut self, round: u64, global_agg: &[f32]) {
                 self.0.on_global(round, global_agg);

@@ -21,6 +21,8 @@ use cia_data::UserId;
 use cia_gossip::{GossipObserver, GossipRoundStats};
 use cia_models::parallel::{par_chunks_mut, par_map};
 use cia_models::SharedModel;
+use cia_obs::Recorder;
+use cia_runtime::{Checkpointable, LivenessEvent};
 
 /// Algorithm 2 with parameter momentum, for one adversary node or a coalition
 /// of colluders.
@@ -38,13 +40,16 @@ pub struct GlCiaCoalition<E: RelevanceEvaluator> {
     /// evaluation rounds; rows of unseen senders stay untouched.
     rel: Vec<f32>,
     /// The most recent wake mask delivered through
-    /// [`GossipObserver::on_wake_set`] — the dynamics layer's live set,
+    /// [`GossipObserver::on_liveness`] — the dynamics layer's live set,
     /// feeding the per-round online upper bound. All-true until a mask
     /// arrives.
     live: Vec<bool>,
     tracker: AttackTracker,
     last_agg: Option<Vec<f32>>,
     prepared: bool,
+    /// Metrics sink for the attack-phase spans (prepare/score/rank/update);
+    /// a detached default until the runner wires in the shared recorder.
+    obs: Recorder,
 }
 
 impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
@@ -84,7 +89,14 @@ impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
             momentum: (0..num_users).map(|_| None).collect(),
             last_agg: None,
             prepared: false,
+            obs: Recorder::new(),
         }
+    }
+
+    /// Routes the attack's spans into a shared recorder (the default sink is
+    /// detached). Clones are cheap; all clones share one registry.
+    pub fn set_recorder(&mut self, obs: Recorder) {
+        self.obs = obs;
     }
 
     /// The attack summary.
@@ -105,31 +117,6 @@ impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
     /// Mutable access to the relevance evaluator (checkpoint resume).
     pub fn evaluator_mut(&mut self) -> &mut E {
         &mut self.evaluator
-    }
-
-    /// Snapshot of the attack's mutable state for checkpoint/resume
-    /// (`last_global` carries the last observed delivery's parameters).
-    pub fn export_state(&self) -> CiaAttackState {
-        CiaAttackState {
-            momentum: self.momentum.clone(),
-            history: self.tracker.history().to_vec(),
-            last_global: self.last_agg.clone(),
-            prepared: self.prepared,
-        }
-    }
-
-    /// Restores a state captured by [`GlCiaCoalition::export_state`] on an
-    /// attack constructed with the same configuration and tables.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the momentum table is not aligned with the participants.
-    pub fn restore_state(&mut self, state: CiaAttackState) {
-        assert_eq!(state.momentum.len(), self.momentum.len(), "momentum table size");
-        self.momentum = state.momentum;
-        self.tracker.restore_history(state.history);
-        self.last_agg = state.last_global;
-        self.prepared = state.prepared;
     }
 
     /// Number of distinct senders observed so far.
@@ -164,15 +151,18 @@ impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
             self.tracker.record(round, &[0.0], &[0.0]);
             return;
         }
+        let obs = self.obs.clone();
         let live = &self.live;
         if let Some(agg) = &self.last_agg {
             if !self.prepared || round.is_multiple_of((self.cfg.eval_every * 4).max(1)) {
+                let _prepare = obs.span("attack_prepare");
                 self.evaluator.prepare(agg, self.cfg.seed ^ round);
                 self.prepared = true;
             }
         }
         let num_targets = self.evaluator.num_targets();
         if num_targets > 0 {
+            let _score = obs.span("attack_score");
             let (rel, momentum, evaluator) = (&mut self.rel, &self.momentum, &self.evaluator);
             par_chunks_mut(rel, num_targets, |sender, row| {
                 if let Some(m) = &momentum[sender] {
@@ -180,6 +170,7 @@ impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
                 }
             });
         }
+        let _rank = obs.span("attack_rank");
         let mut accs = Vec::with_capacity(num_targets);
         let mut uppers = Vec::with_capacity(num_targets);
         let mut uppers_online = Vec::with_capacity(num_targets);
@@ -212,16 +203,43 @@ impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
     }
 }
 
+/// Snapshot/restore of the coalition's mutable state for checkpoint/resume
+/// (`last_global` carries the last observed delivery's parameters). Restoring
+/// panics if the momentum table is not aligned with the participants.
+impl<E: RelevanceEvaluator> Checkpointable for GlCiaCoalition<E> {
+    type State = CiaAttackState;
+
+    fn export_state(&self) -> CiaAttackState {
+        CiaAttackState {
+            momentum: self.momentum.clone(),
+            history: self.tracker.history().to_vec(),
+            last_global: self.last_agg.clone(),
+            prepared: self.prepared,
+        }
+    }
+
+    fn restore_state(&mut self, state: CiaAttackState) {
+        assert_eq!(state.momentum.len(), self.momentum.len(), "momentum table size");
+        self.momentum = state.momentum;
+        self.tracker.restore_history(state.history);
+        self.last_agg = state.last_global;
+        self.prepared = state.prepared;
+    }
+}
+
 impl<E: RelevanceEvaluator> GossipObserver for GlCiaCoalition<E> {
-    fn on_wake_set(&mut self, _round: u64, mask: &mut [bool]) {
-        // One entry per node; mismatches must panic, not truncate.
-        self.live.copy_from_slice(mask);
+    fn on_liveness(&mut self, event: LivenessEvent<'_>) {
+        if let LivenessEvent::ActingSet { mask, .. } = event {
+            // One entry per node; mismatches must panic, not truncate.
+            self.live.copy_from_slice(mask);
+        }
     }
 
     fn on_delivery(&mut self, _round: u64, receiver: UserId, model: &SharedModel) {
         if !self.members[receiver.index()] {
             return;
         }
+        let _update = self.obs.span("attack_update");
         // Colluders never rank themselves... but they do observe each other's
         // honest models; keep those (they are genuine participants).
         self.last_agg = Some(model.agg.clone());
@@ -264,6 +282,9 @@ pub struct GlCiaAllPlacements<E: RelevanceEvaluator> {
     live: Vec<bool>,
     tracker: AttackTracker,
     prepared: bool,
+    /// Metrics sink for the attack-phase spans (prepare/rank/update); a
+    /// detached default until the runner wires in the shared recorder.
+    obs: Recorder,
 }
 
 impl<E: RelevanceEvaluator> GlCiaAllPlacements<E> {
@@ -288,7 +309,14 @@ impl<E: RelevanceEvaluator> GlCiaAllPlacements<E> {
             num_users,
             live: vec![true; num_users],
             prepared: false,
+            obs: Recorder::new(),
         }
+    }
+
+    /// Routes the sweep's spans into a shared recorder (the default sink is
+    /// detached). Clones are cheap; all clones share one registry.
+    pub fn set_recorder(&mut self, obs: Recorder) {
+        self.obs = obs;
     }
 
     /// The attack summary (AAC averaged over all adversary placements).
@@ -311,28 +339,8 @@ impl<E: RelevanceEvaluator> GlCiaAllPlacements<E> {
         &mut self.evaluator
     }
 
-    /// Snapshot of the sweep's mutable state for checkpoint/resume.
-    pub fn export_state(&self) -> PlacementsState {
-        PlacementsState {
-            s_ema: self.s_ema.clone(),
-            history: self.tracker.history().to_vec(),
-            prepared: self.prepared,
-        }
-    }
-
-    /// Restores a state captured by [`GlCiaAllPlacements::export_state`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the score table is not aligned with the participants.
-    pub fn restore_state(&mut self, state: PlacementsState) {
-        assert_eq!(state.s_ema.len(), self.s_ema.len(), "score table size");
-        self.s_ema = state.s_ema;
-        self.tracker.restore_history(state.history);
-        self.prepared = state.prepared;
-    }
-
     fn evaluate(&mut self, round: u64) {
+        let _rank = self.obs.span("attack_rank");
         let n = self.num_users;
         let k = self.cfg.k;
         // Accuracy covers every placement (the paper's AAC); the coverage
@@ -369,13 +377,37 @@ impl<E: RelevanceEvaluator> GlCiaAllPlacements<E> {
     }
 }
 
+/// Snapshot/restore of the sweep's mutable state for checkpoint/resume.
+/// Restoring panics if the score table is not aligned with the participants.
+impl<E: RelevanceEvaluator> Checkpointable for GlCiaAllPlacements<E> {
+    type State = PlacementsState;
+
+    fn export_state(&self) -> PlacementsState {
+        PlacementsState {
+            s_ema: self.s_ema.clone(),
+            history: self.tracker.history().to_vec(),
+            prepared: self.prepared,
+        }
+    }
+
+    fn restore_state(&mut self, state: PlacementsState) {
+        assert_eq!(state.s_ema.len(), self.s_ema.len(), "score table size");
+        self.s_ema = state.s_ema;
+        self.tracker.restore_history(state.history);
+        self.prepared = state.prepared;
+    }
+}
+
 impl<E: RelevanceEvaluator> GossipObserver for GlCiaAllPlacements<E> {
-    fn on_wake_set(&mut self, _round: u64, mask: &mut [bool]) {
-        // One entry per node; mismatches must panic, not truncate.
-        self.live.copy_from_slice(mask);
+    fn on_liveness(&mut self, event: LivenessEvent<'_>) {
+        if let LivenessEvent::ActingSet { mask, .. } = event {
+            // One entry per node; mismatches must panic, not truncate.
+            self.live.copy_from_slice(mask);
+        }
     }
 
     fn on_delivery(&mut self, _round: u64, receiver: UserId, model: &SharedModel) {
+        let _update = self.obs.span("attack_update");
         if !self.prepared {
             // Share-less fictive embeddings need public parameters; the first
             // delivered model provides them (refreshed lazily afterwards).
@@ -621,13 +653,15 @@ mod tests {
         // through the attack the way the dynamics layer does.
         struct HalfAsleep<'a, E: RelevanceEvaluator>(&'a mut GlCiaAllPlacements<E>);
         impl<E: RelevanceEvaluator> GossipObserver for HalfAsleep<'_, E> {
-            fn on_wake_set(&mut self, round: u64, mask: &mut [bool]) {
-                for (u, m) in mask.iter_mut().enumerate() {
-                    if u % 2 == (round % 2) as usize {
-                        *m = false;
+            fn on_liveness(&mut self, event: LivenessEvent<'_>) {
+                if let LivenessEvent::ActingSet { round, mask } = event {
+                    for (u, m) in mask.iter_mut().enumerate() {
+                        if u % 2 == (round % 2) as usize {
+                            *m = false;
+                        }
                     }
+                    self.0.on_liveness(LivenessEvent::ActingSet { round, mask });
                 }
-                self.0.on_wake_set(round, mask);
             }
             fn on_delivery(&mut self, round: u64, receiver: UserId, model: &SharedModel) {
                 self.0.on_delivery(round, receiver, model);

@@ -52,3 +52,8 @@ pub use momentum::MomentumState;
 /// registry and log₂ latency histograms every simulation reports into.
 pub use cia_obs as obs;
 pub use cia_obs::{Counter, Histogram, Metric, Recorder, SpanRec, TraceChunk};
+
+/// Runtime abstractions the attack engines implement (re-exported): the
+/// export/restore trait behind checkpointing and the protocol-agnostic
+/// liveness events observers receive.
+pub use cia_runtime::{Checkpointable, LivenessEvent};

@@ -21,6 +21,10 @@ mod sim;
 
 pub use graph::{sample_exp_interval, ViewTable};
 pub use sim::{
-    GossipConfig, GossipObserver, GossipProtocol, GossipRoundStats, GossipSim, GossipSimState,
-    NullGossipObserver, TrafficCounters,
+    GossipConfig, GossipObserver, GossipProtocol, GossipPublishHook, GossipRoundStats, GossipSim,
+    GossipSimState, NullGossipObserver, TrafficCounters,
 };
+
+// The runtime abstractions this crate's API surfaces (observer liveness
+// events, the export/restore trait, evented delivery policies).
+pub use cia_runtime::{Checkpointable, DeliveryPolicy, LivenessEvent};

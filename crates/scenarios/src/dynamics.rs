@@ -1,7 +1,8 @@
 //! The participant-dynamics layer: turns a [`DynamicsSpec`] into a
 //! per-round availability mask and threads it through the protocols'
-//! observer seams ([`RoundObserver::on_participants`],
-//! [`GossipObserver::on_wake_set`]) — the training loops never learn that
+//! shared observer seam ([`RoundObserver::on_liveness`] /
+//! [`GossipObserver::on_liveness`], both carrying
+//! [`cia_runtime::LivenessEvent`]) — the training loops never learn that
 //! the population is moving.
 //!
 //! The process is deterministic: round `t`'s transitions are drawn from an
@@ -12,6 +13,7 @@ use crate::spec::DynamicsSpec;
 use cia_federated::RoundObserver;
 use cia_gossip::GossipObserver;
 use cia_models::SharedModel;
+use cia_runtime::{Checkpointable, LivenessEvent};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -167,18 +169,18 @@ impl ParticipantDynamics {
             }
         }
     }
+}
 
-    /// Snapshot of the cross-round state for checkpoint/resume.
-    pub fn export_state(&self) -> DynamicsState {
+/// Snapshot/restore of the cross-round state for checkpoint/resume.
+/// Restoring panics if the state is not aligned with the population size.
+impl Checkpointable for ParticipantDynamics {
+    type State = DynamicsState;
+
+    fn export_state(&self) -> DynamicsState {
         DynamicsState { online: self.online.clone(), straggler_until: self.straggler_until.clone() }
     }
 
-    /// Restores a state captured by [`ParticipantDynamics::export_state`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the state is not aligned with the population size.
-    pub fn restore_state(&mut self, state: DynamicsState) {
+    fn restore_state(&mut self, state: DynamicsState) {
         assert_eq!(state.online.len(), self.online.len(), "online bitmap size");
         assert_eq!(state.straggler_until.len(), self.straggler_until.len(), "timer table size");
         self.online = state.online;
@@ -187,8 +189,9 @@ impl ParticipantDynamics {
 }
 
 /// Adapter threading [`ParticipantDynamics`] into an FL run: availability is
-/// applied through [`RoundObserver::on_participants`], every other callback
-/// is forwarded to the inner observer (typically the attack).
+/// applied to the acting set delivered through
+/// [`RoundObserver::on_liveness`], every other callback is forwarded to the
+/// inner observer (typically the attack).
 pub struct FlDynamics<'a, O: RoundObserver> {
     /// The wrapped observer.
     pub inner: &'a mut O,
@@ -201,9 +204,14 @@ impl<O: RoundObserver> RoundObserver for FlDynamics<'_, O> {
         self.inner.on_round_start(round);
     }
 
-    fn on_participants(&mut self, round: u64, mask: &mut [bool]) {
-        self.dynamics.apply(round, mask);
-        self.inner.on_participants(round, mask);
+    fn on_liveness(&mut self, event: LivenessEvent<'_>) {
+        match event {
+            LivenessEvent::ActingSet { round, mask } => {
+                self.dynamics.apply(round, mask);
+                self.inner.on_liveness(LivenessEvent::ActingSet { round, mask });
+            }
+            other => self.inner.on_liveness(other),
+        }
     }
 
     fn on_global(&mut self, round: u64, global_agg: &[f32]) {
@@ -224,7 +232,9 @@ impl<O: RoundObserver> RoundObserver for FlDynamics<'_, O> {
 }
 
 /// Adapter threading [`ParticipantDynamics`] into a gossip run through
-/// [`GossipObserver::on_wake_set`].
+/// [`GossipObserver::on_liveness`]: the wake set is intersected with
+/// availability, and availability probes (view-refresh deferral) answer from
+/// the churn bitmap.
 pub struct GlDynamics<'a, O: GossipObserver> {
     /// The wrapped observer.
     pub inner: &'a mut O,
@@ -237,15 +247,21 @@ impl<O: GossipObserver> GossipObserver for GlDynamics<'_, O> {
         self.inner.on_round_start(round);
     }
 
-    fn on_wake_set(&mut self, round: u64, mask: &mut [bool]) {
-        self.dynamics.apply(round, mask);
-        self.inner.on_wake_set(round, mask);
-    }
-
-    fn node_available(&self, round: u64, node: u32) -> bool {
-        // Offline nodes defer their view refreshes (and keep their
-        // Pers-Gossip `heard` evidence) until they rejoin.
-        self.dynamics.is_online(node as usize) && self.inner.node_available(round, node)
+    fn on_liveness(&mut self, event: LivenessEvent<'_>) {
+        match event {
+            LivenessEvent::ActingSet { round, mask } => {
+                self.dynamics.apply(round, mask);
+                self.inner.on_liveness(LivenessEvent::ActingSet { round, mask });
+            }
+            LivenessEvent::Probe { round, node, available } => {
+                // Offline nodes defer their view refreshes (and keep their
+                // Pers-Gossip `heard` evidence) until they rejoin.
+                if !self.dynamics.is_online(node as usize) {
+                    *available = false;
+                }
+                self.inner.on_liveness(LivenessEvent::Probe { round, node, available });
+            }
+        }
     }
 
     fn on_delivery(&mut self, round: u64, receiver: cia_data::UserId, model: &SharedModel) {

@@ -228,12 +228,8 @@ impl<O: GossipObserver> GossipObserver for PlacementObserver<'_, O> {
         self.inner.on_round_start(round);
     }
 
-    fn on_wake_set(&mut self, round: u64, mask: &mut [bool]) {
-        self.inner.on_wake_set(round, mask);
-    }
-
-    fn node_available(&self, round: u64, node: u32) -> bool {
-        self.inner.node_available(round, node)
+    fn on_liveness(&mut self, event: cia_runtime::LivenessEvent<'_>) {
+        self.inner.on_liveness(event);
     }
 
     fn on_delivery(&mut self, round: u64, receiver: cia_data::UserId, model: &SharedModel) {

@@ -207,6 +207,89 @@ fn adaptive_run_killed_after_the_relocation_resumes_exactly() {
 }
 
 #[test]
+fn evented_and_lockstep_streams_are_byte_identical() {
+    // The event-driven runtime is the default; the legacy fused loops stay
+    // behind `lockstep: true`. Both must produce the same JSONL stream for
+    // the full builtin suite (FL + gossip + coalition scenarios) — the
+    // compatibility guarantee the whole port rests on.
+    let (_, evented) = run_builtin(42);
+    let suite = builtin_suite(Scale::Smoke, 42);
+    let mut lockstep = Vec::new();
+    let opts = RunOptions { lockstep: true, ..RunOptions::default() };
+    let outcomes = run_suite(&suite, &opts, &mut lockstep).unwrap();
+    assert!(outcomes.iter().all(|o| o.completed));
+    assert_eq!(evented, lockstep, "evented and lockstep streams diverged");
+}
+
+#[test]
+fn interleaved_delivery_seeds_reproduce_the_transcript() {
+    // Permuting same-virtual-time deliveries must be unobservable: every
+    // reorderable mailbox in the protocol ports is sorted on a canonical key
+    // before a float is touched. (The 256-case sweeps live in the gossip /
+    // federated crates' proptests; this pins the property end-to-end through
+    // the runner and JSONL layer.)
+    let (_, reference) = run_builtin(42);
+    for delivery_seed in [1u64, 0xDEAD_BEEF, u64::MAX] {
+        let suite = builtin_suite(Scale::Smoke, 42);
+        let mut buf = Vec::new();
+        let opts = RunOptions { delivery_seed: Some(delivery_seed), ..RunOptions::default() };
+        run_suite(&suite, &opts, &mut buf).unwrap();
+        assert_eq!(buf, reference, "delivery seed {delivery_seed:#x} changed the stream");
+    }
+}
+
+#[test]
+fn gossip_checkpoint_carries_the_live_event_queue() {
+    // Gossip refresh timers straddle every round boundary, so a mid-run
+    // checkpoint must serialize in-flight scheduler events — and the resume
+    // that re-installs them must land on the uninterrupted stream. Kill at
+    // an off-cadence round (checkpoint_every does not divide it) to force
+    // the stop-time checkpoint path.
+    use cia_scenarios::checkpoint::{Checkpoint, ProtocolState};
+    let suite = builtin_suite(Scale::Smoke, 42);
+    let spec = suite.expanded().unwrap()[2].clone(); // colluding-sybils, 40 rounds
+
+    let mut straight_out = Vec::new();
+    run_scenario(&spec, "t", &RunOptions::default(), &mut straight_out).unwrap();
+
+    let dir = TempDir::new("gl-live-queue");
+    let ckpt = RunOptions {
+        checkpoint_dir: Some(dir.0.clone()),
+        checkpoint_every: 4,
+        ..RunOptions::default()
+    };
+    let mut partial_out = Vec::new();
+    run_scenario(
+        &spec,
+        "t",
+        &RunOptions { stop_after_rounds: Some(7), ..ckpt.clone() },
+        &mut partial_out,
+    )
+    .unwrap();
+
+    let ckpt_file = std::fs::read_dir(&dir.0)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "ckpt"))
+        .expect("killed run left a checkpoint");
+    let saved = Checkpoint::load(&ckpt_file, spec.fingerprint()).unwrap();
+    let ProtocolState::Gl(state) = &saved.protocol else { panic!("expected gossip state") };
+    assert!(!state.pending.is_empty(), "checkpoint lost the in-flight events");
+    assert!(
+        state.pending.iter().any(|e| e.timer),
+        "expected at least one pending refresh timer across the cut"
+    );
+
+    let mut resumed_out = Vec::new();
+    let resumed =
+        run_scenario(&spec, "t", &RunOptions { resume: true, ..ckpt }, &mut resumed_out).unwrap();
+    assert!(resumed.completed);
+    let mut stitched = partial_out;
+    stitched.extend_from_slice(&resumed_out);
+    assert_eq!(stitched, straight_out, "resume across the live queue diverged");
+}
+
+#[test]
 fn parallel_and_serial_streams_are_byte_identical() {
     // The round hot path fans out over CIA_THREADS workers (client training,
     // gossip aggregation, relevance scoring, utility evaluation). Per-client
