@@ -152,7 +152,7 @@ fn bench_mlp_train(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     let batch: Vec<Vec<f32>> =
         (0..16).map(|_| (0..784).map(|_| rng.gen::<f32>()).collect()).collect();
-    let xs: Vec<&[f32]> = batch.iter().map(|v| v.as_slice()).collect();
+    let xs: Vec<&[f32]> = batch.iter().map(std::vec::Vec::as_slice).collect();
     let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
 
     let mut mlp = Mlp::new(spec.clone(), hyper, 7);
@@ -281,6 +281,7 @@ fn bench_protocol_rounds(c: &mut Criterion) {
             .enumerate()
             .map(|(u, items)| {
                 spec.build_client(
+                    // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
                     UserId::new(u as u32),
                     items.clone(),
                     SharingPolicy::Full,
@@ -315,6 +316,7 @@ fn bench_protocol_rounds(c: &mut Criterion) {
             .enumerate()
             .map(|(u, items)| {
                 small_spec.build_client(
+                    // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
                     UserId::new(u as u32),
                     items.clone(),
                     SharingPolicy::Full,
@@ -344,6 +346,7 @@ fn bench_protocol_rounds(c: &mut Criterion) {
     // retire to d-float descriptors; 25% participation keeps the round
     // representative of a sampled cohort.
     let lazy_train = split.train_sets().to_vec();
+    // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
     let lazy_examples: Vec<u32> = lazy_train.iter().map(|t| t.len() as u32).collect();
     let lazy_spec = spec.clone();
     let lazy_store = ClientStore::sharded(
@@ -351,6 +354,7 @@ fn bench_protocol_rounds(c: &mut Criterion) {
         lazy_examples,
         Box::new(move |i| {
             lazy_spec.build_shell(
+                // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
                 UserId::new(i as u32),
                 lazy_train[i].clone(),
                 SharingPolicy::Full,
@@ -401,13 +405,16 @@ fn bench_attack_eval(c: &mut Criterion) {
         .iter()
         .enumerate()
         .map(|(u, items)| {
+            // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
             spec.build_client(UserId::new(u as u32), items.clone(), SharingPolicy::Full, u as u64)
         })
         .collect();
     c.bench_function("cia_fl_round_with_eval_48_users", |b| {
         let evaluator = ItemSetEvaluator::new(spec.clone(), split.train_sets().to_vec(), false);
         let truths: Vec<_> =
+            // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
             (0..users as u32).map(|u| gt.community_of(UserId::new(u)).to_vec()).collect();
+        // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
         let owners: Vec<_> = (0..users as u32).map(|u| Some(UserId::new(u))).collect();
         let mut attack = FlCia::new(
             CiaConfig { k, beta: 0.99, eval_every: 1, seed: 0 },
@@ -494,6 +501,7 @@ fn bench_paper_scale(c: &mut Criterion) {
             .enumerate()
             .map(|(u, items)| {
                 spec.build_client(
+                    // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
                     UserId::new(u as u32),
                     items.clone(),
                     SharingPolicy::Full,
@@ -544,6 +552,23 @@ fn bench_paper_scale(c: &mut Criterion) {
             GossipSim::new(clients(), GossipConfig { rounds: u64::MAX, ..Default::default() });
         b.iter(|| sim.step(&mut NullGossipObserver));
     });
+    // Phase-annotated twin of the gossip row, plus the per-neighbor mixing
+    // cost: mix+train stay fused in one cache-hot pass (PR 7), so mixing
+    // never gets its own span — its distribution surfaces only through the
+    // `mix_us` histogram, recorded here as `<base>_mix_us_p50`/`_p99` rows.
+    {
+        let mut sim =
+            GossipSim::new(clients(), GossipConfig { rounds: u64::MAX, ..Default::default() });
+        let rec = cia_core::Recorder::new();
+        rec.set_detail(true);
+        sim.set_recorder(rec.clone());
+        const PHASE_ROUNDS: u64 = 5;
+        for _ in 0..PHASE_ROUNDS {
+            sim.step(&mut NullGossipObserver);
+        }
+        emit_mix_hist_rows(&format!("gossip_round_paper_943x1682{t}"), &rec);
+        emit_phase_rows(&format!("gossip_round_paper_943x1682{t}"), &rec, PHASE_ROUNDS);
+    }
     // Serving at paper scale: per-query cold cost, plus a sustained-QPS row
     // over the deterministic Zipf workload (hot users mostly hit the
     // ranking cache, as a real request log would).
@@ -575,6 +600,7 @@ fn emit_serve_qps_row(name: &str, hub: &Arc<SnapshotHub>) {
     for _ in 0..10_000 {
         engine.top_k(workload.next_user(), 20).expect("servable");
     }
+    // cia-lint: allow(D02, bench-harness wall clock for the QPS row; benches emit no deterministic transcripts)
     let start = Instant::now();
     for _ in 0..QUERIES {
         engine.top_k(workload.next_user(), 20).expect("servable");
@@ -628,6 +654,36 @@ fn emit_phase_rows(base: &str, rec: &cia_core::Recorder, rounds: u64) {
     }
 }
 
+/// Appends the per-neighbor gossip mixing-cost rows (`<base>_mix_us_p50`,
+/// `<base>_mix_us_p99`) to the `CRITERION_JSON` stream, from the recorder's
+/// `mix_us` histogram (one observation per neighborhood mix). `median_ns`
+/// carries the quantile so the rows fold into `BENCH_kernels.json` like any
+/// other; `count` records how many mixes the quantiles summarize.
+fn emit_mix_hist_rows(base: &str, rec: &cia_core::Recorder) {
+    let Some(path) = std::env::var_os("CRITERION_JSON") else {
+        return;
+    };
+    let hist = rec.histogram(cia_core::Metric::MixMicros);
+    if hist.count() == 0 {
+        return;
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("CRITERION_JSON path is writable");
+    for (label, q) in [("p50", 0.5), ("p99", 0.99)] {
+        let ns = hist.quantile(q) * 1000;
+        use std::io::Write as _;
+        writeln!(
+            file,
+            r#"{{"name": "{base}_mix_us_{label}", "median_ns": {ns}, "count": {}}}"#,
+            hist.count()
+        )
+        .expect("CRITERION_JSON stream is writable");
+    }
+}
+
 /// `_tN` suffix for the paper-scale round rows when `CIA_THREADS=N>1`, so a
 /// thread-scaling sweep (`CIA_THREADS=2 scripts/bench_kernels.sh --scale
 /// paper paper`) records alongside the single-thread baseline instead of
@@ -655,6 +711,7 @@ fn bench_million_scale(c: &mut Criterion) {
     // ScaleParams::of(Million): 100 eval negatives, embedding dim 8.
     let split = LeaveOneOut::new(&data, 100, 3).unwrap();
     let train = split.train_sets().to_vec();
+    // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
     let examples: Vec<u32> = train.iter().map(|t| t.len() as u32).collect();
     let spec = GmfSpec::new(data.num_items(), 8, GmfHyper::default());
     let initial = spec.init_agg(&mut StdRng::seed_from_u64(3));
@@ -666,6 +723,7 @@ fn bench_million_scale(c: &mut Criterion) {
         4096,
         examples,
         Box::new(move |i| {
+            // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
             spec.build_shell(UserId::new(i as u32), train[i].clone(), SharingPolicy::Full, i as u64)
         }),
     );

@@ -8,6 +8,8 @@
 //! Normally invoked through `scripts/bench_kernels.sh`, which runs the micro
 //! benches with `CRITERION_JSON` pointed at a scratch file first.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

@@ -194,9 +194,11 @@ impl AiaCommunityAttack {
             .iter()
             .enumerate()
             .filter_map(|(u, upd)| {
+                // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                 if self.owner == Some(UserId::new(u as u32)) {
                     return None;
                 }
+                // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                 upd.as_ref().map(|v| (clf.prob_binary(v), u as u32))
             })
             .collect();
@@ -274,6 +276,7 @@ mod tests {
             .enumerate()
             .map(|(u, items)| {
                 spec.build_client(
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     UserId::new(u as u32),
                     items.clone(),
                     SharingPolicy::Full,

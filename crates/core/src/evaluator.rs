@@ -208,6 +208,7 @@ impl<S: RelevanceScorer> RelevanceEvaluator for ItemSetEvaluator<S> {
                 RelevanceKind::MeanNormalizedRank => {
                     // rank(i) = position in the descending score order.
                     order.clear();
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     order.extend(0..n as u32);
                     order.sort_by(|&a, &b| {
                         crate::metrics::rank_desc(
@@ -227,6 +228,7 @@ impl<S: RelevanceScorer> RelevanceEvaluator for ItemSetEvaluator<S> {
                 *o = if items.is_empty() {
                     0.0
                 } else {
+                    // cia-lint: allow(D07, sequential left-to-right fold over a slice in index order; the reduction order is fixed)
                     items.iter().map(|&i| per_item[i as usize]).sum::<f32>() / items.len() as f32
                 };
             }

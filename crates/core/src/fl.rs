@@ -178,9 +178,11 @@ impl<E: RelevanceEvaluator> FlCia<E> {
                 .iter()
                 .enumerate()
                 .filter_map(|(u, m)| {
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     if m.is_none() || self.owners[t] == Some(UserId::new(u as u32)) {
                         return None;
                     }
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     Some((self.rel[u * num_targets + t], u as u32))
                 })
                 .collect();
@@ -308,6 +310,7 @@ mod tests {
             .enumerate()
             .map(|(u, items)| {
                 spec.build_client(
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     UserId::new(u as u32),
                     items.clone(),
                     SharingPolicy::Full,
@@ -318,7 +321,9 @@ mod tests {
 
         let evaluator = ItemSetEvaluator::new(spec.clone(), split.train_sets().to_vec(), false);
         let truths: Vec<Vec<UserId>> =
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             (0..users).map(|u| gt.community_of(UserId::new(u as u32)).to_vec()).collect();
+        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
         let owners: Vec<Option<UserId>> = (0..users).map(|u| Some(UserId::new(u as u32))).collect();
         let mut attack = FlCia::new(
             CiaConfig { k, beta: 0.9, eval_every: 2, seed: 0 },
@@ -373,6 +378,7 @@ mod tests {
             .enumerate()
             .map(|(u, items)| {
                 spec.build_client(
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     UserId::new(u as u32),
                     items.clone(),
                     SharingPolicy::Full,
@@ -381,7 +387,9 @@ mod tests {
             })
             .collect();
         let truths: Vec<Vec<UserId>> =
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             (0..users).map(|u| gt.community_of(UserId::new(u as u32)).to_vec()).collect();
+        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
         let owners = (0..users).map(|u| Some(UserId::new(u as u32))).collect();
         let evaluator = ItemSetEvaluator::new(spec, split.train_sets().to_vec(), false);
         let attack = FlCia::new(
@@ -456,6 +464,7 @@ mod tests {
             .enumerate()
             .map(|(u, items)| {
                 spec.build_client(
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     UserId::new(u as u32),
                     items.clone(),
                     SharingPolicy::Full,

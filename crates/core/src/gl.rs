@@ -126,6 +126,7 @@ impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
 
     /// The node ids the coalition currently controls, ascending.
     pub fn members(&self) -> Vec<u32> {
+        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
         self.members.iter().enumerate().filter_map(|(i, &m)| m.then_some(i as u32)).collect()
     }
 
@@ -180,9 +181,11 @@ impl<E: RelevanceEvaluator> GlCiaCoalition<E> {
                 .iter()
                 .enumerate()
                 .filter_map(|(sender, m)| {
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     if m.is_none() || self.owners[t] == Some(UserId::new(sender as u32)) {
                         None
                     } else {
+                        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                         Some((self.rel[sender * num_targets + t], sender as u32))
                     }
                 })
@@ -354,6 +357,7 @@ impl<E: RelevanceEvaluator> GlCiaAllPlacements<E> {
                 .iter()
                 .enumerate()
                 .filter(|(_, s)| !s.is_nan())
+                // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                 .map(|(u, &s)| (s, u as u32))
                 .collect();
             if scored.is_empty() {
@@ -466,6 +470,7 @@ mod tests {
             .enumerate()
             .map(|(u, items)| {
                 spec.build_client(
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     UserId::new(u as u32),
                     items.clone(),
                     SharingPolicy::Full,
@@ -474,6 +479,7 @@ mod tests {
             })
             .collect();
         let truths: Vec<Vec<UserId>> =
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             (0..users).map(|u| gt.community_of(UserId::new(u as u32)).to_vec()).collect();
         Setup { clients, spec, train_sets: split.train_sets().to_vec(), truths, users, k }
     }
@@ -508,6 +514,7 @@ mod tests {
         let make = |members: Vec<u32>, clients: Vec<GmfClient>| {
             let evaluator = ItemSetEvaluator::new(s.spec.clone(), s.train_sets.clone(), false);
             let owners: Vec<Option<UserId>> =
+                // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                 (0..s.users).map(|u| Some(UserId::new(u as u32))).collect();
             let mut attack = GlCiaCoalition::new(
                 CiaConfig { k: s.k, beta: 0.9, eval_every: 5, seed: 0 },
@@ -548,6 +555,7 @@ mod tests {
         );
         let eval_coal = ItemSetEvaluator::new(s.spec.clone(), s.train_sets.clone(), false);
         let owners: Vec<Option<UserId>> =
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             (0..s.users).map(|u| Some(UserId::new(u as u32))).collect();
         let mut coal = GlCiaCoalition::new(
             CiaConfig { k: s.k, beta: 0.0, eval_every: 1000, seed: 0 },
@@ -584,6 +592,7 @@ mod tests {
             .iter()
             .enumerate()
             .filter(|(_, v)| !v.is_nan())
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             .map(|(u, &v)| (v, u as u32))
             .collect();
         from_scores.sort_by(crate::metrics::rank_desc);
@@ -593,6 +602,7 @@ mod tests {
             .momentum
             .iter()
             .enumerate()
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             .filter_map(|(u, m)| m.as_ref().map(|m| (u as u32, m)))
             .filter(|(u, _)| *u != adversary)
             .map(|(u, m)| (coal.evaluator.relevance_one(m.emb(), m.agg(), adversary as usize), u))
@@ -703,6 +713,7 @@ mod tests {
         let s = setup(12, 2, 3);
         let evaluator = ItemSetEvaluator::new(s.spec.clone(), s.train_sets.clone(), false);
         let owners: Vec<Option<UserId>> =
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             (0..s.users).map(|u| Some(UserId::new(u as u32))).collect();
         let mut coal = GlCiaCoalition::new(
             CiaConfig { k: 2, beta: 0.9, eval_every: 1, seed: 0 },
@@ -764,6 +775,7 @@ mod tests {
         let s = setup(12, 2, 3);
         let evaluator = ItemSetEvaluator::new(s.spec.clone(), s.train_sets.clone(), false);
         let owners: Vec<Option<UserId>> =
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             (0..s.users).map(|u| Some(UserId::new(u as u32))).collect();
         let mut coal = GlCiaCoalition::new(
             CiaConfig { k: 2, beta: 0.9, eval_every: 1, seed: 0 },
@@ -799,6 +811,7 @@ mod tests {
         let s = setup(12, 2, 3);
         let evaluator = ItemSetEvaluator::new(s.spec.clone(), s.train_sets.clone(), false);
         let owners: Vec<Option<UserId>> =
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             (0..s.users).map(|u| Some(UserId::new(u as u32))).collect();
         let mut coal = GlCiaCoalition::new(
             CiaConfig { k: 2, beta: 0.9, eval_every: 1, seed: 0 },

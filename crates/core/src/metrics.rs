@@ -273,6 +273,7 @@ fn mean(v: &[f64]) -> f64 {
     if v.is_empty() {
         0.0
     } else {
+        // cia-lint: allow(D07, sequential left-to-right fold over a slice in index order; the reduction order is fixed)
         v.iter().sum::<f64>() / v.len() as f64
     }
 }

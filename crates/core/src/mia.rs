@@ -146,6 +146,7 @@ impl<S: RelevanceScorer> MiaCommunityAttack<S> {
             let mut fp = 0usize;
             let mut negs = 0usize;
             for i in (0..num_items).step_by(stride) {
+                // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                 if train.binary_search(&(i as u32)).is_err() {
                     negs += 1;
                     if member[i] {
@@ -167,9 +168,11 @@ impl<S: RelevanceScorer> MiaCommunityAttack<S> {
                 .iter()
                 .enumerate()
                 .filter_map(|(u, r)| {
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     if self.owners[t] == Some(UserId::new(u as u32)) {
                         return None;
                     }
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     r.as_ref().map(|(fracs, _)| (fracs[t], u as u32))
                 })
                 .collect();
@@ -186,6 +189,7 @@ impl<S: RelevanceScorer> MiaCommunityAttack<S> {
         let mean_precision = if precisions.is_empty() {
             0.0
         } else {
+            // cia-lint: allow(D07, sequential left-to-right fold over a slice in index order; the reduction order is fixed)
             precisions.iter().sum::<f64>() / precisions.len() as f64
         };
         self.precision_history.push((round, mean_precision));
@@ -244,6 +248,7 @@ mod tests {
             .enumerate()
             .map(|(u, items)| {
                 spec.build_client(
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     UserId::new(u as u32),
                     items.clone(),
                     SharingPolicy::Full,
@@ -252,7 +257,9 @@ mod tests {
             })
             .collect();
         let truths: Vec<Vec<UserId>> =
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             (0..users).map(|u| gt.community_of(UserId::new(u as u32)).to_vec()).collect();
+        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
         let owners: Vec<Option<UserId>> = (0..users).map(|u| Some(UserId::new(u as u32))).collect();
         let mut attack = MiaCommunityAttack::new(
             MiaConfig { cia: CiaConfig { k, beta: 0.9, eval_every: 2, seed: 0 }, rho: 0.4 },

@@ -42,8 +42,8 @@ proptest! {
         frac in 0.01f64..1.0,
     ) {
         let floor = best_fraction_floor(&accs, frac);
-        let max = accs.iter().cloned().fold(0.0, f64::max);
-        let min = accs.iter().cloned().fold(1.0, f64::min);
+        let max = accs.iter().copied().fold(0.0, f64::max);
+        let min = accs.iter().copied().fold(1.0, f64::min);
         prop_assert!(floor <= max + 1e-12);
         prop_assert!(floor >= min - 1e-12);
     }
@@ -90,6 +90,7 @@ proptest! {
         for (r, accs) in rounds.iter().enumerate() {
             let uppers = vec![1.0; accs.len()];
             tracker.record(r as u64, accs, &uppers);
+            // cia-lint: allow(D07, sequential left-to-right fold over a slice in index order; the reduction order is fixed)
             let aac = accs.iter().sum::<f64>() / accs.len() as f64;
             best = best.max(aac);
         }

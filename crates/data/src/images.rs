@@ -51,7 +51,7 @@ impl ImageDataset {
         let mut prototypes = vec![0.0f32; NUM_CLASSES * IMAGE_DIM];
         for c in 0..NUM_CLASSES {
             let mut blocks = [0.0f32; 49]; // 7x7 blocks of 4x4 pixels
-            for b in blocks.iter_mut() {
+            for b in &mut blocks {
                 *b = rng.gen::<f32>();
             }
             for y in 0..28 {
@@ -70,6 +70,7 @@ impl ImageDataset {
                     let noise = gaussian(&mut rng) * cfg.noise_std;
                     pixels.push((prototypes[c * IMAGE_DIM + p] + noise).clamp(0.0, 1.0));
                 }
+                // cia-lint: allow(D05, MNIST class labels are 0..=9)
                 labels.push(c as u8);
             }
         }
@@ -106,6 +107,7 @@ impl ImageDataset {
     /// non-iid partition: 100 clients, one class each).
     pub fn one_class_partition(&self, clients_per_class: usize) -> Vec<Vec<usize>> {
         let mut clients = vec![Vec::new(); clients_per_class * NUM_CLASSES];
+        // cia-lint: allow(D05, NUM_CLASSES is 10; class ids fit u8)
         for c in 0..NUM_CLASSES as u8 {
             let idx = self.indices_of_class(c);
             for (pos, &sample) in idx.iter().enumerate() {
@@ -137,6 +139,7 @@ mod tests {
     fn generates_requested_counts() {
         let d = small();
         assert_eq!(d.len(), 100);
+        // cia-lint: allow(D05, NUM_CLASSES is 10; class ids fit u8)
         for c in 0..NUM_CLASSES as u8 {
             assert_eq!(d.indices_of_class(c).len(), 10);
         }

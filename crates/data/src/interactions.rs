@@ -11,7 +11,7 @@ use crate::{DataError, ItemId, UserId};
 use serde::{Deserialize, Serialize};
 
 /// Interactions of a single user.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct UserRecord {
     /// Sorted, deduplicated observed item ids.
     items: Vec<u32>,
@@ -153,6 +153,7 @@ impl Dataset {
 
     /// Iterates over `(UserId, &UserRecord)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (UserId, &UserRecord)> {
+        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
         self.users.iter().enumerate().map(|(i, r)| (UserId::new(i as u32), r))
     }
 
@@ -173,15 +174,15 @@ impl Dataset {
 
     /// Total number of observed (user, item) interactions.
     pub fn num_interactions(&self) -> usize {
-        self.users.iter().map(|r| r.len()).sum()
+        self.users.iter().map(UserRecord::len).sum()
     }
 
     /// Summary statistics (the paper's Table I row for this dataset).
     pub fn stats(&self) -> DatasetStats {
         let n = self.num_users();
         let total = self.num_interactions();
-        let min = self.users.iter().map(|r| r.len()).min().unwrap_or(0);
-        let max = self.users.iter().map(|r| r.len()).max().unwrap_or(0);
+        let min = self.users.iter().map(UserRecord::len).min().unwrap_or(0);
+        let max = self.users.iter().map(UserRecord::len).max().unwrap_or(0);
         let density = if n == 0 || self.num_items == 0 {
             0.0
         } else {

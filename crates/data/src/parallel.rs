@@ -23,7 +23,7 @@ pub fn num_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+    std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(4).min(16)
 }
 
 /// Applies `f` to every element of `items` in parallel, mutating in place.

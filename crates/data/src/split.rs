@@ -96,6 +96,7 @@ impl LeaveOneOut {
                     need: 2,
                 });
             }
+            // cia-lint: allow(D05, per-user interaction counts are catalog-bounded; the sum fits u32)
             if (rec.len() + num_negatives) as u32 > num_items {
                 return Err(DataError::InvalidConfig {
                     field: "num_negatives",

@@ -96,11 +96,12 @@ impl SyntheticConfig {
         // base-rate health fraction naturally).
         let category_map = self.categories.as_ref().map(|plan| {
             let mut labels = vec![0u8; n_items];
-            for l in labels.iter_mut() {
+            for l in &mut labels {
                 if rng.gen::<f64>() < plan.health_item_fraction {
                     *l = HEALTH_CATEGORY;
                 } else {
                     // Uniform over the 9 non-health categories.
+                    // cia-lint: allow(D05, gen_range over 0..9 always fits u8)
                     *l = 1 + rng.gen_range(0..9) as u8;
                 }
             }
@@ -118,6 +119,7 @@ impl SyntheticConfig {
         // Community assignment: shuffled round-robin so community sizes are
         // balanced but user ids carry no community information.
         let mut community_of: Vec<u32> =
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             (0..self.users).map(|u| (u % self.communities) as u32).collect();
         community_of.shuffle(&mut rng);
 

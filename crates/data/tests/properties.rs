@@ -44,6 +44,7 @@ proptest! {
         let sets: Vec<Vec<u32>> = vec![vec![1, 2], vec![3], vec![1, 2, 3, 4]];
         let got = top_k_similar(
             &target,
+            // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
             sets.iter().enumerate().map(|(u, s)| (UserId::new(u as u32), s.as_slice())),
             k,
         );
@@ -87,6 +88,7 @@ proptest! {
         let fast = GroundTruth::from_train_sets(&sets, k);
         let naive = GroundTruth::from_train_sets_naive(&sets, k);
         prop_assert_eq!(fast.num_targets(), naive.num_targets());
+        // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
         for owner in 0..sets.len() as u32 {
             prop_assert_eq!(
                 fast.community_of(UserId::new(owner)),

@@ -7,6 +7,8 @@
 //! Experiments: `table1 table2 table3 table4 table5 table6 table7 table8
 //! table9 fig1 fig3 fig4 fig5 aia mnist ablation`.
 
+#![forbid(unsafe_code)]
+
 use cia_data::presets::Scale;
 use cia_experiments::experiments as exp;
 use cia_experiments::tables::Table;
@@ -116,6 +118,7 @@ fn main() -> ExitCode {
     }
 
     for name in names {
+        // cia-lint: allow(D02, CLI progress timing printed to the console; experiments emit no deterministic transcripts)
         let start = Instant::now();
         let tables = dispatch(name, scale, seed).expect("validated above");
         let elapsed = start.elapsed();

@@ -46,6 +46,7 @@ fn fl_max_aac(scale: Scale, seed: u64, affinity: f64, beta: f32) -> (f64, f64) {
         .enumerate()
         .map(|(u, its)| {
             spec.build_client(
+                // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                 UserId::new(u as u32),
                 its.clone(),
                 SharingPolicy::Full,
@@ -55,7 +56,9 @@ fn fl_max_aac(scale: Scale, seed: u64, affinity: f64, beta: f32) -> (f64, f64) {
         .collect();
     let evaluator = ItemSetEvaluator::new(spec, split.train_sets().to_vec(), false);
     let truths: Vec<_> =
+        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
         (0..users as u32).map(|u| truth.community_of(UserId::new(u)).to_vec()).collect();
+    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
     let owners: Vec<_> = (0..users as u32).map(|u| Some(UserId::new(u))).collect();
     let mut attack = FlCia::new(
         CiaConfig { k, beta, eval_every: params.fl_eval_every, seed },

@@ -24,6 +24,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
     // seed so reruns with other seeds pick other communities.
     let target_user = (seed as usize * 7 + 3) % users;
     let target = setup.split.train_sets()[target_user].clone();
+    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
     let truth = setup.truth.community_of(UserId::new(target_user as u32)).to_vec();
 
     let build_clients = || -> Vec<_> {
@@ -34,6 +35,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
             .enumerate()
             .map(|(u, items)| {
                 spec.build_client(
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     UserId::new(u as u32),
                     items.clone(),
                     SharingPolicy::Full,
@@ -59,6 +61,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
         target.clone(),
         users,
         truth.clone(),
+        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
         Some(UserId::new(target_user as u32)),
     );
     let mut sim = FedAvg::new(build_clients(), fed_cfg);
@@ -72,6 +75,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
         evaluator,
         users,
         vec![truth],
+        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
         vec![Some(UserId::new(target_user as u32))],
     );
     let mut sim = FedAvg::new(build_clients(), fed_cfg);

@@ -86,6 +86,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
     let mut client_samples: Vec<Vec<usize>> = vec![Vec::new(); clients_per_class * NUM_CLASSES];
     let mut probes: Vec<Vec<usize>> = vec![Vec::new(); NUM_CLASSES];
     for c in 0..NUM_CLASSES {
+        // cia-lint: allow(D05, MNIST class labels are 0..=9)
         let idx = data.indices_of_class(c as u8);
         for (pos, &sample) in idx.iter().enumerate() {
             if pos < train_per_class {
@@ -105,6 +106,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
             MlpClient::new(
                 spec.clone(),
                 MlpHyper::default(),
+                // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                 UserId::new(u as u32),
                 Arc::clone(&data),
                 samples.clone(),
@@ -117,6 +119,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
     let truths: Vec<Vec<UserId>> = (0..NUM_CLASSES)
         .map(|c| {
             (0..clients_per_class)
+                // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                 .map(|i| UserId::new((c * clients_per_class + i) as u32))
                 .collect()
         })

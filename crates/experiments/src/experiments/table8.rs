@@ -38,6 +38,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
             .enumerate()
             .map(|(u, items)| {
                 spec.build_client(
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     UserId::new(u as u32),
                     items.clone(),
                     SharingPolicy::Full,

@@ -21,6 +21,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
     let target = setup.split.train_sets()[0].clone();
 
     // T_M: training one fictive user embedding against public parameters.
+    // cia-lint: allow(D02, Table 9 *is* a wall-clock measurement of attack cost; timing is the payload here)
     let start = Instant::now();
     let emb = spec
         .train_adversary_embedding(&agg, &target, None, &mut rng)
@@ -28,6 +29,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
     let t_model = start.elapsed().as_secs_f64();
 
     // I_M: one relevance inference over the target set.
+    // cia-lint: allow(D02, Table 9 *is* a wall-clock measurement of attack cost; timing is the payload here)
     let start = Instant::now();
     let iters = 100;
     for _ in 0..iters {
@@ -39,11 +41,13 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table> {
     let clf_spec = MlpSpec::new(vec![spec.agg_len(), 32, 16, 1]);
     let mut clf = Mlp::new(clf_spec.clone(), MlpHyper::default(), seed);
     let sample = vec![0.5f32; spec.agg_len()];
+    // cia-lint: allow(D02, Table 9 *is* a wall-clock measurement of attack cost; timing is the payload here)
     let start = Instant::now();
     for _ in 0..10 {
         clf.train_binary(&[&sample], &[1.0]);
     }
     let t_classifier = start.elapsed().as_secs_f64() / 10.0 * 40.0; // ~40 samples x epochs
+                                                                    // cia-lint: allow(D02, Table 9 *is* a wall-clock measurement of attack cost; timing is the payload here)
     let start = Instant::now();
     for _ in 0..iters {
         std::hint::black_box(clf.prob_binary(&sample));

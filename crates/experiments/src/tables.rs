@@ -27,7 +27,7 @@ impl Table {
     pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
         Table {
             title: title.into(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(std::string::ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }
@@ -55,7 +55,7 @@ impl Table {
         let line = |cells: &[String], widths: &[usize]| -> String {
             let mut s = String::new();
             for (c, w) in cells.iter().zip(widths) {
-                let _ = write!(s, "| {c:w$} ", w = w);
+                let _ = write!(s, "| {c:w$} ");
             }
             s.push('|');
             s

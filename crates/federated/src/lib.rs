@@ -1019,6 +1019,7 @@ impl<P: Participant> ClientSeat<'_, P> {
             }
         }
         self.obs.observe_since(Metric::TrainMicros, t0);
+        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
         ctx.send(SERVER, Msg::ModelUpdate { round, client: i as u32, loss, acc, snap });
     }
 }
@@ -1027,7 +1028,7 @@ impl<P: Participant> Node for FlNode<'_, P> {
     fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
         match (self, msg) {
             (FlNode::Client(seat), Msg::TrainRequest { round, global, weight, acc, snap, .. }) => {
-                seat.train(round, &global, weight, acc, snap, ctx)
+                seat.train(round, &global, weight, acc, snap, ctx);
             }
             (FlNode::Server(srv), Msg::ModelUpdate { round, client, loss, acc, snap }) => {
                 srv.on_update(round, client, loss, acc, snap, ctx);
@@ -1112,6 +1113,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(u, items)| {
+                // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                 spec.build_client(UserId::new(u as u32), items.clone(), policy, u as u64)
             })
             .collect();
@@ -1190,6 +1192,7 @@ mod tests {
             .enumerate()
             .map(|(u, items)| {
                 spec.build_client(
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     UserId::new(u as u32),
                     items.clone(),
                     SharingPolicy::Full,
@@ -1346,6 +1349,7 @@ mod tests {
         let clients: Vec<_> = train
             .iter()
             .enumerate()
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             .map(|(u, it)| spec.build_client(UserId::new(u as u32), it.clone(), policy, u as u64))
             .collect();
         let mut dense = FedAvg::new(clients, cfg);
@@ -1353,12 +1357,14 @@ mod tests {
         dense.run(&mut dense_tape);
 
         let initial = spec.build_client(UserId::new(0), train[0].clone(), policy, 0).agg().to_vec();
+        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
         let examples: Vec<u32> = train.iter().map(|s| s.len() as u32).collect();
         let factory_spec = spec.clone();
         let store = cia_models::ClientStore::sharded(
             64,
             examples,
             Box::new(move |i| {
+                // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                 factory_spec.build_shell(UserId::new(i as u32), train[i].clone(), policy, i as u64)
             }),
         );
@@ -1426,6 +1432,7 @@ mod tests {
             8,
             vec![2u32; 16],
             Box::new(move |i| {
+                // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                 spec.build_shell(UserId::new(i as u32), vec![1, 2], SharingPolicy::Full, i as u64)
             }),
         );
@@ -1457,12 +1464,14 @@ mod tests {
         let train = split.train_sets().to_vec();
         let policy = SharingPolicy::Full;
         let initial = spec.build_client(UserId::new(0), train[0].clone(), policy, 0).agg().to_vec();
+        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
         let examples: Vec<u32> = train.iter().map(|s| s.len() as u32).collect();
         let factory_spec = spec.clone();
         let store = cia_models::ClientStore::sharded(
             8,
             examples,
             Box::new(move |i| {
+                // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                 factory_spec.build_shell(UserId::new(i as u32), train[i].clone(), policy, i as u64)
             }),
         );

@@ -60,6 +60,7 @@ impl Participant for TestClient {
 }
 
 fn sim(n: usize, cfg: FedAvgConfig) -> FedAvg<TestClient> {
+    // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
     FedAvg::new((0..n as u32).map(TestClient::new).collect(), cfg)
 }
 

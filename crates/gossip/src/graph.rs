@@ -27,6 +27,7 @@ impl ViewTable {
         assert!(out_degree < n, "out-degree must be smaller than the node count");
         let mut views = Vec::with_capacity(n);
         for u in 0..n {
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             views.push(Self::sample_view(u as u32, n, out_degree, &[], 0, rng));
         }
         ViewTable { views, out_degree }
@@ -71,6 +72,7 @@ impl ViewTable {
             uniq.sort_unstable();
             uniq.dedup();
             assert_eq!(uniq.len(), view.len(), "view of node {u} has duplicates");
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             assert!(!view.contains(&(u as u32)), "view of node {u} contains itself");
         }
         self.views = views;
@@ -135,11 +137,13 @@ impl ViewTable {
             guard += 1;
             if guard > 50 * out_degree {
                 let mut all: Vec<u32> =
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     (0..n as u32).filter(|&v| v != u && !view.contains(&v)).collect();
                 all.shuffle(rng);
                 view.extend(all.into_iter().take(out_degree - view.len()));
                 break;
             }
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             let cand = rng.gen_range(0..n as u32);
             if cand != u && !view.contains(&cand) {
                 view.push(cand);

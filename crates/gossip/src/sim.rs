@@ -386,6 +386,7 @@ impl<P: Participant> GossipSim<P> {
                 ((1.0 - exploration) * self.cfg.out_degree as f64).ceil() as usize
             }
         };
+        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
         for u in 0..n as u32 {
             if self.refresh_at[u as usize] <= t && probe_available(observer, t, u) {
                 match self.cfg.protocol {
@@ -402,6 +403,7 @@ impl<P: Participant> GossipSim<P> {
 
         // Traffic accounting: the in-degree of the graph the round's sends
         // will be routed over (after refreshes, before sending).
+        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
         for u in 0..n as u32 {
             for &v in self.views.view_of(u) {
                 self.traffic.view_in_degree[v as usize] += 1;
@@ -428,6 +430,7 @@ impl<P: Participant> GossipSim<P> {
         let transform = self.transform.as_deref();
         let awake: Vec<bool> = self.ctl.iter().map(|c| c.awake).collect();
         let destinations: Vec<u32> =
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             (0..n).map(|u| self.views.random_neighbor(u as u32, &mut rng)).collect();
         let send_span = obs.span("send");
         for (slot, &w) in self.outgoing.iter_mut().zip(&awake) {
@@ -612,6 +615,7 @@ impl<P: Participant> GossipSim<P> {
                 // `max(refresh_at, t)` folds overdue (deferred) refreshes
                 // into the current round, exactly like the lockstep
                 // `refresh_at <= t` scan.
+                // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                 for u in 0..n as u32 {
                     let at = refresh_at[u as usize].max(t) * SLOTS_PER_ROUND;
                     sched.timer_at(at, COORD, Msg::RefreshTimer { node: u });
@@ -839,6 +843,7 @@ impl CoordRound<'_> {
             }
         }
         self.due.clear();
+        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
         for u in 0..n as u32 {
             for &v in self.views.view_of(u) {
                 self.traffic.view_in_degree[v as usize] += 1;
@@ -858,11 +863,13 @@ impl CoordRound<'_> {
         // Destinations are drawn for every node — awake or not — exactly
         // like the lockstep round (RNG stream parity).
         let destinations: Vec<u32> =
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             (0..n).map(|u| self.views.random_neighbor(u as u32, &mut rng)).collect();
         for (u, &w) in wake.iter().enumerate() {
             if w {
                 ctx.send_at(
                     base + 1,
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     u as u32 + 1,
                     Msg::WakeSend { round: t, dest: destinations[u], snap: None },
                 );
@@ -890,6 +897,7 @@ impl CoordRound<'_> {
             if w {
                 ctx.timer_at(
                     base + 3,
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     u as u32 + 1,
                     Msg::MixTrain { round: t, epochs: self.cfg.local_epochs },
                 );
@@ -946,6 +954,7 @@ impl<P: Participant> PeerSeat<'_, P> {
         ctx.send_at(
             ctx.now() + 1,
             COORD,
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             Msg::ModelPush { round: t, sender: i as u32, dest, model: snap },
         );
     }
@@ -989,6 +998,7 @@ impl<P: Participant> PeerSeat<'_, P> {
             COORD,
             Msg::TrainReport {
                 round: t,
+                // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                 node: i as u32,
                 loss,
                 heard: std::mem::take(&mut self.ctl.heard_scratch),
@@ -1111,11 +1121,13 @@ mod tests {
             1
         }
         fn evaluate_model(&self, model: &SharedModel) -> f32 {
+            // cia-lint: allow(D07, sequential left-to-right fold over a slice in index order; the reduction order is fixed)
             -model.agg.iter().zip(&self.target).map(|(a, t)| (a - t) * (a - t)).sum::<f32>()
         }
     }
 
     fn sim(n: usize, cfg: GossipConfig) -> GossipSim<TestNode> {
+        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
         let nodes = (0..n).map(|u| TestNode::new(u as u32, u % 4)).collect();
         GossipSim::new(nodes, cfg)
     }
@@ -1350,6 +1362,7 @@ mod tests {
         let received: u64 = traffic.received.iter().sum();
         assert_eq!(received as usize, rec.deliveries.len());
         for (u, &count) in traffic.received.iter().enumerate() {
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             let delivered = rec.deliveries.iter().filter(|&&(_, recv, _)| recv == u as u32).count();
             assert_eq!(count as usize, delivered, "node {u}");
         }
@@ -1487,6 +1500,7 @@ mod tests {
         assert_eq!(lock_tape.deliveries, ev_tape.deliveries);
         assert_eq!(lock_tape.stats, ev_tape.stats);
         assert_eq!(lockstep.traffic(), evented.traffic());
+        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
         for u in 0..n as u32 {
             assert_eq!(lockstep.view_of(u), evented.view_of(u), "view of {u}");
         }

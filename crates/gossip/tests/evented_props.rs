@@ -66,11 +66,13 @@ impl Participant for TestNode {
         1 + self.user.raw() as usize % 3
     }
     fn evaluate_model(&self, model: &SharedModel) -> f32 {
+        // cia-lint: allow(D07, sequential left-to-right fold over a slice in index order; the reduction order is fixed)
         -model.agg.iter().zip(&self.target).map(|(a, t)| (a - t) * (a - t)).sum::<f32>()
     }
 }
 
 fn sim(n: usize, cfg: GossipConfig) -> GossipSim<TestNode> {
+    // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
     let nodes = (0..n).map(|u| TestNode::new(u as u32, u % 4)).collect();
     GossipSim::new(nodes, cfg)
 }
@@ -96,6 +98,7 @@ fn observables(
     s: &GossipSim<TestNode>,
 ) -> (Vec<Vec<f32>>, Vec<Vec<u32>>, cia_gossip::TrafficCounters) {
     let params = s.nodes().iter().map(|c| c.params.clone()).collect();
+    // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
     let views = (0..s.nodes().len() as u32).map(|u| s.view_of(u).to_vec()).collect();
     (params, views, s.traffic().clone())
 }

@@ -1,0 +1,105 @@
+//! `cia-lint` — run the determinism & safety pass over the workspace.
+//!
+//! ```text
+//! cia-lint [--json] [--out FILE] [--root DIR] [PATHS…]
+//! ```
+//!
+//! With no `PATHS`, lints every `.rs` file under `<root>/crates` and
+//! `<root>/src` (lint fixtures and `target/` excluded). `--json` switches
+//! the report to the machine-readable form CI uploads as an artifact;
+//! `--out` writes the report to a file as well as stdout, so a failing CI
+//! step still leaves the artifact behind.
+//!
+//! Exit status: `0` clean, `1` violations found, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use cia_lint::{lint_paths, render_human, render_json};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() {
+    eprintln!("usage: cia-lint [--json] [--out FILE] [--root DIR] [PATHS...]");
+    eprintln!("  --json      machine-readable report (the CI artifact format)");
+    eprintln!("  --out FILE  also write the report to FILE");
+    eprintln!("  --root DIR  workspace root paths are reported relative to (default: .)");
+    eprintln!("  PATHS       files or directories to lint (default: <root>/crates <root>/src)");
+}
+
+struct Args {
+    json: bool,
+    out: Option<PathBuf>,
+    root: PathBuf,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args { json: false, out: None, root: PathBuf::from("."), paths: Vec::new() };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => {
+                args.json = true;
+                i += 1;
+            }
+            "--out" => {
+                let v = argv.get(i + 1).ok_or("--out expects a value")?;
+                args.out = Some(PathBuf::from(v));
+                i += 2;
+            }
+            "--root" => {
+                let v = argv.get(i + 1).ok_or("--root expects a value")?;
+                args.root = PathBuf::from(v);
+                i += 2;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => {
+                args.paths.push(PathBuf::from(path));
+                i += 1;
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+
+    let paths = if args.paths.is_empty() {
+        cia_lint::default_targets(&args.root)
+    } else {
+        args.paths.clone()
+    };
+    if paths.is_empty() {
+        eprintln!("error: nothing to lint under {}", args.root.display());
+        return ExitCode::from(2);
+    }
+
+    let report = lint_paths(&args.root, &paths);
+    let rendered = if args.json { render_json(&report) } else { render_human(&report) };
+    print!("{rendered}");
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, &rendered) {
+            eprintln!("error: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !report.unreadable.is_empty() {
+        ExitCode::from(2)
+    } else if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,391 @@
+//! A minimal, panic-free Rust lexer.
+//!
+//! The scanner produces just enough token structure for the rule engine:
+//! identifiers (keywords included — the engine matches on text), numeric
+//! literals, string/char literals, lifetimes, comments, and single-character
+//! punctuation. It is deliberately forgiving: unterminated strings and
+//! comments extend to end-of-file, unknown bytes become punctuation, and no
+//! input — truncated, bit-flipped, or otherwise mangled — may ever panic it
+//! (pinned by the property tests in `tests/properties.rs`).
+//!
+//! Working on tokens instead of raw text is what keeps the rules honest: a
+//! `HashMap` inside a string literal or a doc comment is *not* an identifier
+//! and never reaches the rule engine.
+
+/// What a token is. Classification is coarse on purpose — rules only need
+/// to tell code identifiers apart from literal/comment text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`as`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// `'a` — distinguished from char literals by lookahead.
+    Lifetime,
+    /// Integer or float literal, suffix included (`1_000u32`, `1.5e-3`).
+    Number,
+    /// String, raw string, byte string, or char literal.
+    Literal,
+    /// `// …` (doc comments included).
+    LineComment,
+    /// `/* … */`, nesting respected; unterminated runs to end-of-file.
+    BlockComment,
+    /// Any other single character.
+    Punct,
+}
+
+/// One token: kind plus byte span and 1-indexed line/column of its start.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-indexed line of the first byte.
+    pub line: usize,
+    /// 1-indexed column (in characters) of the first byte.
+    pub col: usize,
+    /// 1-indexed line of the last byte (differs from `line` only for
+    /// multi-line tokens: block comments and multi-line strings).
+    pub line_end: usize,
+}
+
+impl Token {
+    /// The token's text within `src`. Spans always lie on char boundaries.
+    #[must_use]
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// True for both comment kinds.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src`. Total: every retained character belongs to exactly one
+/// token; whitespace is dropped. Never panics.
+#[must_use]
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer { src, chars: src.char_indices().peekable(), line: 1, col: 1 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    line: usize,
+    col: usize,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        let mut tokens = Vec::new();
+        while let Some(&(start, c)) = self.chars.peek() {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+                continue;
+            }
+            let kind = if c == '/' && self.peek_second() == Some('/') {
+                self.line_comment()
+            } else if c == '/' && self.peek_second() == Some('*') {
+                self.block_comment()
+            } else if c == 'r' || c == 'b' {
+                // Possible raw/byte string prefix; otherwise an identifier.
+                self.prefixed_literal_or_ident(c)
+            } else if c == '"' {
+                self.string('"')
+            } else if c == '\'' {
+                self.char_or_lifetime()
+            } else if c.is_ascii_digit() {
+                self.number()
+            } else if c == '_' || c.is_alphabetic() {
+                self.ident()
+            } else {
+                self.bump();
+                TokenKind::Punct
+            };
+            let end = self.offset();
+            tokens.push(Token { kind, start, end, line, col, line_end: self.line });
+        }
+        tokens
+    }
+
+    /// Byte offset of the next unconsumed char (or end of input).
+    fn offset(&mut self) -> usize {
+        self.chars.peek().map_or(self.src.len(), |&(i, _)| i)
+    }
+
+    fn peek_second(&self) -> Option<char> {
+        let mut it = self.chars.clone();
+        it.next();
+        it.next().map(|(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let (_, c) = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(&(_, c)) = self.chars.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        self.bump_while(|c| c != '\n');
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump(); // `/`
+        self.bump(); // `*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                Some('*') if self.chars.peek().map(|&(_, c)| c) == Some('/') => {
+                    self.bump();
+                    depth -= 1;
+                }
+                Some('/') if self.chars.peek().map(|&(_, c)| c) == Some('*') => {
+                    self.bump();
+                    depth += 1;
+                }
+                Some(_) => {}
+                None => break, // Unterminated: the comment swallows the rest.
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` — or a plain identifier
+    /// starting with `r`/`b`. Anything that doesn't commit to a quoted form
+    /// (including raw identifiers like `r#fn`) lexes as an identifier.
+    fn prefixed_literal_or_ident(&mut self, first: char) -> TokenKind {
+        let mut it = self.chars.clone();
+        it.next(); // The `r`/`b` itself.
+        let mut prefix_len = 1usize;
+        let mut raw = first == 'r';
+        if first == 'b' && it.peek().map(|&(_, c)| c) == Some('r') {
+            it.next();
+            prefix_len = 2;
+            raw = true;
+        }
+        let mut hashes = 0usize;
+        while it.peek().map(|&(_, c)| c) == Some('#') {
+            hashes += 1;
+            it.next();
+        }
+        let next = it.peek().map(|&(_, c)| c);
+        let commits = match next {
+            // `#`s are only legal on the raw forms.
+            Some('"') => raw || hashes == 0,
+            // `b'x'` — a byte char.
+            Some('\'') => first == 'b' && prefix_len == 1 && hashes == 0,
+            _ => false,
+        };
+        if !commits {
+            self.bump();
+            return self.ident();
+        }
+        for _ in 0..prefix_len + hashes {
+            self.bump();
+        }
+        match next {
+            Some('"') if raw => self.raw_string(hashes),
+            Some(q) => self.string(q),  // `b"…"` keeps escapes; `"` too.
+            None => TokenKind::Literal, // Unreachable: `commits` needs a quote.
+        }
+    }
+
+    fn raw_string(&mut self, hashes: usize) -> TokenKind {
+        self.bump(); // Opening `"`.
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    let mut it = self.chars.clone();
+                    let closed = (0..hashes).all(|_| it.next().map(|(_, c)| c) == Some('#'));
+                    if closed {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        return TokenKind::Literal;
+                    }
+                }
+                Some(_) => {}
+                None => return TokenKind::Literal, // Unterminated.
+            }
+        }
+    }
+
+    fn string(&mut self, quote: char) -> TokenKind {
+        self.bump(); // Opening quote.
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump(); // Whatever is escaped, even the quote.
+                }
+                Some(c) if c == quote => return TokenKind::Literal,
+                Some(_) => {}
+                None => return TokenKind::Literal, // Unterminated.
+            }
+        }
+    }
+
+    /// `'x'`, `'\n'`, `'\u{1F600}'` are char literals; `'a` (no closing
+    /// quote nearby) is a lifetime.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        let mut it = self.chars.clone();
+        it.next(); // `'`
+        let first = it.next().map(|(_, c)| c);
+        let second = it.next().map(|(_, c)| c);
+        match first {
+            // `'\…'` is always a char literal.
+            Some('\\') => self.string('\''),
+            // `'x'` — closing quote right after one char.
+            Some(_) if second == Some('\'') => self.string('\''),
+            // `'ident` with no closing quote: a lifetime.
+            Some(c) if c == '_' || c.is_alphabetic() => {
+                self.bump(); // `'`
+                self.bump_while(|c| c == '_' || c.is_alphanumeric());
+                TokenKind::Lifetime
+            }
+            // Stray quote (possibly at EOF): treat as an (empty) literal.
+            _ => self.string('\''),
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        self.bump(); // First digit.
+                     // Digits, underscores, radix/exponent letters and type suffixes.
+        self.bump_while(|c| c == '_' || c.is_ascii_alphanumeric());
+        // Fractional part — but `1..n` is a range, not a float.
+        if self.chars.peek().map(|&(_, c)| c) == Some('.') && self.peek_second() != Some('.') {
+            let frac_is_digit = {
+                let mut it = self.chars.clone();
+                it.next();
+                it.peek().is_some_and(|&(_, c)| c.is_ascii_digit())
+            };
+            if frac_is_digit {
+                self.bump(); // `.`
+                self.bump_while(|c| c == '_' || c.is_ascii_alphanumeric());
+            }
+        }
+        // Signed exponent (`1e-5`): the sign follows an `e`/`E` we already
+        // consumed as part of the alphanumeric run.
+        if matches!(self.chars.peek().map(|&(_, c)| c), Some('+' | '-')) {
+            let prev_is_exp = self
+                .offset()
+                .checked_sub(1)
+                .and_then(|i| self.src.get(i..i + 1))
+                .is_some_and(|s| s.eq_ignore_ascii_case("e"));
+            if prev_is_exp {
+                self.bump();
+                self.bump_while(|c| c == '_' || c.is_ascii_alphanumeric());
+            }
+        }
+        TokenKind::Number
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        self.bump_while(|c| c == '_' || c.is_alphanumeric());
+        TokenKind::Ident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src).iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let got = kinds("let x = y as u32;");
+        let texts: Vec<&str> = got.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "=", "y", "as", "u32", ";"]);
+        assert!(got.iter().take(2).all(|(k, _)| *k == TokenKind::Ident));
+    }
+
+    #[test]
+    fn string_contents_are_not_idents() {
+        let got = kinds(r#"let s = "HashMap as u32";"#);
+        assert!(got.iter().all(|(k, t)| *k != TokenKind::Ident || !t.contains("HashMap")));
+        assert_eq!(got.iter().filter(|(k, _)| *k == TokenKind::Literal).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_bytes() {
+        for src in [r##"r#"as u32"#"##, r#"b"as u32""#, r#"br"x""#, "b'x'"] {
+            let got = kinds(src);
+            assert_eq!(got.len(), 1, "{src}: {got:?}");
+            assert_eq!(got[0].0, TokenKind::Literal, "{src}");
+        }
+    }
+
+    #[test]
+    fn comments_keep_their_text() {
+        let got = kinds("// SAFETY: fine\nunsafe {}");
+        assert_eq!(got[0].0, TokenKind::LineComment);
+        assert!(got[0].1.contains("SAFETY"));
+        assert_eq!(got[1].1, "unsafe");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let got = kinds("/* a /* b */ c */ x");
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, TokenKind::BlockComment);
+        assert_eq!(got[1].1, "x");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let got = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(got.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(), 2);
+        assert_eq!(got.iter().filter(|(k, _)| *k == TokenKind::Literal).count(), 1);
+    }
+
+    #[test]
+    fn numbers_including_ranges_and_floats() {
+        let got = kinds("0..10 1.5e-3 0xff_u32 1_000i64");
+        let nums: Vec<&str> =
+            got.iter().filter(|(k, _)| *k == TokenKind::Number).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(nums, ["0", "10", "1.5e-3", "0xff_u32", "1_000i64"]);
+    }
+
+    #[test]
+    fn unterminated_everything_reaches_eof_without_panic() {
+        for src in ["\"abc", "/* abc", "r#\"abc", "'", "b\"x", "1e"] {
+            let toks = tokenize(src);
+            assert!(!toks.is_empty(), "{src:?}");
+            assert_eq!(toks.last().map(|t| t.end), Some(src.len()), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn line_and_col_tracking() {
+        let src = "a\n  b";
+        let toks = tokenize(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn multibyte_input_is_tolerated() {
+        let toks = tokenize("let s = \"héllo\"; // ünïcode\nλ");
+        assert!(!toks.is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! Known-bad fixture: one true positive per token-pattern rule. This file
+//! is excluded from the workspace walk and never compiled — it exists so
+//! the golden tests can pin each diagnostic exactly.
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn histogram(xs: &[u64]) -> Vec<(u64, u64)> {
+    let mut counts = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0u64) += 1;
+    }
+    let mut v: Vec<(u64, u64)> = counts.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+fn elapsed_micros() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_micros()
+}
+
+fn seeded_badly() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::from_entropy()
+}
+
+fn truncate(x: u64) -> u32 {
+    x as u32
+}
+
+fn spawn_worker() {
+    std::thread::spawn(|| {});
+}
+
+fn total(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>()
+}

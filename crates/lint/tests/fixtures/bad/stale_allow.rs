@@ -1,0 +1,11 @@
+//! Known-bad fixture for the allow-comment meta rules: a reason-less
+//! directive (L00) and one that suppresses nothing (L01).
+
+// cia-lint: allow(D01)
+fn nothing_unordered_here() {}
+
+// cia-lint: allow(D05, this cast was removed in a refactor)
+fn no_cast_left() {}
+
+// cia-lint: allow(D99, no such rule exists)
+fn unknown_rule() {}

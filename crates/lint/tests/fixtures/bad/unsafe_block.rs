@@ -1,0 +1,7 @@
+//! Known-bad fixture for D04: an `unsafe` block with no `// SAFETY:`
+//! comment anywhere in the run of comments above it.
+
+fn peek(xs: &[u8]) -> u8 {
+    // This comment talks about something else entirely.
+    unsafe { *xs.get_unchecked(0) }
+}

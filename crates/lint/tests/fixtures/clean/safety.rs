@@ -1,0 +1,14 @@
+//! Clean fixture for D04: the SAFETY convention in both accepted shapes —
+//! directly above the block, and at the head of a multi-line comment run.
+
+fn peek(xs: &[u8]) -> u8 {
+    // SAFETY: the caller guarantees `xs` is non-empty.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+fn peek_second(xs: &[u8]) -> u8 {
+    // SAFETY: `xs.len() >= 2` is checked by every caller; the bound is
+    // re-asserted in debug builds by the assert below, so the index is
+    // always in range.
+    unsafe { *xs.get_unchecked(1) }
+}

@@ -1,0 +1,91 @@
+//! Property tests: no input — random noise, truncated source, or a real
+//! file with bytes flipped — may ever panic the lexer or the rule engine.
+//! The lexer's docs promise exactly this; here it is pinned.
+
+use cia_lint::lexer::{tokenize, TokenKind};
+use cia_lint::lint_source;
+use proptest::prelude::*;
+
+/// A source snippet exercising every tricky lexer path: raw strings with
+/// hashes, byte strings, nested block comments, lifetimes next to char
+/// literals, float literals with exponents, and an allow directive.
+const GNARLY: &str = r####"//! doc
+/* outer /* nested */ still outer */
+fn f<'a>(x: &'a str) -> u32 {
+    let s = r#"raw "quoted" text"#;
+    let b = b"bytes\x00";
+    let c = 'x';
+    let r = br##"double-hash raw"##;
+    let n = 1_000u64 as u32; // cia-lint: allow(D05, bounded by construction)
+    let e = 1.5e-3f64;
+    for i in 0..10 {}
+    n
+}
+"####;
+
+fn truncate_chars(src: &str, n: usize) -> String {
+    src.chars().take(n).collect()
+}
+
+proptest! {
+    #[test]
+    fn lexer_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let tokens = tokenize(&src);
+        for t in &tokens {
+            prop_assert!(t.start <= t.end, "inverted span");
+            prop_assert!(t.end <= src.len(), "span past end of input");
+            prop_assert!(src.get(t.start..t.end).is_some(), "span off char boundary");
+            prop_assert!(t.line >= 1 && t.col >= 1, "positions are 1-indexed");
+            prop_assert!(t.line_end >= t.line, "token ends before it starts");
+        }
+    }
+
+    #[test]
+    fn truncated_source_never_panics(n in 0usize..400) {
+        // Cutting GNARLY mid-token leaves unterminated strings/comments —
+        // the lexer must run them to end-of-file, not panic.
+        let src = truncate_chars(GNARLY, n);
+        let tokens = tokenize(&src);
+        prop_assert!(tokens.iter().all(|t| src.get(t.start..t.end).is_some()));
+        // The rule engine must survive the same input.
+        let _ = lint_source("crates/core/src/fixture.rs", &src);
+    }
+
+    #[test]
+    fn mangled_source_never_panics(pos in 0usize..400, byte in any::<u8>()) {
+        // Flip one char of GNARLY to an arbitrary (lossy-decoded) byte.
+        let mut chars: Vec<char> = GNARLY.chars().collect();
+        let i = pos % chars.len();
+        chars[i] = String::from_utf8_lossy(&[byte]).chars().next().unwrap_or('\u{fffd}');
+        let src: String = chars.into_iter().collect();
+        let tokens = tokenize(&src);
+        prop_assert!(tokens.iter().all(|t| src.get(t.start..t.end).is_some()));
+        let _ = lint_source("crates/gossip/src/fixture.rs", &src);
+    }
+
+    #[test]
+    fn tokens_are_ordered_and_disjoint(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let tokens = tokenize(&src);
+        for w in tokens.windows(2) {
+            prop_assert!(w[0].end <= w[1].start, "overlapping tokens");
+        }
+    }
+}
+
+#[test]
+fn gnarly_source_lexes_cleanly() {
+    // Sanity anchor for the properties above: the unmangled snippet
+    // produces the expected literal/comment structure.
+    let tokens = tokenize(GNARLY);
+    let raws: Vec<&str> =
+        tokens.iter().filter(|t| t.kind == TokenKind::Literal).map(|t| t.text(GNARLY)).collect();
+    assert!(raws.contains(&r##"r#"raw "quoted" text"#"##));
+    assert!(raws.contains(&"b\"bytes\\x00\""));
+    assert!(raws.contains(&r###"br##"double-hash raw"##"###));
+    assert_eq!(tokens.iter().filter(|t| t.kind == TokenKind::BlockComment).count(), 1);
+    assert_eq!(tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).count(), 2);
+    // The allow directive is honored: `as u32` on that line reports nothing.
+    assert!(lint_source("crates/core/src/fixture.rs", GNARLY).is_empty());
+}

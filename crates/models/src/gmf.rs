@@ -894,6 +894,7 @@ mod tests {
         // Own positives now outscore never-seen items on average.
         let pos = c.score_candidates(&[1, 2, 3, 4, 5]);
         let neg = c.score_candidates(&[20, 21, 22, 23, 24]);
+        // cia-lint: allow(D07, sequential left-to-right fold over a slice in index order; the reduction order is fixed)
         let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
         assert!(mean(&pos) > mean(&neg) + 0.2, "pos {} neg {}", mean(&pos), mean(&neg));
     }
@@ -993,6 +994,7 @@ mod tests {
         let mut all = vec![0.0f32; 30];
         s.score_items(snap.owner_emb.as_deref(), &snap.agg, &mut all);
         let items = [3u32, 7, 9];
+        // cia-lint: allow(D07, sequential left-to-right fold over a slice in index order; the reduction order is fixed)
         let mean: f32 = items.iter().map(|&i| all[i as usize]).sum::<f32>() / 3.0;
         let got = s.mean_relevance(snap.owner_emb.as_deref(), &snap.agg, &items);
         assert!((mean - got).abs() < 1e-6);
@@ -1007,6 +1009,7 @@ mod tests {
         s.score_items(snap.owner_emb.as_deref(), &snap.agg, &mut all);
         for (start, len) in [(0usize, 30usize), (0, 7), (4, 13), (29, 1), (11, 0)] {
             let mut tile = vec![f32::NAN; len];
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             s.score_item_range(snap.owner_emb.as_deref(), &snap.agg, start as u32, &mut tile);
             assert_eq!(
                 tile.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),

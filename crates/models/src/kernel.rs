@@ -213,6 +213,7 @@ pub fn fast_exp(x: f32) -> f32 {
                     + f * (0.041_666_668 + f * (0.008_333_334 + f * 0.001_388_889)))));
     // NaN falls through: `nf as i32` is 0, the scale is finite, and `p` stays
     // NaN.
+    // cia-lint: allow(D05, IEEE-754 exponent assembly: nf is clamped to the representable range, so nf+127 is the 8-bit biased exponent)
     let scale = f32::from_bits((((nf as i32) + 127) as u32) << 23);
     p * scale
 }
@@ -284,6 +285,7 @@ pub fn fast_ln(x: f32) -> f32 {
         return x.ln();
     }
     let bits = x.to_bits();
+    // cia-lint: allow(D05, biased exponent field is 8 bits; the i32 subtraction lives in [-127, 128])
     let mut e = ((bits >> 23) as i32) - 127;
     let mut m = f32::from_bits((bits & 0x007F_FFFF) | 0x3F80_0000); // [1, 2)
     if m >= std::f32::consts::SQRT_2 {

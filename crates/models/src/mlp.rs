@@ -142,7 +142,8 @@ impl MlpSpec {
     /// Max-shifted log-sum-exp of logits (the normalizer of softmax).
     #[must_use]
     pub fn log_sum_exp(logits: &[f32]) -> f32 {
-        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        // cia-lint: allow(D07, sequential left-to-right fold over a slice in index order; the reduction order is fixed)
         logits.iter().map(|&z| (z - max).exp()).sum::<f32>().ln() + max
     }
 
@@ -518,7 +519,7 @@ mod tests {
         let xs: Vec<Vec<f32>> =
             vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
         let ys = [0.0f32, 1.0, 1.0, 0.0];
-        let refs: Vec<&[f32]> = xs.iter().map(|v| v.as_slice()).collect();
+        let refs: Vec<&[f32]> = xs.iter().map(std::vec::Vec::as_slice).collect();
         let mut last = f32::MAX;
         for _ in 0..2000 {
             last = mlp.train_binary(&refs, &ys);

@@ -171,6 +171,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut x = vec![0.0f32; 10_000];
         add_gaussian_noise(&mut x, 0.5, &mut rng);
+        // cia-lint: allow(D07, sequential left-to-right fold over a slice in index order; the reduction order is fixed)
         let emp_std = (x.iter().map(|v| (*v as f64).powi(2)).sum::<f64>() / 10_000.0).sqrt();
         assert!((emp_std - 0.5).abs() < 0.02, "std {emp_std}");
         // Zero std is a no-op.

@@ -306,6 +306,7 @@ pub trait RelevanceScorer: Send + Sync {
         }
         let mut all = vec![0.0f32; self.num_items() as usize];
         self.score_items(user_emb, agg, &mut all);
+        // cia-lint: allow(D07, sequential left-to-right fold over a slice in index order; the reduction order is fixed)
         items.iter().map(|&i| all[i as usize]).sum::<f32>() / items.len() as f32
     }
 

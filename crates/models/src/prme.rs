@@ -177,6 +177,7 @@ impl RelevanceScorer for PrmeSpec {
         assert_eq!(out.len(), self.num_items as usize, "output buffer size");
         assert_eq!(agg.len(), PrmeSpec::agg_len(self), "agg size");
         for (j, o) in out.iter_mut().enumerate() {
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             let x = self.pref(agg, j as u32);
             *o = -Self::sq_dist(user, x);
         }
@@ -602,6 +603,7 @@ mod tests {
         }
         let pos = c.score_candidates(&[1, 2, 3, 4, 5]);
         let neg = c.score_candidates(&[20, 21, 22, 23, 24]);
+        // cia-lint: allow(D07, sequential left-to-right fold over a slice in index order; the reduction order is fixed)
         let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
         assert!(mean(&pos) > mean(&neg), "pos {} !> neg {}", mean(&pos), mean(&neg));
     }
@@ -666,6 +668,7 @@ mod tests {
         s.score_items(snap.owner_emb.as_deref(), &snap.agg, &mut all);
         for (start, len) in [(0usize, 30usize), (0, 7), (4, 13), (29, 1), (11, 0)] {
             let mut tile = vec![f32::NAN; len];
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             s.score_item_range(snap.owner_emb.as_deref(), &snap.agg, start as u32, &mut tile);
             assert_eq!(
                 tile.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),

@@ -226,6 +226,7 @@ mod tests {
             examples,
             Box::new(move |i| {
                 spec.build_shell(
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     UserId::new(i as u32),
                     vec![1, 2, 5],
                     SharingPolicy::Full,

@@ -644,6 +644,7 @@ mod tests {
             for i in 0..12u64 {
                 sched.send_at(i / 3, (i % 2) as NodeId, Msg::RoundStart { round: i });
                 if i % 4 == 0 {
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     sched.timer_at(i / 3, 0, Msg::RefreshTimer { node: i as u32 });
                 }
             }
@@ -655,7 +656,7 @@ mod tests {
         {
             let mut refs: Vec<&mut Tape> = nodes.iter_mut().collect();
             straight.run_until(10, &mut refs);
-            for n in nodes.iter_mut() {
+            for n in &mut nodes {
                 full_log.log.append(&mut n.log);
             }
         }

@@ -51,6 +51,10 @@
 //! `RUSAGE_CHILDREN` accounting, which also covers children too short-lived
 //! for any poll to observe.
 
+// The one binary in the workspace that cannot `#![forbid(unsafe_code)]`:
+// the rss-probe subcommand reads peak RSS through a raw `getrusage` FFI
+// call (the container ships no /usr/bin/time). The single unsafe block is
+// SAFETY-documented and policed by cia-lint rule D04.
 use cia_core::{Counter, Metric, Recorder};
 use cia_data::presets::Scale;
 use cia_models::RelevanceScorer;
@@ -317,6 +321,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let suite_name = suite.name.clone();
     let out = args.out.clone();
     let train_spec = spec.clone();
+    // cia-lint: allow(D06, the one serve trainer thread, joined before exit; transcript byte-equality under a racing reader is pinned by tests/serve.rs)
     let trainer = std::thread::spawn(move || -> Result<ScenarioOutcome, String> {
         match &out {
             Some(path) => {
@@ -367,6 +372,7 @@ fn serve_queries<S: RelevanceScorer>(
     engine.set_recorder(rec.clone());
     let mut workload =
         QueryWorkload::new(num_users, w.zipf_s, seed ^ 0x5E27E).map_err(|e| e.to_string())?;
+    // cia-lint: allow(D02, serve-mode latency summary printed after the run; the transcript stream never sees it)
     let started = Instant::now();
     let mut answered = 0u64;
     let mut unanswerable = 0u64;
@@ -573,6 +579,7 @@ fn cmd_rss_probe(args: &[String]) -> Result<ExitCode, String> {
             None => {
                 if last_poll.is_none_or(|t| t.elapsed() >= poll_interval) {
                     peak_kib = peak_kib.max(subtree_peak_rss_kib(pid));
+                    // cia-lint: allow(D02, rss-probe poll pacing; operational tooling with no transcript output)
                     last_poll = Some(Instant::now());
                 }
                 std::thread::sleep(std::time::Duration::from_millis(10).min(poll_interval));

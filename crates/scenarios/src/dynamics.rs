@@ -34,7 +34,7 @@ pub struct ParticipantDynamics {
 
 /// Checkpointable slice of [`ParticipantDynamics`] (membership tables are
 /// reconstructed deterministically from the spec and seed).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DynamicsState {
     /// Online bitmap.
     pub online: Vec<bool>,
@@ -91,6 +91,7 @@ impl ParticipantDynamics {
 
     /// The sybil coalition's node ids (attack construction).
     pub fn sybil_members(&self) -> Vec<u32> {
+        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
         self.sybil.iter().enumerate().filter_map(|(i, &s)| s.then_some(i as u32)).collect()
     }
 

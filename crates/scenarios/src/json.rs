@@ -175,7 +175,9 @@ fn render_str(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
+            // cia-lint: allow(D05, char scalar values are at most 21 bits; u32 holds every codepoint)
             c if (c as u32) < 0x20 => {
+                // cia-lint: allow(D05, char scalar values are at most 21 bits; u32 holds every codepoint)
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),

@@ -20,7 +20,7 @@ use crate::json::Json;
 use cia_core::obs::nearest_rank;
 
 /// Aggregate statistics for one phase across a scenario's traced rounds.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseStat {
     /// Phase name (span name, or `other` for unattributed round time).
     pub name: String,

@@ -198,6 +198,7 @@ pub fn run_scenario(
     sink: &mut dyn Write,
 ) -> Result<ScenarioOutcome, String> {
     spec.validate()?;
+    // cia-lint: allow(D02, feeds only the timing-gated elapsed_ms fields and the printed summary; --no-timing never reads it)
     let start = Instant::now();
     let ctx = Ctx { spec, suite, opts, start };
     if opts.resume {
@@ -323,6 +324,7 @@ fn run_gmf(
         .enumerate()
         .map(|(u, items)| {
             model_spec.build_client(
+                // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                 UserId::new(u as u32),
                 items.clone(),
                 policy,
@@ -365,6 +367,7 @@ fn run_prme(
         .enumerate()
         .map(|(u, (items, seq))| {
             model_spec.build_client(
+                // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                 UserId::new(u as u32),
                 items.clone(),
                 seq.clone(),
@@ -393,6 +396,7 @@ fn run_prme(
             let mut tile: Vec<u32> = Vec::with_capacity(EVAL_TILE);
             let mut start = 0u32;
             while start < num_items {
+                // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                 let end = num_items.min(start + EVAL_TILE as u32);
                 tile.clear();
                 tile.extend((start..end).filter(|j| train.binary_search(j).is_err()));
@@ -403,6 +407,7 @@ fn run_prme(
             }
             f1_at_k(&sel.into_ids(), &inst.positives)
         });
+        // cia-lint: allow(D07, sequential left-to-right fold over a slice in index order; the reduction order is fixed)
         f1s.iter().sum::<f64>() / clients.len() as f64
     };
     run_protocol(ctx, setup, model_spec, clients, utility, "F1@20", sink)
@@ -806,6 +811,7 @@ where
     let members: Vec<u32> = if spec.dynamics.sybils > 0 {
         dynamics.sybil_members()
     } else {
+        // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
         (0..coalition).map(|i| (i * n / coalition.max(1)) as u32).collect()
     };
     let mut attack = if members.is_empty() {

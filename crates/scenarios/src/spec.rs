@@ -110,7 +110,7 @@ impl DefenseKind {
 }
 
 /// Scale-dependent simulation parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScaleParams {
     /// FL communication rounds.
     pub fl_rounds: u64,

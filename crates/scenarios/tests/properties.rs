@@ -127,6 +127,7 @@ fn build_checkpoint(seed: u64) -> Checkpoint {
             .map(|_| {
                 (0..rng.gen_range(0usize..3))
                     .map(|_| SharedModel {
+                        // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
                         owner: UserId::new(rng.gen_range(0u32..n as u32)),
                         round: rng.gen_range(0u64..100),
                         owner_emb: if rng.gen_bool(0.5) {
@@ -144,6 +145,7 @@ fn build_checkpoint(seed: u64) -> Checkpoint {
             refresh_at: (0..n).map(|_| rng.gen_range(0u64..80)).collect(),
             views: (0..n)
                 .map(|_| {
+                    // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
                     (0..rng.gen_range(1usize..4)).map(|_| rng.gen_range(0u32..n as u32)).collect()
                 })
                 .collect(),
@@ -151,6 +153,7 @@ fn build_checkpoint(seed: u64) -> Checkpoint {
             heard: (0..n)
                 .map(|_| {
                     (0..rng.gen_range(0usize..3))
+                        // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
                         .map(|_| (rng.gen_range(0u32..n as u32), rng.gen_range(-2.0f32..2.0)))
                         .collect()
                 })
@@ -163,13 +166,16 @@ fn build_checkpoint(seed: u64) -> Checkpoint {
             pending: (0..rng.gen_range(0usize..4))
                 .map(|_| SavedEvent {
                     at: rng.gen_range(0u64..800),
+                    // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
                     dst: rng.gen_range(0u32..n as u32),
                     timer: rng.gen_bool(0.5),
                     msg: if rng.gen_bool(0.5) {
+                        // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
                         Msg::RefreshTimer { node: rng.gen_range(0u32..n as u32) }
                     } else {
                         Msg::WakeSend {
                             round: rng.gen_range(0u64..50),
+                            // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
                             dest: rng.gen_range(0u32..n as u32),
                             snap: None,
                         }
@@ -221,6 +227,7 @@ fn build_checkpoint(seed: u64) -> Checkpoint {
             PlacementState::default()
         } else {
             let relocated = rng.gen_bool(0.5);
+            // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
             let mut members: Vec<u32> = (0..n as u32).collect();
             for i in (1..members.len()).rev() {
                 members.swap(i, rng.gen_range(0usize..=i));
@@ -236,6 +243,7 @@ fn build_checkpoint(seed: u64) -> Checkpoint {
                     (0..n)
                         .map(|_| {
                             let mut log: Vec<u32> = (0..rng.gen_range(0usize..4))
+                                // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
                                 .map(|_| rng.gen_range(0u32..n as u32))
                                 .collect();
                             log.sort_unstable();
@@ -336,6 +344,7 @@ proptest! {
         nan_prob in 0.0f64..0.3, // DP-destroyed models produce NaN scores
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
+        // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
         let mut pairs: Vec<(f32, u32)> = (0..n as u32).map(|id| {
             let score = if rng.gen::<f64>() < nan_prob {
                 f32::NAN

@@ -41,6 +41,7 @@ fn transcript_byte_identical_with_racing_server_attached() {
     let stop = Arc::new(AtomicBool::new(false));
     let reader = {
         let stop = Arc::clone(&stop);
+        // cia-lint: allow(D06, this test deliberately races a reader thread against training to pin transcript byte-equality)
         std::thread::spawn(move || {
             let mut workload = QueryWorkload::new(num_users, 1.1, 7).expect("workload");
             let mut answered = 0u64;
@@ -93,6 +94,7 @@ fn serve_matches_offline_topk_at_paper_scale() {
         let mut all = vec![0.0f32; num_items as usize];
         scorer.score_items(snap.user_emb(user), snap.agg_of(user), &mut all);
         let offline =
+            // cia-lint: allow(D05, test/bench populations are tiny; ids fit u32 with orders of magnitude to spare)
             top_k_by_score(all.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect(), 20);
         assert_eq!(reply.ids(), offline, "user {user}: served ids diverge from offline");
         for &(score, id) in reply.ranked() {

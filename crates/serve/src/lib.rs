@@ -270,6 +270,7 @@ type QueryKey = (u32, usize);
 
 struct RankingCache {
     epoch: u64,
+    // cia-lint: allow(D01, lookup-only ranking cache: keyed gets and inserts, never iterated, flushed wholesale on epoch swap)
     map: HashMap<QueryKey, Arc<Vec<(f32, u32)>>>,
 }
 
@@ -308,6 +309,7 @@ impl<S: RelevanceScorer> ServeEngine<S> {
             scorer,
             hub,
             rec: Recorder::new(),
+            // cia-lint: allow(D01, constructed empty; the RankingCache order-safety invariant is documented on the field above)
             cache: Mutex::new(RankingCache { epoch: 0, map: HashMap::new() }),
             cache_capacity,
         }
@@ -368,8 +370,10 @@ impl<S: RelevanceScorer> ServeEngine<S> {
         while start < n {
             let len = SERVE_TILE.min(n - start);
             let out = &mut tile[..len];
+            // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
             self.scorer.score_item_range(user_emb, agg, start as u32, out);
             for (i, &score) in out.iter().enumerate() {
+                // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                 sel.push(score, (start + i) as u32);
             }
             start += len;
@@ -425,6 +429,7 @@ impl QueryWorkload {
 
     /// The next querying user.
     pub fn next_user(&mut self) -> u32 {
+        // cia-lint: allow(D05, Zipf support is 1..=num_users and num_users is validated to fit u32)
         self.zipf.sample(&mut self.rng) as u32
     }
 }
@@ -459,6 +464,7 @@ mod tests {
                 while last_epoch < 200 {
                     let Some(snap) = hub.load() else { continue };
                     let want = snap.epoch() as f32;
+                    // cia-lint: allow(D05, ids and indices are bounded by the validated population/catalog size, which fits u32)
                     for u in 0..snap.num_users() as u32 {
                         let emb = snap.user_emb(u).expect("published embedding");
                         assert!(emb.iter().all(|&x| x == want), "torn user row");

@@ -7,12 +7,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# ci.sh runs fmt-check and the workspace tests as its own (earlier) steps;
-# it sets CIA_SKIP_REDUNDANT_GATES=1 so a CI run does not pay for them twice.
-# Standalone invocations keep the full gate.
+# ci.sh runs fmt-check, cia-lint and the workspace tests as its own
+# (earlier) steps; it sets CIA_SKIP_REDUNDANT_GATES=1 so a CI run does not
+# pay for them twice. Standalone invocations keep the full gate.
 if [ "${CIA_SKIP_REDUNDANT_GATES:-0}" != 1 ]; then
     echo "== cargo fmt --all --check"
     cargo fmt --all --check
+    # Determinism & safety pass (crates/lint/README.md) — gates ahead of
+    # the benches and clippy, mirroring ci.sh's dedicated lint step.
+    echo "== cia-lint --json"
+    cargo run --release -q -p cia-lint --bin cia-lint -- \
+        --json --out target/cia-lint.json
 fi
 
 # Every ungated bench body runs once, including the sharded

@@ -96,11 +96,22 @@ step() {
     fi
 }
 
+run_cia_lint() {
+    # --json --out leaves target/cia-lint.json behind for the CI artifact
+    # upload on a red run; stdout carries the same report for the log.
+    cargo run --release -q -p cia-lint --bin cia-lint -- \
+        --json --out target/cia-lint.json
+}
+
 step fmt-check cargo fmt --all --check
+# The determinism & safety pass gates ahead of everything expensive: it
+# compiles only the dependency-free cia-lint crate, so a rule violation
+# fails the pipeline in seconds.
+step lint run_cia_lint
 step build cargo build --release --workspace
 step test run_with_peak_rss cargo test --workspace -q
-# fmt-check and the workspace tests already ran above; tell bench_smoke.sh
-# not to repeat them.
+# fmt-check, cia-lint and the workspace tests already ran above; tell
+# bench_smoke.sh not to repeat them.
 CIA_SKIP_REDUNDANT_GATES=1 step bench-smoke scripts/bench_smoke.sh
 
 echo
